@@ -1,0 +1,185 @@
+// Ablations of the design decisions DESIGN.md calls out, beyond what
+// bench_perf times:
+//   1. crafted probe selector vs a naive fixed selector (misclassification);
+//   2. dispatcher-pattern vs naive PUSH4 selector extraction (collision FPs);
+//   3. §8.2 diamond extension on the full population (recovered misses);
+//   4. range-based vs width-only storage comparison (packing FPs avoided).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/diamond_probe.h"
+#include "core/function_collision.h"
+#include "core/proxy_detector.h"
+#include "core/selector_extractor.h"
+#include "core/storage_collision.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+#include "datagen/population.h"
+#include "evm/interpreter.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::bench;
+using datagen::Archetype;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+/// Naive probe: always call with selector 0x00000000 and hope it lands in
+/// the fallback. Misclassifies any proxy that happens to *have* a function
+/// whose selector the probe hits, and any non-proxy whose hit function
+/// delegates (library users).
+bool naive_probe_is_proxy(chain::Blockchain& chain, const evm::Address& a,
+                          std::uint32_t fixed_selector) {
+  struct Observer final : evm::TraceObserver {
+    evm::Address self;
+    Bytes probe;
+    bool forwarded = false;
+    void on_call(evm::CallKind kind, int, const evm::Address& from,
+                 const evm::Address&, evm::BytesView calldata) override {
+      if (kind != evm::CallKind::kDelegateCall || !(from == self)) return;
+      forwarded |= calldata.size() == probe.size() &&
+                   std::equal(calldata.begin(), calldata.end(), probe.begin());
+    }
+  };
+  Bytes probe(36, 0);
+  probe[0] = static_cast<std::uint8_t>(fixed_selector >> 24);
+  probe[1] = static_cast<std::uint8_t>(fixed_selector >> 16);
+  probe[2] = static_cast<std::uint8_t>(fixed_selector >> 8);
+  probe[3] = static_cast<std::uint8_t>(fixed_selector);
+
+  evm::OverlayHost overlay(chain);
+  Observer observer;
+  observer.self = a;
+  observer.probe = probe;
+  evm::InterpreterConfig config;
+  config.step_limit = 200'000;
+  evm::Interpreter interp(overlay, config);
+  interp.set_observer(&observer);
+  evm::CallParams params;
+  params.code_address = a;
+  params.storage_address = a;
+  params.caller = evm::Address::from_label("naive.prober");
+  params.calldata = probe;
+  interp.execute(params);
+  return observer.forwarded;
+}
+
+}  // namespace
+
+int main() {
+  auto& pop = population();
+  auto& chain = *pop.chain;
+  const auto& sweep = full_sweep();
+
+  // ---- 1. crafted vs naive probe selector ---------------------------------
+  // The failure mode: a proxy whose dispatcher contains a function with the
+  // naive probe's exact selector captures the call, so the naive probe sees
+  // no forwarding and misclassifies the proxy.
+  {
+    const evm::Address deployer = evm::Address::from_label("abl.deployer");
+    const std::uint32_t fixed = 0xdf4a3106;  // "some popular selector"
+    const evm::Address logic =
+        chain.deploy_runtime(deployer, ContractFactory::token_contract(31337));
+    const evm::Address trap = chain.deploy_runtime(
+        deployer, ContractFactory::honeypot_proxy(U256{1}, fixed));
+    chain.set_storage(trap, U256{1}, logic.to_word());
+
+    core::ProxyDetector crafted(chain);
+    const bool crafted_verdict = crafted.analyze(trap).is_proxy();
+    const bool naive_verdict = naive_probe_is_proxy(chain, trap, fixed);
+
+    heading("ablation 1: crafted vs fixed probe selector (§4.2)");
+    row("proxy with a function at the fixed selector", "deployed");
+    row("crafted probe classifies it as proxy",
+        crafted_verdict ? "yes (correct)" : "NO");
+    row("fixed-selector probe classifies it as proxy",
+        naive_verdict ? "yes" : "no (MISSED - captured by dispatcher)");
+  }
+
+  // ---- 2. selector extraction: pattern vs naive ---------------------------
+  {
+    const Bytes garbage = ContractFactory::garbage_push4_contract();
+    const Bytes victim_logic = ContractFactory::plain_contract(
+        {{.prototype = "x()", .body = BodyKind::kStop,
+          .raw_selector = 0xdeadbeef}});
+    const auto pattern_proxy = core::extract_selectors(garbage);
+    const auto naive_proxy = core::extract_selectors_naive(garbage);
+    const auto logic_selectors = core::extract_selectors(victim_logic);
+
+    auto intersects = [&](const std::vector<std::uint32_t>& a) {
+      for (const std::uint32_t s : a) {
+        for (const std::uint32_t t : logic_selectors) {
+          if (s == t) return true;
+        }
+      }
+      return false;
+    };
+    heading("ablation 2: dispatcher-pattern vs any-PUSH4 extraction (§5.1)");
+    row("PUSH4 immediates in the contract",
+        std::to_string(naive_proxy.size()));
+    row("of which dispatcher selectors",
+        std::to_string(pattern_proxy.size()));
+    row("naive extraction reports a function collision",
+        intersects(naive_proxy) ? "yes (FALSE POSITIVE)" : "no");
+    row("pattern extraction reports a collision",
+        intersects(pattern_proxy) ? "yes" : "no (correct)");
+  }
+
+  // ---- 3. diamond extension over the population (§8.2) ---------------------
+  {
+    std::uint64_t diamonds = 0, base_detected = 0, extension_detected = 0;
+    for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+      if (pop.contracts[i].archetype != Archetype::kDiamondProxy) continue;
+      ++diamonds;
+      const auto& base = sweep.reports[i].proxy;
+      if (base.is_proxy()) {
+        ++base_detected;
+        continue;
+      }
+      core::DiamondProber prober(chain);
+      if (prober.probe(pop.contracts[i].address, base).is_diamond) {
+        ++extension_detected;
+      }
+    }
+    heading("ablation 3: §8.2 diamond extension on the population");
+    row("diamond proxies (ground truth)", std::to_string(diamonds));
+    row("detected by the base detector", std::to_string(base_detected));
+    row("recovered by tx-hint probing", std::to_string(extension_detected));
+    row("still hidden (never transacted)",
+        std::to_string(diamonds - base_detected - extension_detected));
+  }
+
+  // ---- 4. packing-aware storage comparison ---------------------------------
+  {
+    const evm::Address deployer = evm::Address::from_label("abl4.deployer");
+    // Compatible packing: owner at [0,20), a bool at [20,21).
+    const evm::Address proxy = chain.deploy_runtime(
+        deployer,
+        ContractFactory::slot_proxy(
+            U256{1}, {{.prototype = "owner()",
+                       .body = BodyKind::kReturnStorageAddress,
+                       .slot = U256{0}}}));
+    const evm::Address logic = chain.deploy_runtime(
+        deployer, ContractFactory::plain_contract(
+                      {{.prototype = "paused()",
+                        .body = BodyKind::kReturnStorageBoolAtOffset,
+                        .slot = U256{0}, .aux = U256{20}}}));
+    core::StorageCollisionDetector detector(chain);
+    const auto result = detector.detect(proxy, chain.get_code(proxy), logic,
+                                        chain.get_code(logic));
+    // Width-only comparison would flag 20 vs 1; range comparison sees the
+    // disjoint byte ranges.
+    heading("ablation 4: packing-aware (range) storage comparison (§5.2)");
+    row("slot-0 widths (proxy vs logic)", "20 vs 1 bytes");
+    row("width-only comparison would report", "collision (FALSE POSITIVE)");
+    row("range comparison reports",
+        result.has_collision() ? "collision" : "no collision (correct)");
+  }
+
+  std::printf("\n[ablations] each design choice removes a concrete error "
+              "class.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared plumbing for the per-table/figure reproduction binaries: one lazily
+// built synthetic population (so every bench sees the same world) and small
+// table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "datagen/population.h"
+
+namespace proxion::bench {
+
+/// The standard bench population. Size balances statistical fidelity to the
+/// paper's ratios against bench runtime; override with PROXION_BENCH_SCALE.
+inline datagen::Population& population() {
+  static datagen::Population pop = [] {
+    datagen::PopulationSpec spec;
+    spec.total_contracts = 12'000;
+    if (const char* env = std::getenv("PROXION_BENCH_SCALE")) {
+      spec.total_contracts = static_cast<std::uint32_t>(std::atoi(env));
+    }
+    return datagen::PopulationGenerator().generate(spec);
+  }();
+  return pop;
+}
+
+struct SweepResult {
+  std::vector<core::ContractAnalysis> reports;
+  core::LandscapeStats stats;
+  double wall_ms = 0;
+};
+
+/// Runs the full Proxion pipeline over the bench population once and caches
+/// the result for all sections of a bench binary.
+inline SweepResult& full_sweep() {
+  static SweepResult result = [] {
+    auto& pop = population();
+    core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+    SweepResult r;
+    r.reports = pipeline.run(pop.sweep_inputs());
+    r.stats = pipeline.summarize(r.reports);
+    r.wall_ms = r.stats.ms_per_contract *
+                static_cast<double>(r.stats.total_contracts);
+    return r;
+  }();
+  return result;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& label, const std::string& value) {
+  std::printf("  %-46s %s\n", label.c_str(), value.c_str());
+}
+
+inline std::string pct(double num, double den) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", den == 0 ? 0 : 100.0 * num / den);
+  return buf;
+}
+
+inline std::string fmt(double v, const char* unit = "") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, unit);
+  return buf;
+}
+
+}  // namespace proxion::bench

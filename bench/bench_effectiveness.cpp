@@ -1,0 +1,153 @@
+// §6.2 reproduction: effectiveness against USCHunt (Sanctuary-style source
+// dataset: fewer analysis failures, more proxies found, extra function
+// collisions) and against CRUSH (tx dataset: library-caller exclusion,
+// hidden proxies CRUSH cannot see, extra storage collisions).
+#include <cstdio>
+
+#include "baselines/crush.h"
+#include "baselines/etherscan.h"
+#include "baselines/uschunt.h"
+#include "bench_common.h"
+#include "core/proxy_detector.h"
+#include "datagen/population.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+  using datagen::Archetype;
+
+  auto& pop = population();
+  auto& chain = *pop.chain;
+  const auto& sweep = full_sweep();
+
+  // ---- vs USCHunt on the source-available subset --------------------------
+  std::uint64_t src_contracts = 0;
+  std::uint64_t uschunt_failures = 0, uschunt_proxies = 0;
+  std::uint64_t proxion_errors = 0, proxion_proxies = 0;
+  std::uint64_t proxion_only_collisions = 0;
+
+  baselines::UschuntAnalyzer uschunt(pop.sources);
+  for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+    const auto& c = pop.contracts[i];
+    if (!c.has_source) continue;
+    ++src_contracts;
+
+    const auto ur = uschunt.detect_proxy(c.address);
+    if (ur.status == baselines::UschuntStatus::kCompileError) {
+      ++uschunt_failures;
+    } else if (ur.is_proxy) {
+      ++uschunt_proxies;
+    }
+
+    const auto& report = sweep.reports[i];
+    if (report.proxy.verdict == core::ProxyVerdict::kEmulationError) {
+      ++proxion_errors;
+    } else if (report.proxy.is_proxy()) {
+      ++proxion_proxies;
+      if (report.function_collision) {
+        const auto pair = uschunt.analyze_pair(
+            c.address, report.logic_history.logic_addresses.empty()
+                           ? evm::Address{}
+                           : report.logic_history.logic_addresses.front());
+        if (!(pair.status == baselines::UschuntStatus::kAnalyzed &&
+              pair.is_proxy && pair.function_collision)) {
+          ++proxion_only_collisions;
+        }
+      }
+    }
+  }
+
+  std::printf("Effectiveness vs USCHunt (source-available subset, "
+              "Sanctuary-style)\n");
+  std::printf("(paper: USCHunt halts on ~30%% compile errors, finds 29,023 "
+              "proxies vs Proxion's 35,924;\n Proxion reports 257 function "
+              "collisions USCHunt missed)\n\n");
+  row("contracts with source", std::to_string(src_contracts));
+  row("USCHunt analysis failures",
+      std::to_string(uschunt_failures) + " (" +
+          pct(static_cast<double>(uschunt_failures),
+              static_cast<double>(src_contracts)) +
+          ")");
+  row("USCHunt proxies found", std::to_string(uschunt_proxies));
+  row("Proxion emulation failures",
+      std::to_string(proxion_errors) + " (" +
+          pct(static_cast<double>(proxion_errors),
+              static_cast<double>(src_contracts)) +
+          ")");
+  row("Proxion proxies found", std::to_string(proxion_proxies));
+  row("function collisions only Proxion reports",
+      std::to_string(proxion_only_collisions));
+
+  // ---- vs CRUSH on the transaction dataset ---------------------------------
+  baselines::CrushAnalyzer crush(chain);
+  const auto crush_pairs = crush.find_proxy_pairs();
+  std::uint64_t crush_library_fps = 0;
+  for (const auto& p : crush_pairs) {
+    core::ProxyDetector detector(chain);
+    if (!detector.analyze(p.proxy).is_proxy()) ++crush_library_fps;
+  }
+
+  std::uint64_t hidden_proxies_proxion = 0;
+  for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+    const auto& c = pop.contracts[i];
+    if (sweep.reports[i].proxy.is_proxy() && !c.has_tx && !c.has_source) {
+      ++hidden_proxies_proxion;
+    }
+  }
+
+  std::printf("\nEffectiveness vs CRUSH (transaction-mining dataset)\n");
+  std::printf("(paper: CRUSH counts library callers as proxies and misses "
+              "1.67M no-tx proxies plus 1,480\n exploitable storage "
+              "collisions that Proxion adds)\n\n");
+  row("pairs CRUSH mines from history", std::to_string(crush_pairs.size()));
+  row("of which library callers (not proxies, §2.2)",
+      std::to_string(crush_library_fps));
+  row("hidden proxies only Proxion finds (no src, no tx)",
+      std::to_string(hidden_proxies_proxion));
+  row("exploitable storage collisions (Proxion, whole population)",
+      std::to_string(sweep.stats.exploitable_storage_collisions));
+
+  // ---- Etherscan opcode-presence strawman ---------------------------------
+  std::uint64_t etherscan_flags = 0, etherscan_fps = 0;
+  for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+    const auto code = chain.get_code(pop.contracts[i].address);
+    if (baselines::etherscan_detect(code).is_proxy) {
+      ++etherscan_flags;
+      if (!pop.contracts[i].is_proxy_truth) ++etherscan_fps;
+    }
+  }
+  std::printf("\nEtherscan opcode-presence check (documented FP source)\n\n");
+  row("contracts flagged by DELEGATECALL presence",
+      std::to_string(etherscan_flags));
+  row("of which are not actually proxies", std::to_string(etherscan_fps));
+
+  // §8.2: the same detector sweeps other EVM chains unchanged — only the
+  // chain id and workload mix differ.
+  std::printf("\nMulti-chain portability (§8.2 future work)\n\n");
+  for (const auto& [chain_id, name] :
+       std::vector<std::pair<std::uint64_t, const char*>>{
+           {1, "Ethereum"}, {137, "Polygon"}, {56, "BSC"}}) {
+    datagen::PopulationSpec spec;
+    spec.total_contracts = 1'500;
+    spec.chain_id = chain_id;
+    spec.seed = 77 + chain_id;
+    datagen::Population alt = datagen::PopulationGenerator().generate(spec);
+    core::AnalysisPipeline alt_pipeline(*alt.chain, &alt.sources);
+    const auto alt_reports = alt_pipeline.run(alt.sweep_inputs());
+    std::uint64_t found = 0, truth = 0;
+    for (std::size_t i = 0; i < alt.contracts.size(); ++i) {
+      if (alt.contracts[i].is_proxy_truth &&
+          alt.contracts[i].archetype != datagen::Archetype::kDiamondProxy) {
+        ++truth;
+        if (alt_reports[i].proxy.is_proxy()) ++found;
+      }
+    }
+    row(std::string(name) + " (chain id " + std::to_string(chain_id) + ")",
+        std::to_string(found) + "/" + std::to_string(truth) +
+            " ground-truth proxies detected");
+  }
+  std::printf("\n[effectiveness] expected shape: Proxion fails less often "
+              "than USCHunt, excludes CRUSH's library FPs, and uniquely "
+              "covers the hidden class.\n");
+  return 0;
+}

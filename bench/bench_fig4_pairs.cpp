@@ -1,0 +1,67 @@
+// Figure 4 reproduction: the cumulative number of (proxy, logic) pairs
+// identified by Proxion per year, broken down by which side has verified
+// source. The paper's point: the vast majority of proxies are bytecode-only
+// while their logic contracts often do have source.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/population.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+
+  const auto& sweep = full_sweep();
+
+  struct Buckets {
+    std::uint64_t both = 0;         // proxy + logic have source
+    std::uint64_t logic_only = 0;   // only the logic side
+    std::uint64_t proxy_only = 0;
+    std::uint64_t neither = 0;
+  };
+  std::map<int, Buckets> per_year;
+  for (const auto& r : sweep.reports) {
+    if (!r.proxy.is_proxy() || r.logic_history.logic_addresses.empty()) {
+      continue;
+    }
+    Buckets& b = per_year[r.year];
+    if (r.has_source && r.logic_has_source) ++b.both;
+    else if (r.logic_has_source) ++b.logic_only;
+    else if (r.has_source) ++b.proxy_only;
+    else ++b.neither;
+  }
+
+  std::printf("Figure 4: accumulated proxy/logic pairs by source "
+              "availability\n(paper: ~90%% of proxy contracts lack source; "
+              "~2M pairs have source on both sides)\n\n");
+  std::printf("  %-6s %-12s %-14s %-14s %-14s %-10s\n", "Year", "both src",
+              "logic only", "proxy only", "no source", "total");
+  std::printf("  %s\n", std::string(74, '-').c_str());
+  Buckets cum;
+  for (int year = 2015; year <= 2023; ++year) {
+    const Buckets& b = per_year[year];
+    cum.both += b.both;
+    cum.logic_only += b.logic_only;
+    cum.proxy_only += b.proxy_only;
+    cum.neither += b.neither;
+    const std::uint64_t total =
+        cum.both + cum.logic_only + cum.proxy_only + cum.neither;
+    std::printf("  %-6d %-12llu %-14llu %-14llu %-14llu %-10llu\n", year,
+                static_cast<unsigned long long>(cum.both),
+                static_cast<unsigned long long>(cum.logic_only),
+                static_cast<unsigned long long>(cum.proxy_only),
+                static_cast<unsigned long long>(cum.neither),
+                static_cast<unsigned long long>(total));
+  }
+
+  const double total = static_cast<double>(cum.both + cum.logic_only +
+                                           cum.proxy_only + cum.neither);
+  heading("final pair shares");
+  row("proxy side lacks source",
+      pct(static_cast<double>(cum.logic_only + cum.neither), total));
+  row("hidden proxies among all proxies (no src, no tx)",
+      std::to_string(sweep.stats.hidden_proxies));
+  std::printf("\n[fig4] expected shape: the 'logic only' and 'no source' "
+              "series dominate and accelerate after 2020.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 5 reproduction: bytecode-duplicate skew. The paper finds only
+// 96,420 unique proxy codebases behind 19.6M proxies, with three contracts
+// cloned more than a million times each; logic contracts show the same
+// long-tail shape.
+#include <cstdio>
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+
+  const auto& sweep = full_sweep();
+  auto& chain = *population().chain;
+
+  std::unordered_map<std::string, std::uint64_t> proxy_counts;
+  std::unordered_map<std::string, std::uint64_t> logic_counts;
+  std::unordered_set<std::string> logic_seen_addresses;
+
+  for (const auto& r : sweep.reports) {
+    if (!r.proxy.is_proxy()) continue;
+    const auto hash = evm::code_hash(chain.get_code(r.address));
+    proxy_counts[std::string(reinterpret_cast<const char*>(hash.data()),
+                             hash.size())]++;
+    for (const auto& logic : r.logic_history.logic_addresses) {
+      if (!logic_seen_addresses.insert(logic.to_hex()).second) continue;
+      const auto code = chain.get_code(logic);
+      if (code.empty()) continue;
+      const auto lhash = evm::code_hash(code);
+      logic_counts[std::string(reinterpret_cast<const char*>(lhash.data()),
+                               lhash.size())]++;
+    }
+  }
+
+  auto summarize = [](const char* label,
+                      std::unordered_map<std::string, std::uint64_t>& counts,
+                      std::uint64_t total_note, const char* top3_note) {
+    std::vector<std::uint64_t> histogram;
+    histogram.reserve(counts.size());
+    std::uint64_t total = 0;
+    for (const auto& [hash, count] : counts) {
+      histogram.push_back(count);
+      total += count;
+    }
+    std::sort(histogram.rbegin(), histogram.rend());
+    std::printf("\n%s (population note: %llu instances)\n", label,
+                static_cast<unsigned long long>(total_note));
+    std::printf("  total instances           %llu\n",
+                static_cast<unsigned long long>(total));
+    std::printf("  unique codebases          %zu\n", histogram.size());
+    std::printf("  top clone families:\n");
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, histogram.size());
+         ++i) {
+      std::printf("    #%zu                      %llu clones (%.1f%% of all)\n",
+                  i + 1, static_cast<unsigned long long>(histogram[i]),
+                  total == 0 ? 0.0 : 100.0 * histogram[i] / total);
+    }
+    std::uint64_t top3 = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, histogram.size());
+         ++i) {
+      top3 += histogram[i];
+    }
+    std::printf("  top-3 share               %.1f%% %s\n",
+                total == 0 ? 0.0 : 100.0 * top3 / total, top3_note);
+    std::uint64_t singletons = 0;
+    for (const std::uint64_t c : histogram) {
+      if (c == 1) ++singletons;
+    }
+    std::printf("  singleton codebases       %llu\n",
+                static_cast<unsigned long long>(singletons));
+  };
+
+  std::printf("Figure 5: bytecode uniqueness is heavily skewed\n");
+  std::printf("(paper: 96,420 unique proxies / 38,707 unique logics; three "
+              "proxies cloned >1M times)\n");
+  summarize("Proxy contracts", proxy_counts, sweep.stats.proxies,
+            "(paper: 42% of proxies from 3 contracts)");
+  summarize("Logic contracts", logic_counts,
+            static_cast<std::uint64_t>(logic_seen_addresses.size()),
+            "(paper: two logics duplicated >10k times)");
+  std::printf("\n[fig5] expected shape: a handful of mega families dominate; "
+              "a long tail of singletons follows.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 6 reproduction: the upgrade-count distribution. The paper finds
+// 99.7% of proxies never upgrade, upgraded proxies average only 1.32 logic
+// contracts, and upgrade events are rare overall; also validates Algorithm
+// 1's API-call efficiency against the naive per-block scan.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "chain/archive_node.h"
+#include "core/logic_finder.h"
+#include "core/upgrade_drift.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+
+  const auto& sweep = full_sweep();
+  const auto& stats = sweep.stats;
+
+  std::printf("Figure 6: logic-contract upgrades per proxy\n");
+  std::printf("(paper: 51,925 of 19.6M proxies ever upgraded = 0.26%%; "
+              "avg 1.32 logics per upgraded proxy)\n\n");
+  std::printf("  %-12s %-12s\n", "# upgrades", "# proxies");
+  std::printf("  %s\n", std::string(26, '-').c_str());
+  std::uint64_t upgraded = 0, never = 0, logic_sum = 0;
+  for (const auto& [upgrades, count] : stats.upgrade_histogram) {
+    std::printf("  %-12llu %-12llu\n",
+                static_cast<unsigned long long>(upgrades),
+                static_cast<unsigned long long>(count));
+    if (upgrades == 0) {
+      never += count;
+    } else {
+      upgraded += count;
+    }
+  }
+  for (const auto& r : sweep.reports) {
+    if (r.proxy.is_proxy() && r.logic_history.upgrade_events > 0) {
+      logic_sum += r.logic_history.logic_addresses.size();
+    }
+  }
+
+  heading("headline numbers");
+  row("proxies that never upgraded",
+      std::to_string(never) + " (" +
+          pct(static_cast<double>(never), static_cast<double>(never + upgraded)) +
+          ")");
+  row("proxies with >=1 upgrade", std::to_string(upgraded));
+  row("total upgrade events", std::to_string(stats.total_upgrade_events));
+  if (upgraded > 0) {
+    row("avg logic contracts per upgraded proxy",
+        fmt(static_cast<double>(logic_sum) / static_cast<double>(upgraded)));
+  }
+
+  // Algorithm 1 efficiency (§6.1: ~26 getStorageAt calls per proxy vs one
+  // call per block for the naive scan).
+  heading("Algorithm 1 archive-node efficiency");
+  std::uint64_t slot_proxies = 0, api_calls = 0;
+  for (const auto& r : sweep.reports) {
+    if (!r.proxy.is_proxy() ||
+        r.proxy.logic_source != core::LogicSource::kStorageSlot) {
+      continue;
+    }
+    ++slot_proxies;
+    api_calls += r.logic_history.api_calls;
+  }
+  auto& chain = *population().chain;
+  row("chain height (blocks)", std::to_string(chain.height()));
+  row("slot-based proxies searched", std::to_string(slot_proxies));
+  if (slot_proxies > 0) {
+    row("avg getStorageAt calls per proxy (Algorithm 1)",
+        fmt(static_cast<double>(api_calls) /
+            static_cast<double>(slot_proxies)));
+  }
+  row("naive scan cost per proxy (calls)",
+      std::to_string(chain.height() + 1));
+
+  // Direct head-to-head on one upgraded proxy.
+  for (std::size_t i = 0; i < sweep.reports.size(); ++i) {
+    const auto& r = sweep.reports[i];
+    if (!r.proxy.is_proxy() || r.logic_history.upgrade_events == 0 ||
+        r.proxy.logic_source != core::LogicSource::kStorageSlot) {
+      continue;
+    }
+    chain::ArchiveNode node(chain);
+    core::LogicFinder finder(node);
+    const auto fast = finder.find(r.address, r.proxy);
+    const auto naive = finder.find_naive(r.address, r.proxy.logic_slot);
+    heading("head-to-head on one upgraded proxy");
+    row("binary search calls", std::to_string(fast.api_calls));
+    row("naive scan calls", std::to_string(naive.api_calls));
+    row("identical logic histories",
+        fast.logic_addresses == naive.logic_addresses ? "yes" : "NO");
+    break;
+  }
+  // §2.3 extension: upgrade-induced storage drift across the recovered
+  // logic histories.
+  heading("upgrade-induced storage drift (§2.3)");
+  std::uint64_t checked = 0, drifting = 0;
+  for (const auto& r : sweep.reports) {
+    if (!r.proxy.is_proxy() || r.logic_history.logic_addresses.size() < 2) {
+      continue;
+    }
+    ++checked;
+    core::UpgradeDriftDetector drift(chain);
+    if (drift.analyze(r.address, r.logic_history).has_drift()) ++drifting;
+  }
+  row("upgraded proxies checked for layout drift", std::to_string(checked));
+  row("with type-incompatible upgrades", std::to_string(drifting));
+
+  std::printf("\n[fig6] expected shape: overwhelming mass at zero upgrades; "
+              "binary search beats the naive scan by orders of magnitude.\n");
+  return 0;
+}

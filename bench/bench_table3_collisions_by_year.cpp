@@ -1,0 +1,66 @@
+// Table 3 reproduction: function and storage collisions by deployment year,
+// plus the duplicate-share headline (98.7% of function collisions come from
+// one duplicated clone family).
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+
+  const auto& sweep = full_sweep();
+  const auto& stats = sweep.stats;
+
+  std::printf("Table 3: collisions by deployment year "
+              "(paper totals: 1,566,784 function / 3,022 storage;\n"
+              " 98.7%% of function collisions are duplicated contracts)\n\n");
+  std::printf("  %-8s %-22s %-20s\n", "Year", "Function collisions",
+              "Storage collisions");
+  std::printf("  %s\n", std::string(50, '-').c_str());
+  std::uint64_t fn_total = 0, st_total = 0;
+  for (int year = 2015; year <= 2023; ++year) {
+    const auto fn_it = stats.function_collisions_by_year.find(year);
+    const auto st_it = stats.storage_collisions_by_year.find(year);
+    const std::uint64_t fn =
+        fn_it == stats.function_collisions_by_year.end() ? 0 : fn_it->second;
+    const std::uint64_t st =
+        st_it == stats.storage_collisions_by_year.end() ? 0 : st_it->second;
+    fn_total += fn;
+    st_total += st;
+    std::printf("  %-8d %-22llu %-20llu\n", year,
+                static_cast<unsigned long long>(fn),
+                static_cast<unsigned long long>(st));
+  }
+  std::printf("  %s\n", std::string(50, '-').c_str());
+  std::printf("  %-8s %-22llu %-20llu\n", "Total",
+              static_cast<unsigned long long>(fn_total),
+              static_cast<unsigned long long>(st_total));
+
+  // Duplicate share among function-collision proxies (the paper's 98.7%).
+  auto& chain = *population().chain;
+  std::unordered_set<std::string> unique_colliding_code;
+  std::uint64_t colliding = 0, duplicated = 0;
+  for (const auto& r : sweep.reports) {
+    if (!r.function_collision) continue;
+    ++colliding;
+    const auto code = chain.get_code(r.address);
+    const auto hash = evm::code_hash(code);
+    const std::string key(reinterpret_cast<const char*>(hash.data()),
+                          hash.size());
+    if (!unique_colliding_code.insert(key).second) ++duplicated;
+  }
+  heading("duplicate share of function-collision proxies");
+  row("proxies with function collisions", std::to_string(colliding));
+  row("of which duplicated bytecode", std::to_string(duplicated) + " (" +
+                                          pct(static_cast<double>(duplicated),
+                                              static_cast<double>(colliding)) +
+                                          ")");
+  row("unique colliding codebases",
+      std::to_string(unique_colliding_code.size()));
+  std::printf("\n[table3] expected shape: collisions concentrate in the "
+              "2021-2022 clone years; the vast majority are duplicates of "
+              "one family.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 4 reproduction: the proxy design-standard distribution (paper:
+// EIP-1167 89.05%, EIP-1822 0.12%, EIP-1967 1.00%, others 9.83%) plus the
+// documented diamond-proxy misses.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/population.h"
+
+int main() {
+  using namespace proxion;
+  using namespace proxion::bench;
+  using core::ProxyStandard;
+
+  const auto& sweep = full_sweep();
+  const auto& stats = sweep.stats;
+
+  std::printf("Table 4: proxy contracts by design standard\n");
+  std::printf("(paper: EIP-1167 89.05%% | EIP-1822 0.12%% | EIP-1967 1.00%% "
+              "| others 9.83%%)\n\n");
+  std::printf("  %-12s %-12s %-8s\n", "Standard", "# Proxies", "Ratio");
+  std::printf("  %s\n", std::string(34, '-').c_str());
+  const double total = static_cast<double>(stats.proxies);
+  for (const auto standard :
+       {ProxyStandard::kEip1167, ProxyStandard::kEip1822,
+        ProxyStandard::kEip1967, ProxyStandard::kOther}) {
+    const auto it = stats.by_standard.find(standard);
+    const std::uint64_t count = it == stats.by_standard.end() ? 0 : it->second;
+    std::printf("  %-12s %-12llu %-8s\n",
+                std::string(core::to_string(standard)).c_str(),
+                static_cast<unsigned long long>(count),
+                pct(static_cast<double>(count), total).c_str());
+  }
+
+  // Diamond proxies: ground truth vs detection (the paper: "misses only a
+  // few hundred of the diamond proxy contracts").
+  const auto& pop = population();
+  std::uint64_t diamonds_truth = 0, diamonds_detected = 0;
+  for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+    if (pop.contracts[i].archetype != datagen::Archetype::kDiamondProxy) {
+      continue;
+    }
+    ++diamonds_truth;
+    if (sweep.reports[i].proxy.is_proxy()) ++diamonds_detected;
+  }
+  heading("EIP-2535 diamond proxies (documented miss, §8.1)");
+  row("diamond proxies in ground truth", std::to_string(diamonds_truth));
+  row("detected by Proxion", std::to_string(diamonds_detected));
+
+  heading("emulation outcomes (§7.1: 95.1% analyzed cleanly)");
+  row("contracts analyzed", std::to_string(stats.total_contracts));
+  row("emulation errors",
+      std::to_string(stats.emulation_errors) + " (" +
+          pct(static_cast<double>(stats.emulation_errors),
+              static_cast<double>(stats.total_contracts)) +
+          ")");
+  std::printf("\n[table4] expected shape: minimal proxies dominate; diamonds "
+              "are missed; error rate is low single digits.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Paper Listing 2 / the Audius incident end-to-end: the proxy's owner
+// (20-byte address, slot 0) collides with the logic's initialized/
+// initializing flags (1-byte bools, slot 0). An attacker re-runs
+// initialize() through the proxy and takes ownership. We run the exploit,
+// then show Proxion detecting and *verifying* it automatically.
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "core/storage_collision.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+
+using namespace proxion;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+namespace {
+
+Bytes calldata_for(std::string_view prototype) {
+  const auto sel = crypto::selector_of(prototype);
+  Bytes out(4, 0);
+  std::copy(sel.begin(), sel.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  chain::Blockchain chain;
+  const evm::Address team = evm::Address::from_label("audius.team");
+  const evm::Address attacker = evm::Address::from_label("audius.attacker");
+
+  const evm::Address logic =
+      chain.deploy_runtime(team, ContractFactory::audius_style_logic());
+  const evm::Address proxy =
+      chain.deploy_runtime(team, ContractFactory::audius_style_proxy());
+  chain.set_storage(proxy, U256{1}, logic.to_word());
+
+  std::printf("deployment:\n");
+  std::printf("  proxy slot 0 = owner        (address, 20 bytes)\n");
+  std::printf("  logic slot 0 = initialized + initializing (bool bytes)\n");
+  std::printf("  => both contracts interpret the SAME slot differently\n\n");
+
+  // The attacker simply calls initialize() through the proxy. The logic's
+  // "already initialized?" check reads byte 0 of the proxy's storage — which
+  // is the low byte of whatever sits in slot 0, not a real flag.
+  std::printf("attacker calls initialize() through the proxy...\n");
+  const auto result =
+      chain.call(attacker, proxy, calldata_for("initialize()"));
+  std::printf("  tx status: %s\n", result.success() ? "success" : "revert");
+
+  const U256 owner_now = chain.get_storage(proxy, U256{0});
+  const bool takeover = evm::Address::from_word(owner_now) == attacker;
+  std::printf("  proxy owner is now: %s\n",
+              evm::Address::from_word(owner_now).to_hex().c_str());
+  std::printf("  governance takeover: %s\n\n", takeover ? "YES" : "no");
+
+  // Proxion detects AND verifies the same exploit without executing any
+  // real transaction (overlay state only).
+  core::StorageCollisionDetector detector(chain);
+  const auto analysis = detector.detect(proxy, chain.get_code(proxy), logic,
+                                        chain.get_code(logic));
+  std::printf("Proxion storage-collision analysis:\n");
+  for (const auto& f : analysis.findings) {
+    std::printf("  slot %s: proxy treats it as %u bytes, logic as %u bytes\n",
+                f.slot.to_hex().c_str(), f.proxy_width, f.logic_width);
+    std::printf("    sensitive (access control): %s\n",
+                f.sensitive ? "yes" : "no");
+    std::printf("    exploitable:                %s\n",
+                f.exploitable ? "yes" : "no");
+    std::printf("    exploit verified:           %s (via selector 0x%08x = "
+                "initialize())\n",
+                f.verified ? "yes" : "no", f.exploit_selector);
+    std::printf("    replayable after success:   %s\n",
+                f.repeatable ? "yes (the 'only once' guard is defeated)"
+                             : "no (first overwrite disturbs the flag byte)");
+  }
+  std::printf("\nThis is the collision class behind the $1.1M Audius "
+              "governance takeover (§2.3).\n");
+  return 0;
+}

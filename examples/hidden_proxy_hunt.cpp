@@ -1,0 +1,85 @@
+// The paper's headline capability: finding *hidden* proxies — contracts
+// with no verified source and no transaction history — that every prior
+// tool misses. We deploy one, show USCHunt and CRUSH coming up empty, and
+// Proxion identifying it (plus its logic contract) by emulation alone.
+#include <cstdio>
+
+#include "baselines/crush.h"
+#include "baselines/etherscan.h"
+#include "baselines/uschunt.h"
+#include "chain/archive_node.h"
+#include "chain/blockchain.h"
+#include "core/logic_finder.h"
+#include "core/proxy_detector.h"
+#include "datagen/contract_factory.h"
+#include "sourcemeta/source.h"
+
+using namespace proxion;
+using datagen::ContractFactory;
+using evm::U256;
+
+int main() {
+  chain::Blockchain chain;
+  sourcemeta::SourceRepository sources;  // nobody published anything
+  const evm::Address deployer = evm::Address::from_label("shadow.deployer");
+
+  // A custom slot-0 proxy, deployed and then left alone: no source on
+  // Etherscan, no transaction ever sent. Classic pre-positioned honeypot
+  // infrastructure.
+  const evm::Address logic =
+      chain.deploy_runtime(deployer, ContractFactory::token_contract(404));
+  const evm::Address hidden =
+      chain.deploy_runtime(deployer, ContractFactory::slot_proxy(U256{0}));
+  chain.set_storage(hidden, U256{0}, logic.to_word());
+  chain.mine_until(10'000);
+
+  std::printf("hidden contract: %s\n", hidden.to_hex().c_str());
+  std::printf("  verified source: none\n");
+  std::printf("  transactions:    none\n\n");
+
+  // USCHunt / Slither: nothing to analyze.
+  baselines::UschuntAnalyzer uschunt(sources);
+  const auto ur = uschunt.detect_proxy(hidden);
+  std::printf("USCHunt:  %s\n",
+              ur.status == baselines::UschuntStatus::kNoSource
+                  ? "no source code -> out of scope"
+                  : "analyzed");
+
+  // CRUSH: mines transaction history; there is none.
+  baselines::CrushAnalyzer crush(chain);
+  std::printf("CRUSH:    %zu proxy pairs mined from history -> misses it\n",
+              crush.find_proxy_pairs().size());
+
+  // Etherscan heuristic: flags it, but flags every library caller too.
+  const auto ether = baselines::etherscan_detect(chain.get_code(hidden));
+  std::printf("Etherscan heuristic: %s (but cannot name the logic contract, "
+              "and FPs on library calls)\n",
+              ether.is_proxy ? "DELEGATECALL present" : "clean");
+
+  // Proxion: crafted-calldata emulation.
+  core::ProxyDetector detector(chain);
+  const auto report = detector.analyze(hidden);
+  std::printf("\nProxion:  verdict=%s standard=%s\n",
+              std::string(core::to_string(report.verdict)).c_str(),
+              std::string(core::to_string(report.standard)).c_str());
+  std::printf("  probe selector used: 0x%08x (crafted to miss every "
+              "candidate function)\n",
+              report.probe_selector);
+  std::printf("  calldata forwarded via DELEGATECALL: %s\n",
+              report.calldata_forwarded ? "yes" : "no");
+  std::printf("  logic contract: %s (read from storage slot %s)\n",
+              report.logic_address.to_hex().c_str(),
+              report.logic_slot.to_hex().c_str());
+
+  chain::ArchiveNode node(chain);
+  core::LogicFinder finder(node);
+  const auto history = finder.find(hidden, report);
+  std::printf("  full logic history: %zu version(s) via %llu archive "
+              "queries\n",
+              history.logic_addresses.size(),
+              static_cast<unsigned long long>(history.api_calls));
+
+  std::printf("\nOnly the emulation-based detector sees through a contract "
+              "that never spoke and never published.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Paper Listing 1 end-to-end: an attacker hides a function collision behind
+// a proxy so that the logic contract's enticing free_ether_withdrawal()
+// actually executes the proxy's stealing function. We deploy the trap, show
+// a victim falling into it, then show Proxion flagging the collision from
+// bytecode alone.
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "core/function_collision.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+
+using namespace proxion;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+namespace {
+
+Bytes calldata_for(std::uint32_t selector) {
+  Bytes out(4, 0);
+  out[0] = static_cast<std::uint8_t>(selector >> 24);
+  out[1] = static_cast<std::uint8_t>(selector >> 16);
+  out[2] = static_cast<std::uint8_t>(selector >> 8);
+  out[3] = static_cast<std::uint8_t>(selector);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  chain::Blockchain chain;
+  const evm::Address attacker = evm::Address::from_label("attacker");
+  const evm::Address victim = evm::Address::from_label("victim");
+
+  // The lure: free_ether_withdrawal() pays the caller. Its selector is
+  // 0xdf4a3106 (§2.1).
+  const std::uint32_t lure = crypto::selector_u32("free_ether_withdrawal()");
+  std::printf("free_ether_withdrawal() selector: 0x%08x\n", lure);
+
+  // The attacker deploys the pair: the proxy's impl_LUsXCWD2AKCc() shares
+  // that exact selector (finding such a name takes minutes, §2.3).
+  const evm::Address logic =
+      chain.deploy_runtime(attacker, ContractFactory::honeypot_logic(lure));
+  const evm::Address proxy = chain.deploy_runtime(
+      attacker, ContractFactory::honeypot_proxy(U256{1}, lure));
+  chain.set_storage(proxy, U256{1}, logic.to_word());
+  chain.set_storage(proxy, U256{0}, attacker.to_word());  // owner
+  chain.fund(proxy, U256{100'000'000'000ull});            // bait balance
+
+  // The victim reads the logic contract, sees free ether, calls the proxy.
+  std::printf("\nvictim calls proxy with the lure selector...\n");
+  const auto result = chain.call(victim, proxy, calldata_for(lure));
+  std::printf("  tx status: %s\n", result.success() ? "success" : "revert");
+  const bool robbed =
+      chain.get_storage(proxy, U256{99}) == victim.to_word();
+  std::printf("  victim paid out?   no  (the call never reached the logic)\n");
+  std::printf("  victim marked robbed by proxy function: %s\n",
+              robbed ? "YES" : "no");
+
+  // Proxion's view: no source, no prior transactions needed.
+  core::ProxyDetector detector(chain);
+  const auto report = detector.analyze(proxy);
+  core::FunctionCollisionDetector fn_detector;
+  const auto fn = fn_detector.detect(proxy, chain.get_code(proxy), logic,
+                                     chain.get_code(logic));
+  std::printf("\nProxion analysis (bytecode only):\n");
+  std::printf("  proxy verdict: %s\n",
+              std::string(core::to_string(report.verdict)).c_str());
+  std::printf("  function collisions: %zu\n", fn.colliding_selectors.size());
+  for (const std::uint32_t s : fn.colliding_selectors) {
+    std::printf("    colliding selector 0x%08x  <- the lure is shadowed by "
+                "the proxy\n",
+                s);
+  }
+  std::printf("\nVerdict: honeypot. The proxy captures 0x%08x before the "
+              "fallback can delegate it.\n",
+              lure);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// A miniature of the paper's §7 landscape study: generate a synthetic
+// Ethereum population, sweep it with the full Proxion pipeline, and print
+// the headline findings (proxy share, hidden proxies, standards, collision
+// counts, upgrade behaviour).
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datagen/population.h"
+
+using namespace proxion;
+
+int main() {
+  datagen::PopulationSpec spec;
+  spec.total_contracts = 4'000;  // keep the example snappy
+  std::printf("generating a synthetic Ethereum population (~%u contracts, "
+              "2015-2023)...\n",
+              spec.total_contracts);
+  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
+  std::printf("  deployed %zu contracts across %llu blocks\n\n",
+              pop.contracts.size(),
+              static_cast<unsigned long long>(pop.chain->height()));
+
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  auto stats = pipeline.summarize(reports);
+
+  std::printf("Proxion sweep results:\n");
+  std::printf("  contracts analyzed:        %llu\n",
+              static_cast<unsigned long long>(stats.total_contracts));
+  std::printf("  proxy contracts:           %llu (%.1f%%)  [paper: 54.2%%]\n",
+              static_cast<unsigned long long>(stats.proxies),
+              100.0 * static_cast<double>(stats.proxies) /
+                  static_cast<double>(stats.total_contracts));
+  std::printf("  hidden proxies (no src/tx):%llu\n",
+              static_cast<unsigned long long>(stats.hidden_proxies));
+  std::printf("  emulation errors:          %llu (%.1f%%)  [paper: 4.9%%]\n",
+              static_cast<unsigned long long>(stats.emulation_errors),
+              100.0 * static_cast<double>(stats.emulation_errors) /
+                  static_cast<double>(stats.total_contracts));
+  std::printf("  unique proxy codebases:    %llu\n",
+              static_cast<unsigned long long>(stats.unique_proxy_codehashes));
+
+  std::printf("\n  standards:\n");
+  for (const auto& [standard, count] : stats.by_standard) {
+    std::printf("    %-10s %llu\n",
+                std::string(core::to_string(standard)).c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\n  collisions:\n");
+  std::printf("    function collisions: %llu\n",
+              static_cast<unsigned long long>(stats.function_collisions));
+  std::printf("    storage collisions:  %llu (%llu with verified exploit)\n",
+              static_cast<unsigned long long>(stats.storage_collisions),
+              static_cast<unsigned long long>(
+                  stats.exploitable_storage_collisions));
+
+  std::printf("\n  upgrades: %llu events total; histogram:\n",
+              static_cast<unsigned long long>(stats.total_upgrade_events));
+  for (const auto& [upgrades, count] : stats.upgrade_histogram) {
+    if (upgrades > 5 && count < 2) continue;
+    std::printf("    %llu upgrade(s): %llu proxies\n",
+                static_cast<unsigned long long>(upgrades),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\n  archive-node getStorageAt calls: %llu\n",
+              static_cast<unsigned long long>(stats.get_storage_at_calls));
+  std::printf("\nThe same sweep drives every bench/bench_* reproduction "
+              "binary at larger scale.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "baselines/crush.h"
+
+#include <unordered_set>
+
+namespace proxion::baselines {
+
+std::vector<CrushPair> CrushAnalyzer::find_proxy_pairs() const {
+  std::vector<CrushPair> pairs;
+  std::unordered_set<std::uint64_t> seen;
+  for (const chain::InternalTx& tx : chain_.internal_txs()) {
+    if (tx.kind != evm::CallKind::kDelegateCall) continue;
+    const std::uint64_t key =
+        evm::AddressHasher{}(tx.from) * 1000003u ^ evm::AddressHasher{}(tx.to);
+    if (!seen.insert(key).second) continue;
+    pairs.push_back({tx.from, tx.to, tx.in_fallback_position});
+  }
+  return pairs;
+}
+
+CrushPairResult CrushAnalyzer::analyze_pair(const Address& proxy,
+                                            const Address& logic) const {
+  const evm::Bytes proxy_code = chain_.get_code(proxy);
+  const evm::Bytes logic_code = chain_.get_code(logic);
+  core::StorageCollisionDetector detector(chain_);
+  const core::StorageCollisionResult result =
+      detector.detect(proxy, proxy_code, logic, logic_code);
+  return {result.has_collision(), result.has_verified_exploit()};
+}
+
+}  // namespace proxion::baselines

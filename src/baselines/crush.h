@@ -1,0 +1,52 @@
+// A faithful model of CRUSH's decision procedure (NDSS '24), reproduced for
+// the §6.2/§6.3 comparisons. CRUSH mines *historical transactions* for
+// DELEGATECALL edges to discover proxy/logic pairs, with the documented
+// blind spots the paper measures:
+//   - contracts with no past transactions are invisible (the "hidden" set);
+//   - every delegating caller counts as a proxy, including library callers
+//     (Proxion excludes delegations outside the fallback, §2.2);
+//   - it detects storage collisions only, never function collisions.
+// The storage-collision engine itself is the same slicing+symbolic approach
+// Proxion adopts (§5.2), so we share core::StorageCollisionDetector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "core/storage_collision.h"
+#include "evm/types.h"
+
+namespace proxion::baselines {
+
+using evm::Address;
+
+struct CrushPair {
+  Address proxy;
+  Address logic;
+  bool via_fallback = false;  // calldata was forwarded verbatim
+};
+
+struct CrushPairResult {
+  bool storage_collision = false;
+  bool exploitable = false;
+};
+
+class CrushAnalyzer {
+ public:
+  explicit CrushAnalyzer(chain::Blockchain& chain) : chain_(chain) {}
+
+  /// Phase 1: mine the internal-transaction log for DELEGATECALL edges.
+  /// Returns deduplicated (proxy, logic) pairs — including library callers,
+  /// which is CRUSH's over-approximation.
+  std::vector<CrushPair> find_proxy_pairs() const;
+
+  /// Phase 2: storage-collision detection on one pair (shared engine).
+  CrushPairResult analyze_pair(const Address& proxy,
+                               const Address& logic) const;
+
+ private:
+  chain::Blockchain& chain_;
+};
+
+}  // namespace proxion::baselines

@@ -1,0 +1,21 @@
+// The Etherscan proxy-verification heuristic (§9.1): a contract whose
+// bytecode contains the DELEGATECALL opcode is flagged as a proxy. Etherscan
+// itself documents that this yields numerous false positives (library
+// callers, one-off delegations); Proxion uses it only as a phase-1 filter.
+#pragma once
+
+#include "evm/disassembler.h"
+#include "evm/types.h"
+
+namespace proxion::baselines {
+
+struct EtherscanVerdict {
+  bool is_proxy = false;
+};
+
+inline EtherscanVerdict etherscan_detect(evm::BytesView code) {
+  const evm::Disassembly dis(code);
+  return {dis.contains(evm::Opcode::DELEGATECALL)};
+}
+
+}  // namespace proxion::baselines

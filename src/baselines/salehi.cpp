@@ -1,0 +1,70 @@
+#include "baselines/salehi.h"
+
+#include <algorithm>
+
+namespace proxion::baselines {
+
+namespace {
+
+class ReplayObserver final : public evm::TraceObserver {
+ public:
+  ReplayObserver(const evm::Address& contract, const evm::Bytes& calldata)
+      : contract_(contract), calldata_(calldata) {}
+
+  void on_call(evm::CallKind kind, int /*depth*/, const evm::Address& from,
+               const evm::Address& /*to*/, evm::BytesView data) override {
+    if (kind != evm::CallKind::kDelegateCall || !(from == contract_)) return;
+    forwarded_ |= data.size() == calldata_.size() &&
+                  std::equal(data.begin(), data.end(), calldata_.begin());
+  }
+
+  bool forwarded() const noexcept { return forwarded_; }
+
+ private:
+  evm::Address contract_;
+  evm::Bytes calldata_;
+  bool forwarded_ = false;
+};
+
+}  // namespace
+
+SalehiResult SalehiAnalyzer::analyze(const evm::Address& contract) const {
+  SalehiResult result;
+  const auto selectors = chain_.external_selectors(contract);
+  result.has_history = !selectors.empty();
+  if (!result.has_history) return result;  // nothing to replay: blind spot
+
+  for (const std::uint32_t selector : selectors) {
+    ++result.replayed;
+    // Replay the historical call shape (selector + padded args) against the
+    // current state in an overlay.
+    evm::Bytes calldata(36, 0);
+    calldata[0] = static_cast<std::uint8_t>(selector >> 24);
+    calldata[1] = static_cast<std::uint8_t>(selector >> 16);
+    calldata[2] = static_cast<std::uint8_t>(selector >> 8);
+    calldata[3] = static_cast<std::uint8_t>(selector);
+
+    evm::OverlayHost overlay(chain_);
+    ReplayObserver observer(contract, calldata);
+    evm::InterpreterConfig config;
+    config.step_limit = 200'000;
+    evm::Interpreter interp(overlay, config);
+    interp.set_observer(&observer);
+
+    evm::CallParams params;
+    params.code_address = contract;
+    params.storage_address = contract;
+    params.caller = evm::Address::from_label("salehi.replayer");
+    params.origin = params.caller;
+    params.calldata = calldata;
+    interp.execute(params);
+
+    if (observer.forwarded()) {
+      result.is_proxy = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace proxion::baselines

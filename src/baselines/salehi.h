@@ -1,0 +1,31 @@
+// A model of Salehi et al. (WTSC '22): dynamic analysis that *replays past
+// transactions* against a contract and watches for delegate calls. Covers
+// bytecode-only contracts (unlike USCHunt) but — as the paper stresses —
+// only those with transaction history, and its fidelity grows with how many
+// transactions exist to replay.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/blockchain.h"
+#include "evm/interpreter.h"
+
+namespace proxion::baselines {
+
+struct SalehiResult {
+  bool has_history = false;  // any past transactions to replay?
+  bool is_proxy = false;     // a replay triggered a forwarding DELEGATECALL
+  std::uint32_t replayed = 0;
+};
+
+class SalehiAnalyzer {
+ public:
+  explicit SalehiAnalyzer(chain::Blockchain& chain) : chain_(chain) {}
+
+  SalehiResult analyze(const evm::Address& contract) const;
+
+ private:
+  chain::Blockchain& chain_;
+};
+
+}  // namespace proxion::baselines

@@ -1,0 +1,63 @@
+#include "baselines/uschunt.h"
+
+#include <algorithm>
+
+namespace proxion::baselines {
+
+UschuntResult UschuntAnalyzer::detect_proxy(const Address& contract) const {
+  UschuntResult result;
+  const auto* record = sources_.lookup(contract);
+  if (record == nullptr) return result;  // kNoSource
+  if (!compiles(*record)) {
+    result.status = UschuntStatus::kCompileError;
+    return result;
+  }
+  result.status = UschuntStatus::kAnalyzed;
+  // Slither's source heuristic: the source must visibly delegate inside the
+  // fallback. Hand-rolled proxies that obscure this are missed (paper §6.3).
+  result.is_proxy = record->fallback_delegates;
+  return result;
+}
+
+UschuntResult UschuntAnalyzer::analyze_pair(const Address& proxy,
+                                            const Address& logic) const {
+  UschuntResult result = detect_proxy(proxy);
+  if (result.status != UschuntStatus::kAnalyzed || !result.is_proxy) {
+    return result;  // cannot reach the collision stage
+  }
+  const auto* proxy_src = sources_.lookup(proxy);
+  const auto* logic_src = sources_.lookup(logic);
+  if (logic_src == nullptr) {
+    result.status = UschuntStatus::kNoSource;
+    return result;
+  }
+  if (!compiles(*logic_src)) {
+    result.status = UschuntStatus::kCompileError;
+    return result;
+  }
+
+  // Function collisions: selector-set intersection over declared functions
+  // (this part of USCHunt is sound given source).
+  const auto proxy_sel = proxy_src->selectors();
+  const auto logic_sel = logic_src->selectors();
+  result.function_collision =
+      std::find_first_of(proxy_sel.begin(), proxy_sel.end(),
+                         logic_sel.begin(), logic_sel.end()) !=
+      proxy_sel.end();
+
+  // Storage collisions: USCHunt compares declaration lists positionally and
+  // flags same-slot variables whose *names* differ — which catches true
+  // layout drift but also flags renamed-compatible variables and deliberate
+  // padding (the paper's false-positive source, §6.3).
+  for (const auto& pv : proxy_src->storage) {
+    for (const auto& lv : logic_src->storage) {
+      if (pv.slot != lv.slot) continue;
+      if (pv.name != lv.name) {
+        result.storage_collision = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace proxion::baselines

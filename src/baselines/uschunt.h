@@ -1,0 +1,55 @@
+// A faithful model of USCHunt's decision procedure (USENIX Security '23),
+// reproduced for the §6.2/§6.3 comparisons. USCHunt is Slither-based and
+// source-only, with the documented blind spots the paper measures:
+//   - it cannot analyze contracts without verified source;
+//   - ~30% of source contracts fail to compile under default flags (§6.2);
+//   - its proxy detection follows Slither's source heuristics and misses
+//     non-standard fallback implementations (the paper's §6.3 FN source);
+//   - its storage-collision check compares declared variables by *name*,
+//     flagging renamed-but-compatible variables and deliberate padding —
+//     the paper's §6.3 FP source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/types.h"
+#include "sourcemeta/source.h"
+
+namespace proxion::baselines {
+
+using evm::Address;
+
+enum class UschuntStatus : std::uint8_t {
+  kNoSource,       // contract not verified: out of scope for USCHunt
+  kCompileError,   // Slither halted on an unknown compiler version
+  kAnalyzed,
+};
+
+struct UschuntResult {
+  UschuntStatus status = UschuntStatus::kNoSource;
+  bool is_proxy = false;
+  bool function_collision = false;
+  bool storage_collision = false;
+};
+
+class UschuntAnalyzer {
+ public:
+  explicit UschuntAnalyzer(const sourcemeta::SourceRepository& sources)
+      : sources_(sources) {}
+
+  /// Proxy detection on a single contract (source-only).
+  UschuntResult detect_proxy(const Address& contract) const;
+
+  /// Full pair analysis (both sides need compilable source).
+  UschuntResult analyze_pair(const Address& proxy, const Address& logic) const;
+
+ private:
+  static bool compiles(const sourcemeta::SourceRecord& record) {
+    return record.compiler_version != "unknown";
+  }
+
+  const sourcemeta::SourceRepository& sources_;
+};
+
+}  // namespace proxion::baselines

@@ -1,0 +1,49 @@
+// The archive-node facade Proxion queries: eth_getStorageAt at arbitrary
+// heights plus code retrieval, with an API-call counter so the efficiency
+// claim of Algorithm 1 (≈26 getStorageAt calls per proxy instead of one per
+// block) is directly measurable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "chain/blockchain.h"
+
+namespace proxion::chain {
+
+class ArchiveNode {
+ public:
+  explicit ArchiveNode(const Blockchain& chain) : chain_(chain) {}
+
+  /// eth_getStorageAt(account, slot, block). Counted.
+  U256 get_storage_at(const Address& account, const U256& slot,
+                      std::uint64_t block) const {
+    ++get_storage_at_calls_;
+    return chain_.storage_at(account, slot, block);
+  }
+
+  /// eth_getCode at the latest block. Counted.
+  Bytes get_code(const Address& account) const {
+    ++get_code_calls_;
+    // Blockchain::get_code is non-const only because Host requires it.
+    return const_cast<Blockchain&>(chain_).get_code(account);
+  }
+
+  std::uint64_t latest_block() const noexcept { return chain_.height(); }
+
+  std::uint64_t get_storage_at_calls() const noexcept {
+    return get_storage_at_calls_;
+  }
+  std::uint64_t get_code_calls() const noexcept { return get_code_calls_; }
+  void reset_counters() const noexcept {
+    get_storage_at_calls_ = 0;
+    get_code_calls_ = 0;
+  }
+
+ private:
+  const Blockchain& chain_;
+  mutable std::atomic<std::uint64_t> get_storage_at_calls_{0};
+  mutable std::atomic<std::uint64_t> get_code_calls_{0};
+};
+
+}  // namespace proxion::chain

@@ -1,0 +1,151 @@
+// A simulated Ethereum chain: accounts, block production, transaction
+// execution through the EVM interpreter, and — crucially for the paper — a
+// full per-slot storage *history journal* so that `getStorageAt(addr, slot,
+// height)` works at any past height, exactly like a mainnet archive node.
+//
+// The chain also records every internal transaction (call-family edge) the
+// way a transaction-tracing indexer would; the CRUSH baseline mines that log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/host.h"
+#include "evm/interpreter.h"
+#include "evm/types.h"
+
+namespace proxion::chain {
+
+using evm::Address;
+using evm::Bytes;
+using evm::BytesView;
+using evm::U256;
+
+struct Account {
+  std::uint64_t nonce = 0;
+  U256 balance;
+  Bytes code;
+  std::unordered_map<U256, U256, evm::U256Hasher> storage;
+};
+
+/// One call-family edge observed while tracing a transaction.
+struct InternalTx {
+  std::uint64_t block = 0;
+  evm::CallKind kind = evm::CallKind::kCall;
+  Address from;
+  Address to;
+  int depth = 0;
+  std::uint32_t selector = 0;  // first 4 bytes of calldata (0 if shorter)
+  bool in_fallback_position = false;  // calldata forwarded verbatim
+};
+
+struct ContractMeta {
+  std::uint64_t deploy_block = 0;
+  bool has_incoming_tx = false;  // ever the target of an external tx
+  bool destroyed = false;
+};
+
+class Blockchain final : public evm::Host {
+ public:
+  Blockchain();
+
+  // ---- block production -------------------------------------------------
+  /// Seals the current block and opens the next one.
+  void mine_block();
+  /// Mines until the chain reaches `target` height.
+  void mine_until(std::uint64_t target);
+  std::uint64_t height() const noexcept { return height_; }
+
+  // ---- transactions -------------------------------------------------------
+  /// Deploys via init code (CREATE semantics from an externally owned
+  /// account). Returns the new contract address, or nullopt if init reverted.
+  std::optional<Address> deploy(const Address& from, BytesView init_code,
+                                const U256& value = {});
+
+  /// Installs runtime code directly at a fresh CREATE-derived address —
+  /// the shortcut datagen uses to lay down large synthetic populations
+  /// without running constructors. Records the deployment block.
+  Address deploy_runtime(const Address& from, Bytes runtime_code);
+
+  /// External message call; traced, recorded in the internal-tx log, and
+  /// counted as "this contract has transactions".
+  evm::ExecResult call(const Address& from, const Address& to,
+                       Bytes calldata, const U256& value = {},
+                       std::uint64_t gas = 10'000'000);
+
+  /// Funds an account out of thin air (test/datagen faucet).
+  void fund(const Address& account, const U256& amount);
+
+  /// §8.2: Proxion "may apply to several other blockchains" — any
+  /// EVM-compatible chain differs here only by its chain id (and workload
+  /// mix, which datagen controls).
+  void set_chain_id(std::uint64_t chain_id) {
+    block_ctx_.chain_id = U256{chain_id};
+  }
+
+  // ---- archive queries ------------------------------------------------------
+  /// Value of `slot` of `account` as of the end of block `block` (i.e. after
+  /// all transactions in blocks <= block). This is eth_getStorageAt.
+  U256 storage_at(const Address& account, const U256& slot,
+                  std::uint64_t block) const;
+
+  const std::vector<InternalTx>& internal_txs() const noexcept {
+    return internal_txs_;
+  }
+  /// Selectors of external transactions ever sent to `account` (what an
+  /// indexer would extract from tx calldata). Empty if none.
+  std::vector<std::uint32_t> external_selectors(const Address& account) const {
+    const auto it = external_selectors_.find(account);
+    return it == external_selectors_.end() ? std::vector<std::uint32_t>{}
+                                           : it->second;
+  }
+  const std::unordered_map<Address, ContractMeta, evm::AddressHasher>&
+  contracts() const noexcept {
+    return contract_meta_;
+  }
+  std::optional<ContractMeta> contract_meta(const Address& a) const {
+    const auto it = contract_meta_.find(a);
+    if (it == contract_meta_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // ---- Host interface ------------------------------------------------------
+  Bytes get_code(const Address& a) override;
+  U256 get_storage(const Address& a, const U256& slot) override;
+  void set_storage(const Address& a, const U256& slot,
+                   const U256& value) override;
+  U256 get_balance(const Address& a) override;
+  void set_balance(const Address& a, const U256& value) override;
+  std::uint64_t get_nonce(const Address& a) override;
+  void set_nonce(const Address& a, std::uint64_t nonce) override;
+  void set_code(const Address& a, Bytes code) override;
+  bool account_exists(const Address& a) override;
+  U256 block_hash(std::uint64_t block_number) override;
+  const evm::BlockContext& block_context() override { return block_ctx_; }
+
+ private:
+  class TxTracer;
+
+  void journal_write(const Address& a, const U256& slot, const U256& value);
+  void note_contract(const Address& a);
+
+  std::unordered_map<Address, Account, evm::AddressHasher> accounts_;
+  std::uint64_t height_ = 0;
+  evm::BlockContext block_ctx_;
+
+  // (block, value) change log per account+slot, blocks ascending.
+  using SlotHistory = std::vector<std::pair<std::uint64_t, U256>>;
+  std::unordered_map<Address,
+                     std::unordered_map<U256, SlotHistory, evm::U256Hasher>,
+                     evm::AddressHasher>
+      storage_history_;
+
+  std::vector<InternalTx> internal_txs_;
+  std::unordered_map<Address, std::vector<std::uint32_t>, evm::AddressHasher>
+      external_selectors_;
+  std::unordered_map<Address, ContractMeta, evm::AddressHasher> contract_meta_;
+};
+
+}  // namespace proxion::chain

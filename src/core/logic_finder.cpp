@@ -1,0 +1,117 @@
+#include "core/logic_finder.h"
+
+#include <algorithm>
+#include <map>
+
+namespace proxion::core {
+
+namespace {
+
+/// Memoizing wrapper: Algorithm 1 revisits range endpoints, and the client
+/// caches those responses rather than re-querying the archive node.
+class CachedSlotReader {
+ public:
+  CachedSlotReader(const chain::ArchiveNode& node, const Address& proxy,
+                   const U256& slot)
+      : node_(node), proxy_(proxy), slot_(slot) {}
+
+  U256 at(std::uint64_t block) {
+    const auto it = cache_.find(block);
+    if (it != cache_.end()) return it->second;
+    const U256 v = node_.get_storage_at(proxy_, slot_, block);
+    ++api_calls_;
+    cache_.emplace(block, v);
+    return v;
+  }
+
+  std::uint64_t api_calls() const noexcept { return api_calls_; }
+
+ private:
+  const chain::ArchiveNode& node_;
+  Address proxy_;
+  U256 slot_;
+  std::map<std::uint64_t, U256> cache_;
+  std::uint64_t api_calls_ = 0;
+};
+
+void partition(CachedSlotReader& reader, std::uint64_t lower,
+               std::uint64_t upper,
+               std::vector<std::pair<std::uint64_t, U256>>& values) {
+  const U256 v_lower = reader.at(lower);
+  const U256 v_upper = reader.at(upper);
+  if (v_lower == v_upper) {
+    // Algorithm 1's core assumption: logic addresses are unique through
+    // history, so equal endpoint values mean no change inside the range.
+    values.emplace_back(lower, v_lower);
+    return;
+  }
+  if (upper == lower + 1) {
+    values.emplace_back(lower, v_lower);
+    values.emplace_back(upper, v_upper);
+    return;
+  }
+  const std::uint64_t mid = lower + (upper - lower) / 2;
+  partition(reader, lower, mid, values);
+  partition(reader, mid + 1, upper, values);
+}
+
+LogicHistory summarize(std::vector<std::pair<std::uint64_t, U256>> values,
+                       std::uint64_t api_calls) {
+  std::sort(values.begin(), values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  LogicHistory history;
+  history.api_calls = api_calls;
+  U256 previous;
+  bool have_previous = false;
+  for (const auto& [block, value] : values) {
+    if (have_previous && value == previous) continue;
+    if (have_previous && !previous.is_zero() && !value.is_zero()) {
+      ++history.upgrade_events;
+    }
+    previous = value;
+    have_previous = true;
+    if (value.is_zero()) continue;
+    const Address logic = Address::from_word(value);
+    if (std::find(history.logic_addresses.begin(),
+                  history.logic_addresses.end(),
+                  logic) == history.logic_addresses.end()) {
+      history.logic_addresses.push_back(logic);
+    }
+  }
+  return history;
+}
+
+}  // namespace
+
+LogicHistory LogicFinder::find(const Address& proxy,
+                               const ProxyReport& report) const {
+  LogicHistory history;
+  if (!report.is_proxy()) return history;
+
+  if (report.logic_source != LogicSource::kStorageSlot) {
+    // Hard-coded (EIP-1167) or computed targets: one fixed logic contract,
+    // no archive queries needed (§4.3).
+    if (!report.logic_address.is_zero()) {
+      history.logic_addresses.push_back(report.logic_address);
+    }
+    return history;
+  }
+
+  CachedSlotReader reader(node_, proxy, report.logic_slot);
+  std::vector<std::pair<std::uint64_t, U256>> values;
+  partition(reader, 0, node_.latest_block(), values);
+  return summarize(std::move(values), reader.api_calls());
+}
+
+LogicHistory LogicFinder::find_naive(const Address& proxy,
+                                     const U256& slot) const {
+  std::vector<std::pair<std::uint64_t, U256>> values;
+  const std::uint64_t latest = node_.latest_block();
+  for (std::uint64_t b = 0; b <= latest; ++b) {
+    values.emplace_back(b, node_.get_storage_at(proxy, slot, b));
+  }
+  return summarize(std::move(values), latest + 1);
+}
+
+}  // namespace proxion::core

@@ -1,0 +1,246 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "crypto/keccak.h"
+
+namespace proxion::core {
+
+namespace {
+
+std::string hash_key(const crypto::Hash256& h) {
+  return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+unsigned thread_count(unsigned configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+/// Runs `fn(i)` for i in [0, n) across `threads` workers (static sharding).
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  const unsigned workers = std::min<std::size_t>(threads, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w; i < n; i += workers) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
+                                   const sourcemeta::SourceRepository* sources,
+                                   PipelineConfig config)
+    : chain_(chain), node_(chain), sources_(sources), config_(config) {}
+
+std::vector<ContractAnalysis> AnalysisPipeline::run(
+    const std::vector<SweepInput>& inputs) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const unsigned threads = thread_count(config_.threads);
+
+  std::vector<ContractAnalysis> out(inputs.size());
+  std::vector<evm::Bytes> codes(inputs.size());
+  std::vector<std::string> hash_keys(inputs.size());
+
+  // ---- fetch code and hash it ------------------------------------------
+  parallel_for(inputs.size(), threads, [&](std::size_t i) {
+    codes[i] = chain_.get_code(inputs[i].address);
+    hash_keys[i] = hash_key(evm::code_hash(codes[i]));
+  });
+
+  // ---- §7.1 source propagation: first verified address per code hash ----
+  std::unordered_map<std::string, Address> source_donor;
+  if (config_.propagate_source_by_code_hash && sources_ != nullptr) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (sources_->has_source(inputs[i].address)) {
+        source_donor.emplace(hash_keys[i], inputs[i].address);
+      }
+    }
+  }
+  auto with_source_donor = [&](const std::string& hash,
+                               const Address& original) {
+    if (sources_ != nullptr && sources_->has_source(original)) {
+      return original;
+    }
+    const auto it = source_donor.find(hash);
+    return it == source_donor.end() ? original : it->second;
+  };
+
+  // ---- pick one representative per unique code blob ---------------------
+  std::unordered_map<std::string, std::size_t> representative;
+  std::vector<std::size_t> unique_indices;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!config_.dedup_by_code_hash) {
+      unique_indices.push_back(i);
+      continue;
+    }
+    if (representative.emplace(hash_keys[i], i).second) {
+      unique_indices.push_back(i);
+    }
+  }
+
+  // ---- Phase A: proxy detection per unique blob (parallel) ---------------
+  std::vector<ProxyReport> unique_reports(unique_indices.size());
+  parallel_for(unique_indices.size(), threads, [&](std::size_t u) {
+    const std::size_t i = unique_indices[u];
+    ProxyDetector detector(chain_);
+    unique_reports[u] = detector.analyze_code(inputs[i].address, codes[i]);
+  });
+  std::unordered_map<std::string, const ProxyReport*> verdicts;
+  verdicts.reserve(unique_indices.size());
+  for (std::size_t u = 0; u < unique_indices.size(); ++u) {
+    verdicts.emplace(hash_keys[unique_indices[u]], &unique_reports[u]);
+  }
+
+  // ---- Phase B: per-contract results (parallel) ---------------------------
+  std::mutex pair_cache_mutex;
+  struct PairOutcome {
+    bool function_collision = false;
+    bool storage_collision = false;
+    bool storage_exploitable = false;
+  };
+  std::unordered_map<std::string, PairOutcome> pair_cache;
+
+  parallel_for(inputs.size(), threads, [&](std::size_t i) {
+    ContractAnalysis& a = out[i];
+    a.address = inputs[i].address;
+    a.year = inputs[i].year;
+    a.has_source = inputs[i].has_source;
+    a.has_tx = inputs[i].has_tx;
+    a.proxy = *verdicts.at(hash_keys[i]);
+    a.deduplicated =
+        config_.dedup_by_code_hash &&
+        representative.at(hash_keys[i]) != i;
+
+    if (!a.proxy.is_proxy()) {
+      if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
+          a.proxy.verdict == ProxyVerdict::kNotProxy) {
+        DiamondProber prober(chain_);
+        a.diamond = prober.probe(a.address, a.proxy);
+      }
+      return;
+    }
+
+    // A deduplicated slot-proxy verdict carries the representative's logic
+    // address; re-read this contract's slot for its own logic target.
+    if (a.deduplicated && a.proxy.logic_source == LogicSource::kStorageSlot) {
+      const U256 word = chain_.get_storage(a.address, a.proxy.logic_slot) &
+                        ((U256{1} << U256{160}) - U256{1});
+      a.proxy.logic_address = Address::from_word(word);
+    }
+
+    if (config_.find_logic_history) {
+      LogicFinder finder(node_);
+      a.logic_history = finder.find(a.address, a.proxy);
+    } else if (!a.proxy.logic_address.is_zero()) {
+      a.logic_history.logic_addresses.push_back(a.proxy.logic_address);
+    }
+
+    if (!config_.detect_collisions) return;
+    for (const Address& logic : a.logic_history.logic_addresses) {
+      const evm::Bytes logic_code = chain_.get_code(logic);
+      if (logic_code.empty()) continue;
+      a.logic_has_source =
+          a.logic_has_source ||
+          (sources_ != nullptr && sources_->has_source(logic));
+
+      const std::string key =
+          hash_keys[i] + hash_key(evm::code_hash(logic_code));
+      {
+        std::lock_guard<std::mutex> lock(pair_cache_mutex);
+        const auto it = pair_cache.find(key);
+        if (it != pair_cache.end()) {
+          a.function_collision |= it->second.function_collision;
+          a.storage_collision |= it->second.storage_collision;
+          a.storage_collision_exploitable |= it->second.storage_exploitable;
+          continue;
+        }
+      }
+
+      PairOutcome outcome;
+      FunctionCollisionDetector fn_detector(sources_);
+      // Source-mode lookups go through same-bytecode donors (§7.1): a clone
+      // of a verified contract is analyzed as if verified itself.
+      const Address proxy_lookup = with_source_donor(hash_keys[i], a.address);
+      const Address logic_lookup = with_source_donor(
+          hash_key(evm::code_hash(logic_code)), logic);
+      outcome.function_collision =
+          fn_detector.detect(proxy_lookup, codes[i], logic_lookup, logic_code)
+              .has_collision();
+      StorageCollisionDetector st_detector(chain_);
+      const StorageCollisionResult st =
+          st_detector.detect(a.address, codes[i], logic, logic_code);
+      outcome.storage_collision = st.has_collision();
+      outcome.storage_exploitable = st.has_verified_exploit();
+
+      {
+        std::lock_guard<std::mutex> lock(pair_cache_mutex);
+        pair_cache.emplace(key, outcome);
+      }
+      a.function_collision |= outcome.function_collision;
+      a.storage_collision |= outcome.storage_collision;
+      a.storage_collision_exploitable |= outcome.storage_exploitable;
+    }
+  });
+
+  const auto t_end = std::chrono::steady_clock::now();
+  last_run_ms_ = std::chrono::duration<double, std::milli>(t_end - t_start)
+                     .count();
+  return out;
+}
+
+LandscapeStats AnalysisPipeline::summarize(
+    const std::vector<ContractAnalysis>& reports) const {
+  LandscapeStats stats;
+  stats.total_contracts = reports.size();
+  std::unordered_map<std::string, bool> seen_hash;
+
+  for (const ContractAnalysis& a : reports) {
+    if (a.proxy.verdict == ProxyVerdict::kEmulationError) {
+      ++stats.emulation_errors;
+    }
+    if (a.diamond.is_diamond) ++stats.diamonds_recovered;
+    if (!a.proxy.is_proxy()) continue;
+    ++stats.proxies;
+    if (!a.has_source && !a.has_tx) ++stats.hidden_proxies;
+    if (!a.deduplicated) ++stats.unique_proxy_codehashes;
+    ++stats.by_standard[a.proxy.standard];
+    ++stats.proxies_by_year[a.year];
+    if (!a.logic_history.logic_addresses.empty()) {
+      ++stats.pairs_by_source[{a.has_source, a.logic_has_source}];
+    }
+    if (a.function_collision) {
+      ++stats.function_collisions;
+      ++stats.function_collisions_by_year[a.year];
+    }
+    if (a.storage_collision) {
+      ++stats.storage_collisions;
+      ++stats.storage_collisions_by_year[a.year];
+    }
+    if (a.storage_collision_exploitable) {
+      ++stats.exploitable_storage_collisions;
+    }
+    ++stats.upgrade_histogram[a.logic_history.upgrade_events];
+    stats.total_upgrade_events += a.logic_history.upgrade_events;
+  }
+  stats.get_storage_at_calls = node_.get_storage_at_calls();
+  if (!reports.empty()) {
+    stats.ms_per_contract = last_run_ms_ / static_cast<double>(reports.size());
+  }
+  return stats;
+}
+
+}  // namespace proxion::core

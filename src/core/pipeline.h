@@ -1,0 +1,115 @@
+// The end-to-end sweep Proxion runs over the whole chain (§6.1, §7):
+// per-contract proxy detection (with bytecode-hash deduplication so
+// identical clones are analyzed once), logic-history recovery via
+// Algorithm 1, per-pair collision checks, and aggregation into the
+// landscape statistics behind every figure and table of §7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/archive_node.h"
+#include "chain/blockchain.h"
+#include "core/diamond_probe.h"
+#include "core/function_collision.h"
+#include "core/logic_finder.h"
+#include "core/proxy_detector.h"
+#include "core/storage_collision.h"
+#include "sourcemeta/source.h"
+
+namespace proxion::core {
+
+/// One contract handed to the sweep. `year` is presentation metadata used to
+/// bucket the landscape statistics (the chain itself orders by block).
+struct SweepInput {
+  Address address;
+  int year = 0;
+  bool has_source = false;
+  bool has_tx = false;
+};
+
+struct ContractAnalysis {
+  Address address;
+  int year = 0;
+  bool has_source = false;
+  bool has_tx = false;
+
+  ProxyReport proxy;
+  LogicHistory logic_history;
+  bool deduplicated = false;  // verdict reused from an identical code blob
+  /// §8.2 extension result (only populated when config.probe_diamonds and
+  /// the base detector said "not a proxy" despite a DELEGATECALL opcode).
+  DiamondReport diamond;
+
+  bool function_collision = false;
+  bool storage_collision = false;
+  bool storage_collision_exploitable = false;
+  bool logic_has_source = false;
+};
+
+struct PipelineConfig {
+  unsigned threads = 0;             // 0 = hardware_concurrency
+  bool dedup_by_code_hash = true;   // §6.1's re-analysis avoidance
+  bool detect_collisions = true;
+  bool find_logic_history = true;
+  /// §7.1: "we assign the source code of a contract to all other contracts
+  /// with the same bytecode hash" — lets clones of one verified contract be
+  /// analyzed in source mode.
+  bool propagate_source_by_code_hash = true;
+  /// Re-probe DELEGATECALL-bearing non-proxies with tx-harvested selectors
+  /// to catch EIP-2535 diamonds (§8.2 future work, implemented).
+  bool probe_diamonds = false;
+};
+
+struct LandscapeStats {
+  std::uint64_t total_contracts = 0;
+  std::uint64_t proxies = 0;
+  std::uint64_t emulation_errors = 0;
+  std::uint64_t hidden_proxies = 0;  // no source AND no tx (the novel set)
+  std::uint64_t unique_proxy_codehashes = 0;
+  std::uint64_t function_collisions = 0;
+  std::uint64_t storage_collisions = 0;
+  std::uint64_t exploitable_storage_collisions = 0;
+
+  std::uint64_t diamonds_recovered = 0;  // via the §8.2 extension
+
+  std::map<ProxyStandard, std::uint64_t> by_standard;          // Table 4
+  std::map<int, std::uint64_t> proxies_by_year;                // Fig 4 feed
+  std::map<int, std::uint64_t> function_collisions_by_year;    // Table 3
+  std::map<int, std::uint64_t> storage_collisions_by_year;     // Table 3
+  /// Pair counts keyed by (proxy_has_source, logic_has_source) — Figure 4.
+  std::map<std::pair<bool, bool>, std::uint64_t> pairs_by_source;
+  /// Upgrade-count histogram (upgrades -> proxies) — Figure 6.
+  std::map<std::uint64_t, std::uint64_t> upgrade_histogram;
+  std::uint64_t total_upgrade_events = 0;
+
+  std::uint64_t get_storage_at_calls = 0;
+  double ms_per_contract = 0.0;
+};
+
+class AnalysisPipeline {
+ public:
+  AnalysisPipeline(chain::Blockchain& chain,
+                   const sourcemeta::SourceRepository* sources,
+                   PipelineConfig config = {});
+
+  /// Analyzes every input contract; returns per-contract reports in input
+  /// order. Thread-safe over the (read-only) chain.
+  std::vector<ContractAnalysis> run(const std::vector<SweepInput>& inputs);
+
+  /// Aggregates reports into the landscape statistics.
+  LandscapeStats summarize(const std::vector<ContractAnalysis>& reports) const;
+
+ private:
+  chain::Blockchain& chain_;
+  chain::ArchiveNode node_;
+  const sourcemeta::SourceRepository* sources_;
+  PipelineConfig config_;
+  double last_run_ms_ = 0.0;
+};
+
+}  // namespace proxion::core

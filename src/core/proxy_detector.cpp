@@ -1,0 +1,215 @@
+#include "core/proxy_detector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "crypto/eth.h"
+
+namespace proxion::core {
+
+std::string_view to_string(ProxyVerdict v) noexcept {
+  switch (v) {
+    case ProxyVerdict::kNotProxy: return "not-proxy";
+    case ProxyVerdict::kProxy: return "proxy";
+    case ProxyVerdict::kEmulationError: return "emulation-error";
+  }
+  return "?";
+}
+
+std::string_view to_string(ProxyStandard s) noexcept {
+  switch (s) {
+    case ProxyStandard::kNotProxy: return "not-proxy";
+    case ProxyStandard::kEip1167: return "EIP-1167";
+    case ProxyStandard::kEip1822: return "EIP-1822";
+    case ProxyStandard::kEip1967: return "EIP-1967";
+    case ProxyStandard::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Watches the emulated execution for (a) DELEGATECALLs issued by the tested
+/// contract's own frame that forward the crafted call data, and (b) SLOADs
+/// against the tested contract's storage, to later attribute the logic
+/// address to the slot it was loaded from.
+class ProxyProbeObserver final : public evm::TraceObserver {
+ public:
+  ProxyProbeObserver(const Address& contract, const evm::Bytes& probe)
+      : contract_(contract), probe_(probe) {}
+
+  void on_call(evm::CallKind kind, int /*depth*/, const Address& from,
+               const Address& to, BytesView calldata) override {
+    if (kind != evm::CallKind::kDelegateCall) return;
+    if (!(from == contract_)) return;
+    saw_delegatecall_ = true;
+    const bool forwarded =
+        calldata.size() == probe_.size() &&
+        std::equal(calldata.begin(), calldata.end(), probe_.begin());
+    if (forwarded && !forwarding_target_) {
+      forwarding_target_ = to;
+    }
+  }
+
+  void on_sload(int /*depth*/, const Address& storage_addr, const U256& slot,
+                const U256& value) override {
+    if (storage_addr == contract_) {
+      sloads_.emplace_back(slot, value);
+    }
+  }
+
+  bool saw_delegatecall() const noexcept { return saw_delegatecall_; }
+  const std::optional<Address>& forwarding_target() const noexcept {
+    return forwarding_target_;
+  }
+  const std::vector<std::pair<U256, U256>>& sloads() const noexcept {
+    return sloads_;
+  }
+
+ private:
+  Address contract_;
+  evm::Bytes probe_;
+  bool saw_delegatecall_ = false;
+  std::optional<Address> forwarding_target_;
+  std::vector<std::pair<U256, U256>> sloads_;
+};
+
+/// Do the 20 address bytes appear contiguously in the code?
+bool address_in_code(const Address& a, BytesView code) {
+  if (code.size() < 20) return false;
+  return std::search(code.begin(), code.end(), a.bytes.begin(),
+                     a.bytes.end()) != code.end();
+}
+
+const U256& eip1967_impl_slot() {
+  static const U256 s = evm::to_u256(crypto::eip1967_implementation_slot());
+  return s;
+}
+const U256& eip1967_beacon_slot() {
+  static const U256 s = evm::to_u256(crypto::eip1967_beacon_slot());
+  return s;
+}
+const U256& eip1822_slot() {
+  static const U256 s = evm::to_u256(crypto::eip1822_proxiable_slot());
+  return s;
+}
+
+ProxyStandard classify(const ProxyReport& r, BytesView code) {
+  if (r.verdict != ProxyVerdict::kProxy) return ProxyStandard::kNotProxy;
+  switch (r.logic_source) {
+    case LogicSource::kHardcoded:
+      // The minimal-proxy EIPs pin the logic address in the bytecode; the
+      // paper additionally notes their runtime is under ~100 bytes (§4.3).
+      return code.size() <= 100 ? ProxyStandard::kEip1167
+                                : ProxyStandard::kOther;
+    case LogicSource::kStorageSlot:
+      if (r.logic_slot == eip1967_impl_slot() ||
+          r.logic_slot == eip1967_beacon_slot()) {
+        return ProxyStandard::kEip1967;
+      }
+      if (r.logic_slot == eip1822_slot()) return ProxyStandard::kEip1822;
+      return ProxyStandard::kOther;
+    default:
+      return ProxyStandard::kOther;
+  }
+}
+
+}  // namespace
+
+std::uint32_t ProxyDetector::craft_probe_selector(
+    const Address& contract, const evm::Disassembly& dis) {
+  const auto push4 = dis.push4_values();
+  const std::unordered_set<std::uint32_t> avoid(push4.begin(), push4.end());
+
+  // Deterministic starting point derived from the address, then linear
+  // probing until we clear every candidate selector in the code.
+  const crypto::Hash256 seed =
+      crypto::keccak256("proxion.probe:" + contract.to_hex());
+  std::uint32_t candidate = (std::uint32_t{seed[0]} << 24) |
+                            (std::uint32_t{seed[1]} << 16) |
+                            (std::uint32_t{seed[2]} << 8) |
+                            std::uint32_t{seed[3]};
+  while (avoid.contains(candidate)) ++candidate;
+  return candidate;
+}
+
+ProxyReport ProxyDetector::analyze(const Address& contract) {
+  return analyze_code(contract, state_.get_code(contract));
+}
+
+ProxyReport ProxyDetector::analyze_code(const Address& contract,
+                                        BytesView code) {
+  ProxyReport report;
+  if (code.empty()) return report;
+
+  // ---- Phase 1: opcode prefilter (§4.1) --------------------------------
+  const evm::Disassembly dis(code);
+  report.has_delegatecall_opcode = dis.contains(evm::Opcode::DELEGATECALL);
+  if (!report.has_delegatecall_opcode) return report;
+
+  // ---- Phase 2: emulation with crafted call data (§4.2) -----------------
+  report.probe_selector = craft_probe_selector(contract, dis);
+  evm::Bytes probe(4 + config_.probe_argument_bytes, 0);
+  probe[0] = static_cast<std::uint8_t>(report.probe_selector >> 24);
+  probe[1] = static_cast<std::uint8_t>(report.probe_selector >> 16);
+  probe[2] = static_cast<std::uint8_t>(report.probe_selector >> 8);
+  probe[3] = static_cast<std::uint8_t>(report.probe_selector);
+
+  // Emulate against an overlay: probing must never mutate real state. The
+  // probed code is installed at the contract's address so self-referential
+  // opcodes (CODESIZE, EXTCODESIZE on self) behave.
+  evm::OverlayHost overlay(state_);
+  overlay.set_code(contract, evm::Bytes(code.begin(), code.end()));
+
+  ProxyProbeObserver observer(contract, probe);
+  evm::InterpreterConfig interp_config;
+  interp_config.step_limit = config_.step_limit;
+  evm::Interpreter interp(overlay, interp_config);
+  interp.set_observer(&observer);
+
+  evm::CallParams params;
+  params.code_address = contract;
+  params.storage_address = contract;
+  params.caller = Address::from_label("proxion.prober");
+  params.origin = params.caller;
+  params.calldata = probe;
+  params.gas = config_.emulation_gas;
+
+  const evm::ExecResult result = interp.execute(params);
+  report.halt = result.halt;
+  report.delegatecall_executed = observer.saw_delegatecall();
+  report.calldata_forwarded = observer.forwarding_target().has_value();
+
+  if (report.calldata_forwarded) {
+    report.verdict = ProxyVerdict::kProxy;
+    report.logic_address = *observer.forwarding_target();
+
+    // Attribute the logic address: storage slot beats hard-coded bytes when
+    // both match (a slot-stored address may coincidentally appear in code).
+    const U256 target_word = report.logic_address.to_word();
+    for (const auto& [slot, value] : observer.sloads()) {
+      if ((value & ((U256{1} << U256{160}) - U256{1})) == target_word) {
+        report.logic_source = LogicSource::kStorageSlot;
+        report.logic_slot = slot;
+        break;
+      }
+    }
+    if (report.logic_source == LogicSource::kNone) {
+      report.logic_source = address_in_code(report.logic_address, code)
+                                ? LogicSource::kHardcoded
+                                : LogicSource::kComputed;
+    }
+  } else if (!evm::is_success(result.halt) &&
+             result.halt != evm::HaltReason::kRevert) {
+    // Emulation faulted (stack underflow, step limit, bad jump, ...) before
+    // we could conclude anything — the paper's §6.2/§7.1 error bucket.
+    report.verdict = ProxyVerdict::kEmulationError;
+  } else {
+    report.verdict = ProxyVerdict::kNotProxy;
+  }
+
+  report.standard = classify(report, code);
+  return report;
+}
+
+}  // namespace proxion::core

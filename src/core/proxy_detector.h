@@ -1,0 +1,103 @@
+// Proxy detection exactly as the paper describes (§4.1–§4.2):
+//
+//   Phase 1 — disassemble; no DELEGATECALL opcode anywhere => not a proxy.
+//   Phase 2 — emulate the contract in an EVM with *crafted call data*: a
+//   4-byte selector chosen to miss every candidate selector in the bytecode
+//   (every PUSH4 payload is avoided), so execution must land in the fallback
+//   function. The contract is a proxy iff a DELEGATECALL issued from the
+//   contract's own frame forwards that call data verbatim to another
+//   contract. This needs neither source code nor transaction history.
+//
+// The detector also recovers where the logic address lives (hard-coded bytes
+// vs a storage slot, and which slot), which both classifies the proxy
+// standard (Table 4) and seeds the logic-finder's archive-node search (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "evm/disassembler.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+#include "evm/types.h"
+
+namespace proxion::core {
+
+using evm::Address;
+using evm::Bytes;
+using evm::BytesView;
+using evm::U256;
+
+enum class ProxyVerdict : std::uint8_t {
+  kNotProxy,
+  kProxy,
+  kEmulationError,  // emulation faulted before a verdict could be reached
+};
+
+enum class LogicSource : std::uint8_t {
+  kNone,
+  kHardcoded,    // address embedded in the bytecode (EIP-1167 / clones)
+  kStorageSlot,  // address read from a storage slot during the fallback
+  kComputed,     // observed target not traceable to code bytes or a slot
+};
+
+/// Proxy standard taxonomy of Table 4.
+enum class ProxyStandard : std::uint8_t {
+  kNotProxy,
+  kEip1167,   // minimal proxy, hard-coded logic address
+  kEip1822,   // UUPS: keccak256("PROXIABLE") slot
+  kEip1967,   // keccak256("eip1967.proxy.implementation") - 1 slot
+  kOther,     // storage-based but non-standard slot (incl. slot 0)
+};
+
+std::string_view to_string(ProxyVerdict v) noexcept;
+std::string_view to_string(ProxyStandard s) noexcept;
+
+struct ProxyReport {
+  ProxyVerdict verdict = ProxyVerdict::kNotProxy;
+  bool has_delegatecall_opcode = false;  // phase-1 outcome
+  bool delegatecall_executed = false;    // a DELEGATECALL ran during emulation
+  bool calldata_forwarded = false;       // ... and forwarded our crafted data
+  evm::HaltReason halt = evm::HaltReason::kStop;
+
+  Address logic_address;   // target observed at the DELEGATECALL
+  LogicSource logic_source = LogicSource::kNone;
+  U256 logic_slot;         // meaningful iff logic_source == kStorageSlot
+  ProxyStandard standard = ProxyStandard::kNotProxy;
+
+  std::uint32_t probe_selector = 0;  // the crafted selector used
+
+  bool is_proxy() const noexcept { return verdict == ProxyVerdict::kProxy; }
+};
+
+struct ProxyDetectorConfig {
+  std::uint64_t emulation_gas = 5'000'000;
+  std::uint64_t step_limit = 200'000;
+  /// Calldata appended after the probe selector (function "arguments").
+  std::size_t probe_argument_bytes = 32;
+};
+
+class ProxyDetector {
+ public:
+  explicit ProxyDetector(evm::Host& state, ProxyDetectorConfig config = {})
+      : state_(state), config_(config) {}
+
+  /// Analyzes the contract deployed at `contract` (code read via the host).
+  ProxyReport analyze(const Address& contract);
+
+  /// Analyzes explicit bytecode as if deployed at `contract` (used when
+  /// sweeping code blobs deduplicated by hash).
+  ProxyReport analyze_code(const Address& contract, BytesView code);
+
+  /// The crafted probe selector for a given code blob: deterministic, and
+  /// guaranteed to differ from every 4-byte immediate following a PUSH4
+  /// (§4.2's "random signature different from all existing functions").
+  static std::uint32_t craft_probe_selector(const Address& contract,
+                                            const evm::Disassembly& dis);
+
+ private:
+  evm::Host& state_;
+  ProxyDetectorConfig config_;
+};
+
+}  // namespace proxion::core

@@ -1,0 +1,96 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace proxion::core {
+
+namespace {
+
+double pct(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) /
+                              static_cast<double>(den);
+}
+
+}  // namespace
+
+std::string render_landscape_text(const LandscapeStats& stats) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << "contracts analyzed:  " << stats.total_contracts << "\n";
+  out << "proxy contracts:     " << stats.proxies << " ("
+      << pct(stats.proxies, stats.total_contracts) << "%)\n";
+  out << "hidden proxies:      " << stats.hidden_proxies
+      << " (no source, no transactions)\n";
+  out << "emulation errors:    " << stats.emulation_errors << " ("
+      << pct(stats.emulation_errors, stats.total_contracts) << "%)\n";
+  out << "unique proxy codebases: " << stats.unique_proxy_codehashes << "\n";
+  if (stats.diamonds_recovered > 0) {
+    out << "diamonds recovered (tx-hint probing): "
+        << stats.diamonds_recovered << "\n";
+  }
+  out << "function collisions: " << stats.function_collisions << "\n";
+  out << "storage collisions:  " << stats.storage_collisions << " ("
+      << stats.exploitable_storage_collisions << " with verified exploit)\n";
+  out << "upgrade events:      " << stats.total_upgrade_events << "\n";
+  out << "standards:";
+  for (const auto& [standard, count] : stats.by_standard) {
+    out << "  " << to_string(standard) << "=" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string render_collisions_csv(const LandscapeStats& stats) {
+  std::ostringstream out;
+  out << "year,function_collisions,storage_collisions\n";
+  for (int year = 2015; year <= 2023; ++year) {
+    const auto fn = stats.function_collisions_by_year.find(year);
+    const auto st = stats.storage_collisions_by_year.find(year);
+    out << year << ','
+        << (fn == stats.function_collisions_by_year.end() ? 0 : fn->second)
+        << ','
+        << (st == stats.storage_collisions_by_year.end() ? 0 : st->second)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string render_standards_csv(const LandscapeStats& stats) {
+  std::ostringstream out;
+  out << "standard,count,ratio_pct\n";
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  for (const auto& [standard, count] : stats.by_standard) {
+    out << to_string(standard) << ',' << count << ','
+        << pct(count, stats.proxies) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_upgrades_csv(const LandscapeStats& stats) {
+  std::ostringstream out;
+  out << "upgrades,proxies\n";
+  for (const auto& [upgrades, count] : stats.upgrade_histogram) {
+    out << upgrades << ',' << count << '\n';
+  }
+  return out.str();
+}
+
+std::string render_contracts_csv(
+    const std::vector<ContractAnalysis>& reports) {
+  std::ostringstream out;
+  out << "address,year,verdict,standard,logic,function_collision,"
+         "storage_collision\n";
+  for (const ContractAnalysis& a : reports) {
+    out << a.address.to_hex() << ',' << a.year << ','
+        << to_string(a.proxy.verdict) << ',' << to_string(a.proxy.standard)
+        << ','
+        << (a.proxy.is_proxy() ? a.proxy.logic_address.to_hex() : "")
+        << ',' << (a.function_collision ? 1 : 0) << ','
+        << (a.storage_collision ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace proxion::core

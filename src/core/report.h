@@ -1,0 +1,28 @@
+// Report rendering for sweep results: a human-readable landscape summary
+// (the §7 "findings" shape) and machine-readable CSV series for each figure,
+// so downstream tooling can plot Fig 2/4/5/6 without re-running the sweep.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace proxion::core {
+
+/// Multi-line human-readable summary of a sweep (§7 headline numbers).
+std::string render_landscape_text(const LandscapeStats& stats);
+
+/// "year,function_collisions,storage_collisions" rows (Table 3 series).
+std::string render_collisions_csv(const LandscapeStats& stats);
+
+/// "standard,count,ratio" rows (Table 4 series).
+std::string render_standards_csv(const LandscapeStats& stats);
+
+/// "upgrades,proxies" rows (Figure 6 histogram).
+std::string render_upgrades_csv(const LandscapeStats& stats);
+
+/// One-line machine-readable record per analyzed contract:
+/// "address,year,verdict,standard,logic,fn_collision,storage_collision".
+std::string render_contracts_csv(const std::vector<ContractAnalysis>& reports);
+
+}  // namespace proxion::core

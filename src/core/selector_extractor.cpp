@@ -1,0 +1,78 @@
+#include "core/selector_extractor.h"
+
+#include <algorithm>
+
+namespace proxion::core {
+
+using evm::Instruction;
+using evm::Opcode;
+
+namespace {
+
+std::uint32_t selector_of(const Instruction& push4) {
+  return (std::uint32_t{push4.immediate[0]} << 24) |
+         (std::uint32_t{push4.immediate[1]} << 16) |
+         (std::uint32_t{push4.immediate[2]} << 8) |
+         std::uint32_t{push4.immediate[3]};
+}
+
+/// Does instructions[i..] match "<compare> [PUSHn] JUMPI" within a small
+/// window? Compilers interleave DUP/SWAP for stack scheduling, so we skip
+/// those, but any other opcode breaks the pattern.
+bool compare_jump_follows(const std::vector<Instruction>& ins, std::size_t i) {
+  bool saw_compare = false;
+  bool saw_push_target = false;
+  std::size_t window = 0;
+  for (std::size_t j = i; j < ins.size() && window < 6; ++j, ++window) {
+    const Opcode op = ins[j].opcode();
+    if (op == Opcode::EQ || op == Opcode::GT || op == Opcode::LT ||
+        op == Opcode::SUB) {
+      // SUB covers the "sub and jump if nonzero" dispatch variant.
+      saw_compare = true;
+      continue;
+    }
+    if (evm::is_push(ins[j].byte)) {
+      if (!saw_compare) return false;  // PUSH before any compare: not a match
+      saw_push_target = true;
+      continue;
+    }
+    if (op == Opcode::JUMPI) {
+      return saw_compare && saw_push_target;
+    }
+    if (evm::is_dup(ins[j].byte) || evm::is_swap(ins[j].byte)) {
+      continue;  // stack scheduling noise
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> extract_selectors(const evm::Disassembly& dis) {
+  std::vector<std::uint32_t> out;
+  const auto& ins = dis.instructions();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i].byte != 0x63 || ins[i].immediate.size() != 4) continue;
+    if (compare_jump_follows(ins, i + 1)) {
+      out.push_back(selector_of(ins[i]));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> extract_selectors(evm::BytesView code) {
+  return extract_selectors(evm::Disassembly(code));
+}
+
+std::vector<std::uint32_t> extract_selectors_naive(evm::BytesView code) {
+  const evm::Disassembly dis(code);
+  std::vector<std::uint32_t> out = dis.push4_values();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace proxion::core

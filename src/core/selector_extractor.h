@@ -1,0 +1,26 @@
+// Function-signature extraction from bytecode alone (§5.1). Function
+// selectors always follow a PUSH4, but not every PUSH4 payload is a selector
+// — the paper's key observation is that *dispatcher* selectors take part in
+// a compare-and-jump pattern (PUSH4 ... EQ/GT/LT ... JUMPI), while garbage
+// constants do not. Extracting only pattern-matched selectors is what lets
+// Proxion detect function collisions with zero false positives (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/disassembler.h"
+
+namespace proxion::core {
+
+/// Selectors that participate in the dispatcher pattern, sorted and deduped.
+std::vector<std::uint32_t> extract_selectors(const evm::Disassembly& dis);
+
+/// Convenience: disassembles and extracts in one step.
+std::vector<std::uint32_t> extract_selectors(evm::BytesView code);
+
+/// The naive strawman from §3.1: every 4-byte immediate after any PUSH4.
+/// Kept for the ablation bench that shows why it produces false positives.
+std::vector<std::uint32_t> extract_selectors_naive(evm::BytesView code);
+
+}  // namespace proxion::core

@@ -1,0 +1,52 @@
+#include "core/selector_grinder.h"
+
+#include <algorithm>
+
+#include "crypto/keccak.h"
+
+namespace proxion::core {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+constexpr std::uint64_t kBase = 62;
+
+std::string suffix_for(std::uint64_t n) {
+  // Bijective base-62: every n maps to a distinct non-empty suffix.
+  std::string out;
+  std::uint64_t v = n + 1;
+  while (v != 0) {
+    --v;
+    out.push_back(kAlphabet[v % kBase]);
+    v /= kBase;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<GrindResult> grind_selector(std::uint32_t target_selector,
+                                          const GrindConfig& config) {
+  const int bits = std::clamp(config.match_bits, 1, 32);
+  const std::uint32_t mask =
+      bits == 32 ? 0xffffffffu : ~((1u << (32 - bits)) - 1u);
+  const std::uint32_t want = target_selector & mask;
+
+  for (std::uint64_t attempt = 0;
+       config.max_attempts == 0 || attempt < config.max_attempts; ++attempt) {
+    const std::string prototype =
+        config.prefix + suffix_for(attempt) + config.arguments;
+    const crypto::Hash256 h = crypto::keccak256(prototype);
+    const std::uint32_t selector = (std::uint32_t{h[0]} << 24) |
+                                   (std::uint32_t{h[1]} << 16) |
+                                   (std::uint32_t{h[2]} << 8) |
+                                   std::uint32_t{h[3]};
+    if ((selector & mask) == want) {
+      return GrindResult{prototype, attempt + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace proxion::core

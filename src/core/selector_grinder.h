@@ -1,0 +1,33 @@
+// §2.3's attack primitive: grinding a function *name* whose 4-byte selector
+// collides with a target (the paper found a free_ether_withdrawal() twin
+// after ~600M attempts on a laptop). Used by the honeypot example and by
+// bench_perf to reproduce the attempts/second figure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace proxion::core {
+
+struct GrindResult {
+  std::string prototype;       // e.g. "impl_AbC12xyz()"
+  std::uint64_t attempts = 0;  // hashes evaluated before the hit
+};
+
+struct GrindConfig {
+  std::string prefix = "impl_";   // function-name prefix (naming camouflage)
+  std::string arguments = "()";   // canonical argument list
+  std::uint64_t max_attempts = 0; // 0 = unbounded (full search)
+  /// Number of leading selector bits that must match. 32 is a true
+  /// collision; smaller values let tests and benches bound the search.
+  int match_bits = 32;
+};
+
+/// Searches name suffixes in base-62 order until keccak256(prefix + suffix +
+/// arguments) starts with the target selector (to `match_bits` bits).
+/// Returns nullopt if max_attempts is exhausted first.
+std::optional<GrindResult> grind_selector(std::uint32_t target_selector,
+                                          const GrindConfig& config = {});
+
+}  // namespace proxion::core

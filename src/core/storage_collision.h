@@ -1,0 +1,83 @@
+// Storage-collision detection (§5.2), after CRUSH: profile both contracts'
+// storage accesses (slots, inferred widths, guards), compare the layouts
+// slot-by-slot, and for each type mismatch on a *sensitive* slot attempt a
+// concrete exploit: drive the logic contract's functions through the proxy's
+// fallback inside a state overlay and observe whether the sensitive slot is
+// overwritten with attacker-derived data.
+//
+// Substitution note (DESIGN.md): CRUSH proves path feasibility symbolically;
+// we approximate it concretely by attempting the exploit both from the
+// current chain state and from a state where the colliding slot is zeroed
+// (a state the slot provably had when the contract was fresh).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/storage_profile.h"
+#include "evm/host.h"
+#include "evm/types.h"
+
+namespace proxion::core {
+
+using evm::Address;
+using evm::BytesView;
+using evm::U256;
+
+struct StorageCollisionFinding {
+  U256 slot;
+  std::uint8_t proxy_width = 32;
+  std::uint8_t logic_width = 32;
+  /// Byte offsets (Solidity packing) of the conflicting accesses.
+  std::uint8_t proxy_offset = 0;
+  std::uint8_t logic_offset = 0;
+  bool sensitive = false;     // slot feeds an access-control decision
+  bool exploitable = false;   // sensitive + an unguarded colliding write path
+  bool verified = false;      // concrete exploit succeeded in the overlay
+  /// §2.3 (Audius): the exploit transaction can be replayed — the collision
+  /// breaks the "only once" guard itself, so e.g. initialize() re-runs and
+  /// ownership can be reassigned repeatedly.
+  bool repeatable = false;
+  std::uint32_t exploit_selector = 0;  // logic function that performed it
+};
+
+struct StorageCollisionResult {
+  std::vector<StorageCollisionFinding> findings;
+  StorageProfile proxy_profile;
+  StorageProfile logic_profile;
+
+  bool has_collision() const noexcept { return !findings.empty(); }
+  bool has_verified_exploit() const noexcept {
+    for (const auto& f : findings) {
+      if (f.verified) return true;
+    }
+    return false;
+  }
+};
+
+struct StorageCollisionConfig {
+  bool attempt_verification = true;
+  std::size_t max_probe_functions = 16;  // logic selectors tried per finding
+  std::uint64_t emulation_gas = 5'000'000;
+};
+
+class StorageCollisionDetector {
+ public:
+  explicit StorageCollisionDetector(evm::Host& state,
+                                    StorageCollisionConfig config = {})
+      : state_(state), config_(config) {}
+
+  StorageCollisionResult detect(const Address& proxy, BytesView proxy_code,
+                                const Address& logic,
+                                BytesView logic_code) const;
+
+ private:
+  bool verify_exploit(const Address& proxy, BytesView proxy_code,
+                      const Address& logic, BytesView logic_code,
+                      StorageCollisionFinding& finding) const;
+
+  evm::Host& state_;
+  StorageCollisionConfig config_;
+};
+
+}  // namespace proxion::core

@@ -1,0 +1,56 @@
+#include "core/upgrade_drift.h"
+
+namespace proxion::core {
+
+UpgradeDriftResult UpgradeDriftDetector::analyze(const Address& /*proxy*/,
+                                                 const LogicHistory& history) {
+  UpgradeDriftResult result;
+  if (history.logic_addresses.size() < 2) return result;
+
+  std::vector<StorageProfile> profiles;
+  profiles.reserve(history.logic_addresses.size());
+  for (const Address& logic : history.logic_addresses) {
+    profiles.push_back(profile_storage(state_.get_code(logic)));
+  }
+
+  for (std::size_t v = 0; v + 1 < profiles.size(); ++v) {
+    const StorageProfile& old_profile = profiles[v];
+    const StorageProfile& new_profile = profiles[v + 1];
+    for (const evm::U256& slot : old_profile.slots()) {
+      const auto old_ranges = old_profile.ranges_of(slot);
+      const auto new_ranges = new_profile.ranges_of(slot);
+      if (new_ranges.empty()) continue;  // slot abandoned: stale, not drift
+
+      // Drift: a byte range the new version uses overlaps an old range but
+      // is typed differently.
+      for (const auto& old_range : old_ranges) {
+        for (const auto& new_range : new_ranges) {
+          const bool overlap =
+              old_range.first < new_range.first + new_range.second &&
+              new_range.first < old_range.first + old_range.second;
+          if (!overlap || old_range == new_range) continue;
+
+          DriftFinding finding;
+          finding.from_version = v;
+          finding.to_version = v + 1;
+          finding.slot = slot;
+          finding.old_offset = old_range.first;
+          finding.old_width = old_range.second;
+          finding.new_offset = new_range.first;
+          finding.new_width = new_range.second;
+          for (const StorageAccess& access : old_profile.accesses) {
+            if (access.slot == slot && access.is_write &&
+                access.offset == old_range.first &&
+                access.width == old_range.second) {
+              finding.old_version_wrote = true;
+            }
+          }
+          result.findings.push_back(finding);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace proxion::core

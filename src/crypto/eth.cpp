@@ -1,0 +1,132 @@
+#include "crypto/eth.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace proxion::crypto {
+namespace {
+
+/// Interprets a 32-byte hash as a big-endian integer and subtracts one.
+/// Used for the EIP-1967 "hash minus one" slot convention.
+Hash256 minus_one(Hash256 h) noexcept {
+  for (int i = 31; i >= 0; --i) {
+    if (h[static_cast<std::size_t>(i)]-- != 0) break;  // no borrow needed
+  }
+  return h;
+}
+
+}  // namespace
+
+Selector selector_of(std::string_view prototype) {
+  const Hash256 h = keccak256(prototype);
+  return {h[0], h[1], h[2], h[3]};
+}
+
+std::uint32_t selector_u32(std::string_view prototype) {
+  return selector_u32(selector_of(prototype));
+}
+
+Hash256 eip1967_implementation_slot() {
+  return minus_one(keccak256("eip1967.proxy.implementation"));
+}
+
+Hash256 eip1967_admin_slot() {
+  return minus_one(keccak256("eip1967.proxy.admin"));
+}
+
+Hash256 eip1967_beacon_slot() {
+  return minus_one(keccak256("eip1967.proxy.beacon"));
+}
+
+Hash256 eip1822_proxiable_slot() { return keccak256("PROXIABLE"); }
+
+Hash256 eip2535_diamond_storage_slot() {
+  return keccak256("diamond.standard.diamond.storage");
+}
+
+namespace rlp {
+
+std::vector<std::uint8_t> encode_bytes(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  if (data.size() == 1 && data[0] < 0x80) {
+    out.push_back(data[0]);
+    return out;
+  }
+  if (data.size() <= 55) {
+    out.push_back(static_cast<std::uint8_t>(0x80 + data.size()));
+  } else {
+    // Length-of-length form; contract-address derivation never needs >2 bytes
+    // of length, but support the general case for completeness.
+    std::vector<std::uint8_t> len_bytes;
+    for (std::size_t n = data.size(); n != 0; n >>= 8) {
+      len_bytes.push_back(static_cast<std::uint8_t>(n & 0xff));
+    }
+    std::reverse(len_bytes.begin(), len_bytes.end());
+    out.push_back(static_cast<std::uint8_t>(0xb7 + len_bytes.size()));
+    out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+  }
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_uint(std::uint64_t value) {
+  if (value == 0) return {0x80};  // zero encodes as the empty byte string
+  std::vector<std::uint8_t> be;
+  for (std::uint64_t v = value; v != 0; v >>= 8) {
+    be.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  std::reverse(be.begin(), be.end());
+  return encode_bytes(be);
+}
+
+std::vector<std::uint8_t> encode_list(
+    std::span<const std::vector<std::uint8_t>> items) {
+  std::size_t payload = 0;
+  for (const auto& item : items) payload += item.size();
+
+  std::vector<std::uint8_t> out;
+  if (payload <= 55) {
+    out.push_back(static_cast<std::uint8_t>(0xc0 + payload));
+  } else {
+    std::vector<std::uint8_t> len_bytes;
+    for (std::size_t n = payload; n != 0; n >>= 8) {
+      len_bytes.push_back(static_cast<std::uint8_t>(n & 0xff));
+    }
+    std::reverse(len_bytes.begin(), len_bytes.end());
+    out.push_back(static_cast<std::uint8_t>(0xf7 + len_bytes.size()));
+    out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+  }
+  for (const auto& item : items) out.insert(out.end(), item.begin(), item.end());
+  return out;
+}
+
+}  // namespace rlp
+
+AddressBytes create_address(const AddressBytes& sender, std::uint64_t nonce) {
+  const std::vector<std::vector<std::uint8_t>> items = {
+      rlp::encode_bytes(std::span<const std::uint8_t>(sender)),
+      rlp::encode_uint(nonce),
+  };
+  const auto encoded = rlp::encode_list(items);
+  const Hash256 h = keccak256(encoded);
+  AddressBytes out;
+  std::memcpy(out.data(), h.data() + 12, 20);
+  return out;
+}
+
+AddressBytes create2_address(const AddressBytes& sender, const Hash256& salt,
+                             std::span<const std::uint8_t> init_code) {
+  std::vector<std::uint8_t> preimage;
+  preimage.reserve(1 + 20 + 32 + 32);
+  preimage.push_back(0xff);
+  preimage.insert(preimage.end(), sender.begin(), sender.end());
+  preimage.insert(preimage.end(), salt.begin(), salt.end());
+  const Hash256 code_hash = keccak256(init_code);
+  preimage.insert(preimage.end(), code_hash.begin(), code_hash.end());
+  const Hash256 h = keccak256(preimage);
+  AddressBytes out;
+  std::memcpy(out.data(), h.data() + 12, 20);
+  return out;
+}
+
+}  // namespace proxion::crypto

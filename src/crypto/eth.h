@@ -1,0 +1,59 @@
+// Ethereum-specific hashing helpers: function selectors, well-known proxy
+// storage slots (EIP-1967 / EIP-1822 / EIP-2535), RLP encoding, and the
+// CREATE / CREATE2 contract-address derivations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/keccak.h"
+
+namespace proxion::crypto {
+
+using AddressBytes = std::array<std::uint8_t, 20>;
+using Selector = std::array<std::uint8_t, 4>;
+
+/// 4-byte function selector: first four bytes of keccak256(prototype).
+/// The prototype is the canonical signature, e.g. "transfer(address,uint256)".
+Selector selector_of(std::string_view prototype);
+
+/// Selector packed into a uint32 (big-endian), convenient as a map key.
+std::uint32_t selector_u32(std::string_view prototype);
+constexpr std::uint32_t selector_u32(const Selector& s) noexcept {
+  return (std::uint32_t{s[0]} << 24) | (std::uint32_t{s[1]} << 16) |
+         (std::uint32_t{s[2]} << 8) | std::uint32_t{s[3]};
+}
+
+/// EIP-1967 logic slot: keccak256("eip1967.proxy.implementation") - 1.
+Hash256 eip1967_implementation_slot();
+/// EIP-1967 admin slot: keccak256("eip1967.proxy.admin") - 1.
+Hash256 eip1967_admin_slot();
+/// EIP-1967 beacon slot: keccak256("eip1967.proxy.beacon") - 1.
+Hash256 eip1967_beacon_slot();
+/// EIP-1822 (UUPS) logic slot: keccak256("PROXIABLE").
+Hash256 eip1822_proxiable_slot();
+/// EIP-2535 diamond storage base slot:
+/// keccak256("diamond.standard.diamond.storage").
+Hash256 eip2535_diamond_storage_slot();
+
+/// Minimal RLP encoder — just enough to derive CREATE addresses
+/// (list of [address, nonce]).
+namespace rlp {
+std::vector<std::uint8_t> encode_bytes(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> encode_uint(std::uint64_t value);
+std::vector<std::uint8_t> encode_list(
+    std::span<const std::vector<std::uint8_t>> items);
+}  // namespace rlp
+
+/// CREATE address: last 20 bytes of keccak256(rlp([sender, nonce])).
+AddressBytes create_address(const AddressBytes& sender, std::uint64_t nonce);
+
+/// CREATE2 address: last 20 bytes of
+/// keccak256(0xff ++ sender ++ salt ++ keccak256(init_code)).
+AddressBytes create2_address(const AddressBytes& sender, const Hash256& salt,
+                             std::span<const std::uint8_t> init_code);
+
+}  // namespace proxion::crypto

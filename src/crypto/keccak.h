@@ -1,0 +1,50 @@
+// Keccak-256 as used by Ethereum (original Keccak padding 0x01, not SHA-3's
+// 0x06). Self-contained; no external dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proxion::crypto {
+
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// Keccak-256 digest of an arbitrary byte string.
+Hash256 keccak256(std::span<const std::uint8_t> data);
+
+/// Convenience overload hashing the raw bytes of a string (no terminator).
+Hash256 keccak256(std::string_view text);
+
+/// Incremental hasher for streaming input (used when hashing large code blobs
+/// chunk-by-chunk, e.g. while deduplicating a population of contracts).
+class Keccak256 {
+ public:
+  Keccak256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Hash256 finalize() noexcept;
+
+ private:
+  void absorb_block() noexcept;
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, 136> buffer_{};  // rate = 1088 bits = 136 bytes
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+/// Hex string ("deadbeef" or "0xdeadbeef") -> bytes. Throws std::invalid_argument
+/// on odd length or non-hex characters.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Bytes -> lowercase hex without 0x prefix.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace proxion::crypto

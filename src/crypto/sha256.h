@@ -1,0 +1,15 @@
+// SHA-256 (FIPS 180-4), self-contained. Backs the 0x02 precompiled contract
+// in the EVM interpreter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace proxion::crypto {
+
+std::array<std::uint8_t, 32> sha256(std::span<const std::uint8_t> data);
+std::array<std::uint8_t, 32> sha256(std::string_view text);
+
+}  // namespace proxion::crypto

@@ -1,0 +1,125 @@
+#include "datagen/assembler.h"
+
+namespace proxion::datagen {
+
+Assembler& Assembler::op(Opcode opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Assembler& Assembler::dup(int n) {
+  if (n < 1 || n > 16) throw std::invalid_argument("dup: n out of range");
+  code_.push_back(static_cast<std::uint8_t>(0x80 + n - 1));
+  return *this;
+}
+
+Assembler& Assembler::swap(int n) {
+  if (n < 1 || n > 16) throw std::invalid_argument("swap: n out of range");
+  code_.push_back(static_cast<std::uint8_t>(0x90 + n - 1));
+  return *this;
+}
+
+Assembler& Assembler::push(const U256& value) {
+  int width = (value.bit_length() + 7) / 8;
+  if (width == 0) width = 1;
+  return push(value, width);
+}
+
+Assembler& Assembler::push(const U256& value, int width) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("push width out of range");
+  }
+  if (value.bit_length() > width * 8) {
+    throw std::invalid_argument("push value does not fit width");
+  }
+  code_.push_back(static_cast<std::uint8_t>(0x5f + width));
+  const auto be = value.to_be_bytes();
+  code_.insert(code_.end(), be.end() - width, be.end());
+  return *this;
+}
+
+Assembler& Assembler::push_bytes(BytesView data) {
+  if (data.empty() || data.size() > 32) {
+    throw std::invalid_argument("push_bytes: bad size");
+  }
+  code_.push_back(static_cast<std::uint8_t>(0x5f + data.size()));
+  code_.insert(code_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Assembler& Assembler::push_selector(std::uint32_t selector) {
+  const std::uint8_t be[4] = {
+      static_cast<std::uint8_t>(selector >> 24),
+      static_cast<std::uint8_t>(selector >> 16),
+      static_cast<std::uint8_t>(selector >> 8),
+      static_cast<std::uint8_t>(selector),
+  };
+  return push_bytes(BytesView(be, 4));
+}
+
+Assembler& Assembler::push_address(const evm::Address& address) {
+  return push_bytes(BytesView(address.bytes));
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  if (!labels_.emplace(name, static_cast<std::uint16_t>(code_.size())).second) {
+    throw std::runtime_error("duplicate label: " + name);
+  }
+  return *this;
+}
+
+Assembler& Assembler::jumpdest(const std::string& name) {
+  label(name);
+  return op(Opcode::JUMPDEST);
+}
+
+Assembler& Assembler::push_label(const std::string& name) {
+  code_.push_back(0x61);  // PUSH2
+  fixups_.emplace_back(code_.size(), name);
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Assembler& Assembler::raw(BytesView data) {
+  code_.insert(code_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Bytes Assembler::assemble() const {
+  if (code_.size() > 0xffff) {
+    throw std::runtime_error("assembled code exceeds 64 KiB");
+  }
+  Bytes out = code_;
+  for (const auto& [offset, name] : fixups_) {
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      throw std::runtime_error("undefined label: " + name);
+    }
+    out[offset] = static_cast<std::uint8_t>(it->second >> 8);
+    out[offset + 1] = static_cast<std::uint8_t>(it->second & 0xff);
+  }
+  return out;
+}
+
+Bytes Assembler::wrap_initcode(
+    BytesView runtime,
+    const std::vector<std::pair<U256, U256>>& constructor_stores) {
+  Assembler a;
+  for (const auto& [slot, value] : constructor_stores) {
+    a.push(value).push(slot).op(Opcode::SSTORE);
+  }
+  // CODECOPY(destOffset=0, offset=<runtime_start>, length=len); RETURN(0, len)
+  a.push(U256{runtime.size()}, 2)
+      .push_label("runtime_start")
+      .push(U256{0})
+      .op(Opcode::CODECOPY)
+      .push(U256{runtime.size()}, 2)
+      .push(U256{0})
+      .op(Opcode::RETURN)
+      .label("runtime_start")
+      .raw(runtime);
+  return a.assemble();
+}
+
+}  // namespace proxion::datagen

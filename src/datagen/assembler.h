@@ -1,0 +1,72 @@
+// A small two-pass EVM assembler with labels, used by the contract factory
+// to emit realistic runtime bytecode (solc-style dispatchers, proxy
+// fallbacks, constructors). Label references assemble to fixed-width PUSH2
+// so the second pass only patches offsets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.h"
+#include "evm/types.h"
+
+namespace proxion::datagen {
+
+using evm::Bytes;
+using evm::BytesView;
+using evm::Opcode;
+using evm::U256;
+
+class Assembler {
+ public:
+  /// Appends a bare opcode.
+  Assembler& op(Opcode opcode);
+  /// DUPn / SWAPn (n in 1..16).
+  Assembler& dup(int n);
+  Assembler& swap(int n);
+
+  /// PUSHn with the minimal width holding `value` (PUSH1 for zero).
+  Assembler& push(const U256& value);
+  /// PUSHn with an explicit width (1..32); throws if the value doesn't fit.
+  Assembler& push(const U256& value, int width);
+  /// PUSHn of raw bytes (width = data.size()).
+  Assembler& push_bytes(BytesView data);
+  /// PUSH4 of a function selector.
+  Assembler& push_selector(std::uint32_t selector);
+  /// PUSH20 of an address.
+  Assembler& push_address(const evm::Address& address);
+
+  /// Defines `name` at the current offset (does not emit JUMPDEST itself).
+  Assembler& label(const std::string& name);
+  /// Emits JUMPDEST and defines `name` at its offset.
+  Assembler& jumpdest(const std::string& name);
+  /// PUSH2 <name> — patched to the label's offset at assemble() time.
+  Assembler& push_label(const std::string& name);
+
+  /// Embeds raw bytes verbatim (data sections, canned sequences).
+  Assembler& raw(BytesView data);
+
+  std::size_t size() const noexcept { return code_.size(); }
+
+  /// Resolves labels and returns the bytecode. Throws std::runtime_error on
+  /// undefined labels or offsets that do not fit in two bytes.
+  Bytes assemble() const;
+
+  /// Wraps runtime code in a standard deployment wrapper:
+  ///   <prologue> CODECOPY(0, offset, len) RETURN(0, len) <runtime>
+  /// `constructor_stores` are (slot, value) pairs SSTOREd before returning —
+  /// how factory proxies initialize their logic-address slot.
+  static Bytes wrap_initcode(
+      BytesView runtime,
+      const std::vector<std::pair<U256, U256>>& constructor_stores = {});
+
+ private:
+  Bytes code_;
+  std::unordered_map<std::string, std::uint16_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;  // offset of hi byte
+};
+
+}  // namespace proxion::datagen

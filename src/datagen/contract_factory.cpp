@@ -1,0 +1,507 @@
+#include "datagen/contract_factory.h"
+
+#include "crypto/keccak.h"
+
+namespace proxion::datagen {
+
+using evm::U256;
+
+namespace {
+
+const U256& mask160() {
+  static const U256 m = (U256{1} << U256{160}) - U256{1};
+  return m;
+}
+
+U256 hash_slot(std::string_view preimage, bool minus_one) {
+  crypto::Hash256 h = crypto::keccak256(preimage);
+  U256 v = evm::to_u256(h);
+  if (minus_one) v = v - U256{1};
+  return v;
+}
+
+void push_zero(Assembler& a) { a.push(U256{0}, 1); }
+
+/// Pushes a slot with its natural width (PUSH1 for small, PUSH32 for hashed).
+void push_slot(Assembler& a, const U256& slot) {
+  if (slot.fits_u64() && slot.low64() <= 0xff) {
+    a.push(slot, 1);
+  } else {
+    a.push(slot, 32);
+  }
+}
+
+}  // namespace
+
+const U256& ContractFactory::eip1967_slot() {
+  static const U256 s = hash_slot("eip1967.proxy.implementation", true);
+  return s;
+}
+
+const U256& ContractFactory::eip1822_slot() {
+  static const U256 s = hash_slot("PROXIABLE", false);
+  return s;
+}
+
+const U256& ContractFactory::diamond_base_slot() {
+  static const U256 s = hash_slot("diamond.standard.diamond.storage", false);
+  return s;
+}
+
+Bytes ContractFactory::minimal_proxy(const Address& logic) {
+  // Canonical EIP-1167 runtime:
+  //   363d3d373d3d3d363d73 <logic> 5af43d82803e903d91602b57fd5bf3
+  Bytes code = crypto::from_hex("363d3d373d3d3d363d73");
+  code.insert(code.end(), logic.bytes.begin(), logic.bytes.end());
+  const Bytes tail = crypto::from_hex("5af43d82803e903d91602b57fd5bf3");
+  code.insert(code.end(), tail.begin(), tail.end());
+  return code;
+}
+
+void ContractFactory::emit_dispatcher(Assembler& a,
+                                      const std::vector<FunctionSpec>& funcs) {
+  // solc free-memory-pointer preamble; also a realistic non-selector MSTORE.
+  a.push(U256{0x80}, 1).push(U256{0x40}, 1).op(Opcode::MSTORE);
+  // if (calldatasize < 4) goto fallback
+  a.push(U256{4}, 1)
+      .op(Opcode::CALLDATASIZE)
+      .op(Opcode::LT)
+      .push_label("fallback")
+      .op(Opcode::JUMPI);
+  // selector = calldataload(0) >> 224
+  a.push(U256{0}, 1)
+      .op(Opcode::CALLDATALOAD)
+      .push(U256{0xe0}, 1)
+      .op(Opcode::SHR);
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    a.op(Opcode::DUP1)
+        .push_selector(funcs[i].selector())
+        .op(Opcode::EQ)
+        .push_label("fn" + std::to_string(i))
+        .op(Opcode::JUMPI);
+  }
+  // No selector matched: fall through into the fallback.
+}
+
+void ContractFactory::emit_body(Assembler& a, const FunctionSpec& func,
+                                const std::string& label) {
+  a.jumpdest(label);
+  switch (func.body) {
+    case BodyKind::kStop:
+      a.op(Opcode::STOP);
+      break;
+    case BodyKind::kReturnConstant:
+      a.push(func.aux.is_zero() ? U256{0} : func.aux);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      a.push(U256{32}, 1);
+      push_zero(a);
+      a.op(Opcode::RETURN);
+      break;
+    case BodyKind::kReturnStorageWord:
+    case BodyKind::kReturnStorageAddress:
+    case BodyKind::kReturnStorageBool:
+    case BodyKind::kReturnStorageBoolAtOffset:
+      push_slot(a, func.slot);
+      a.op(Opcode::SLOAD);
+      if (func.body == BodyKind::kReturnStorageAddress) {
+        a.push(mask160(), 20).op(Opcode::AND);
+      } else if (func.body == BodyKind::kReturnStorageBool) {
+        a.push(U256{0xff}, 1).op(Opcode::AND);
+      } else if (func.body == BodyKind::kReturnStorageBoolAtOffset) {
+        // Solidity packed-variable access: (slot >> 8k) & 0xff.
+        a.push(func.aux * U256{8}).op(Opcode::SHR);
+        a.push(U256{0xff}, 1).op(Opcode::AND);
+      }
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      a.push(U256{32}, 1);
+      push_zero(a);
+      a.op(Opcode::RETURN);
+      break;
+    case BodyKind::kStoreBoolPackedAt: {
+      // sstore(slot, (sload(slot) & ~(0xff << 8k)) | (1 << 8k))
+      const unsigned k = static_cast<unsigned>(func.aux.low64());
+      const U256 hole = ~(U256{0xff} << U256{8 * k});
+      push_slot(a, func.slot);
+      a.op(Opcode::SLOAD);
+      a.push(hole, 32).op(Opcode::AND);
+      a.push(U256{1}, 1);
+      a.push(U256{8 * k}, 1).op(Opcode::SHL);
+      a.op(Opcode::OR);
+      push_slot(a, func.slot);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    }
+    case BodyKind::kStoreArgWord:
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      push_slot(a, func.slot);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kStoreArgAddress:
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      a.push(mask160(), 20).op(Opcode::AND);
+      push_slot(a, func.slot);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kStoreCaller:
+      a.op(Opcode::CALLER);
+      push_slot(a, func.slot);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kGuardedStoreArgAddress:
+      // require(msg.sender == address(owner_slot))
+      a.op(Opcode::CALLER);
+      push_slot(a, func.aux);
+      a.op(Opcode::SLOAD).push(mask160(), 20).op(Opcode::AND);
+      a.op(Opcode::EQ).push_label(label + "_ok").op(Opcode::JUMPI);
+      push_zero(a);
+      push_zero(a);
+      a.op(Opcode::REVERT);
+      a.jumpdest(label + "_ok");
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      a.push(mask160(), 20).op(Opcode::AND);
+      push_slot(a, func.slot);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kRevert:
+      push_zero(a);
+      push_zero(a);
+      a.op(Opcode::REVERT);
+      break;
+    case BodyKind::kTransferToCaller:
+      // call(gas, caller, aux, 0, 0, 0, 0); pop; stop
+      push_zero(a);  // retSize
+      push_zero(a);  // retOffset
+      push_zero(a);  // argsSize
+      push_zero(a);  // argsOffset
+      a.push(func.aux.is_zero() ? U256{1} : func.aux);  // value
+      a.op(Opcode::CALLER).op(Opcode::GAS).op(Opcode::CALL).op(Opcode::POP);
+      a.op(Opcode::STOP);
+      break;
+    case BodyKind::kDelegateToLibrary: {
+      // The library-call idiom §2.2 excludes from proxies: a *named*
+      // function delegatecalls the library with RE-ENCODED calldata — the
+      // library function's own selector plus our argument bytes — rather
+      // than forwarding the original calldata verbatim.
+      const std::uint32_t inner = func.aux2.is_zero()
+                                      ? crypto::selector_u32(
+                                            "add(uint256,uint256)")
+                                      : static_cast<std::uint32_t>(
+                                            func.aux2.low64());
+      a.push_selector(inner);
+      a.push(U256{0xe0}, 1).op(Opcode::SHL);
+      push_zero(a);
+      a.op(Opcode::MSTORE);  // mem[0..4) = inner selector
+      // calldatacopy(dest=4, offset=4, size=calldatasize-4)
+      a.push(U256{4}, 1).op(Opcode::CALLDATASIZE).op(Opcode::SUB);
+      a.push(U256{4}, 1);
+      a.push(U256{4}, 1);
+      a.op(Opcode::CALLDATACOPY);
+      push_zero(a);  // retSize
+      push_zero(a);  // retOffset
+      a.op(Opcode::CALLDATASIZE);  // argsSize (selector swapped, same length)
+      push_zero(a);  // argsOffset
+      a.push(func.aux, 20);
+      a.op(Opcode::GAS).op(Opcode::DELEGATECALL).op(Opcode::POP);
+      a.op(Opcode::STOP);
+      break;
+    }
+    case BodyKind::kAudiusInitialize:
+      // require(!initialized) — a 1-byte (bool) read of slot 0 ...
+      push_zero(a);
+      a.op(Opcode::SLOAD).push(U256{0xff}, 1).op(Opcode::AND);
+      a.op(Opcode::ISZERO).push_label(label + "_init").op(Opcode::JUMPI);
+      push_zero(a);
+      push_zero(a);
+      a.op(Opcode::REVERT);
+      a.jumpdest(label + "_init");
+      // ... then an *unguarded* 20-byte CALLER write to the same slot: the
+      // Listing-2 bug (owner and the init flags share slot 0).
+      a.op(Opcode::CALLER);
+      push_zero(a);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kPush4Garbage:
+      // Arbitrary 4-byte data after PUSH4 — not function selectors.
+      a.push_selector(0xdeadbeef);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      a.push_selector(0xcafebabe);
+      a.push(U256{0x20}, 1);
+      a.op(Opcode::MSTORE);
+      a.push(U256{0x40}, 1);
+      push_zero(a);
+      a.op(Opcode::RETURN);
+      break;
+  }
+}
+
+void ContractFactory::emit_delegate_fallback_from_slot(Assembler& a,
+                                                       const U256& slot) {
+  a.jumpdest("fallback");
+  // calldatacopy(0, 0, calldatasize)
+  a.op(Opcode::CALLDATASIZE);
+  push_zero(a);
+  push_zero(a);
+  a.op(Opcode::CALLDATACOPY);
+  // delegatecall(gas, address(sload(slot)), 0, calldatasize, 0, 0)
+  push_zero(a);  // retSize
+  push_zero(a);  // retOffset
+  a.op(Opcode::CALLDATASIZE);
+  push_zero(a);  // argsOffset
+  push_slot(a, slot);
+  a.op(Opcode::SLOAD).push(mask160(), 20).op(Opcode::AND);
+  a.op(Opcode::GAS).op(Opcode::DELEGATECALL);
+  // returndatacopy(0, 0, returndatasize)
+  a.op(Opcode::RETURNDATASIZE);
+  push_zero(a);
+  push_zero(a);
+  a.op(Opcode::RETURNDATACOPY);
+  a.push_label("dc_ok").op(Opcode::JUMPI);
+  a.op(Opcode::RETURNDATASIZE);
+  push_zero(a);
+  a.op(Opcode::REVERT);
+  a.jumpdest("dc_ok");
+  a.op(Opcode::RETURNDATASIZE);
+  push_zero(a);
+  a.op(Opcode::RETURN);
+}
+
+namespace {
+
+Bytes build_with_fallback(const std::vector<FunctionSpec>& funcs,
+                          const U256& delegate_slot) {
+  Assembler a;
+  ContractFactory::emit_dispatcher(a, funcs);
+  ContractFactory::emit_delegate_fallback_from_slot(a, delegate_slot);
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    ContractFactory::emit_body(a, funcs[i], "fn" + std::to_string(i));
+  }
+  return a.assemble();
+}
+
+Bytes build_plain(const std::vector<FunctionSpec>& funcs) {
+  Assembler a;
+  ContractFactory::emit_dispatcher(a, funcs);
+  a.jumpdest("fallback");
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    ContractFactory::emit_body(a, funcs[i], "fn" + std::to_string(i));
+  }
+  return a.assemble();
+}
+
+}  // namespace
+
+Bytes ContractFactory::slot_proxy(const U256& slot,
+                                  const std::vector<FunctionSpec>& funcs) {
+  return build_with_fallback(funcs, slot);
+}
+
+Bytes ContractFactory::eip1967_proxy(const std::vector<FunctionSpec>& funcs) {
+  return build_with_fallback(funcs, eip1967_slot());
+}
+
+Bytes ContractFactory::eip1822_proxy(const std::vector<FunctionSpec>& funcs) {
+  return build_with_fallback(funcs, eip1822_slot());
+}
+
+Bytes ContractFactory::transparent_proxy() {
+  const U256 admin_slot = hash_slot("eip1967.proxy.admin", true);
+  Assembler a;
+  // if (caller == admin) goto admin dispatcher, else plain delegate fallback.
+  a.op(Opcode::CALLER);
+  a.push(admin_slot, 32).op(Opcode::SLOAD).push(mask160(), 20).op(Opcode::AND);
+  a.op(Opcode::EQ).push_label("admin").op(Opcode::JUMPI);
+  emit_delegate_fallback_from_slot(a, eip1967_slot());
+  a.jumpdest("admin");
+  a.push(U256{0}, 1)
+      .op(Opcode::CALLDATALOAD)
+      .push(U256{0xe0}, 1)
+      .op(Opcode::SHR);
+  a.op(Opcode::DUP1)
+      .push_selector(crypto::selector_u32("upgradeTo(address)"))
+      .op(Opcode::EQ)
+      .push_label("do_upgrade")
+      .op(Opcode::JUMPI);
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  a.jumpdest("do_upgrade");
+  a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+  a.push(mask160(), 20).op(Opcode::AND);
+  a.push(eip1967_slot(), 32);
+  a.op(Opcode::SSTORE).op(Opcode::STOP);
+  return a.assemble();
+}
+
+Bytes ContractFactory::diamond_proxy() {
+  Assembler a;
+  // facet = facets[selector]; mapping slot = keccak(selector_word ++ base)
+  a.push(U256{0}, 1)
+      .op(Opcode::CALLDATALOAD)
+      .push(U256{0xe0}, 1)
+      .op(Opcode::SHR);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(diamond_base_slot(), 32);
+  a.push(U256{0x20}, 1).op(Opcode::MSTORE);
+  a.push(U256{0x40}, 1).push(U256{0}, 1).op(Opcode::KECCAK256);
+  a.op(Opcode::SLOAD);
+  a.op(Opcode::DUP1).op(Opcode::ISZERO).push_label("nofacet").op(Opcode::JUMPI);
+  // forward calldata to the facet (address still on the stack)
+  a.op(Opcode::CALLDATASIZE);
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::CALLDATACOPY);
+  a.push(U256{0}, 1);        // retSize
+  a.push(U256{0}, 1);        // retOffset
+  a.op(Opcode::CALLDATASIZE);  // argsSize
+  a.push(U256{0}, 1);        // argsOffset
+  a.dup(5);                  // facet address
+  a.op(Opcode::GAS).op(Opcode::DELEGATECALL);
+  a.op(Opcode::RETURNDATASIZE);
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::RETURNDATACOPY);
+  a.push_label("dia_ok").op(Opcode::JUMPI);
+  a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).op(Opcode::REVERT);
+  a.jumpdest("dia_ok");
+  a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).op(Opcode::RETURN);
+  a.jumpdest("nofacet");
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  return a.assemble();
+}
+
+Bytes ContractFactory::plain_contract(const std::vector<FunctionSpec>& funcs) {
+  return build_plain(funcs);
+}
+
+Bytes ContractFactory::beacon_proxy() {
+  const U256 beacon_slot = hash_slot("eip1967.proxy.beacon", true);
+  Assembler a;
+  // impl = IBeacon(sload(beacon_slot)).implementation()  [STATICCALL]
+  a.push_selector(crypto::selector_u32("implementation()"));
+  a.push(U256{0xe0}, 1).op(Opcode::SHL);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);  // mem[0..4) = selector
+  a.push(U256{0x20}, 1);                  // retSize
+  a.push(U256{0}, 1);                     // retOffset
+  a.push(U256{4}, 1);                     // argsSize
+  a.push(U256{0}, 1);                     // argsOffset
+  a.push(beacon_slot, 32).op(Opcode::SLOAD);
+  a.push(mask160(), 20).op(Opcode::AND);
+  a.op(Opcode::GAS).op(Opcode::STATICCALL).op(Opcode::POP);
+  a.push(U256{0}, 1).op(Opcode::MLOAD);
+  a.push(mask160(), 20).op(Opcode::AND);  // impl address on the stack
+  // forward the original calldata to impl
+  a.op(Opcode::CALLDATASIZE);
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::CALLDATACOPY);
+  a.push(U256{0}, 1);          // retSize
+  a.push(U256{0}, 1);          // retOffset
+  a.op(Opcode::CALLDATASIZE);  // argsSize
+  a.push(U256{0}, 1);          // argsOffset
+  a.dup(5);                    // impl
+  a.op(Opcode::GAS).op(Opcode::DELEGATECALL);
+  a.op(Opcode::RETURNDATASIZE);
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::RETURNDATACOPY);
+  a.push_label("bx_ok").op(Opcode::JUMPI);
+  a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).op(Opcode::REVERT);
+  a.jumpdest("bx_ok");
+  a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).op(Opcode::RETURN);
+  return a.assemble();
+}
+
+Bytes ContractFactory::beacon() {
+  return build_plain({
+      {.prototype = "implementation()",
+       .body = BodyKind::kReturnStorageAddress, .slot = U256{0}},
+      {.prototype = "upgradeTo(address)",
+       .body = BodyKind::kGuardedStoreArgAddress, .slot = U256{0},
+       .aux = U256{1}},
+  });
+}
+
+Bytes ContractFactory::garbage_push4_contract() {
+  return build_plain({
+      {.prototype = "store(uint256)", .body = BodyKind::kStoreArgWord,
+       .slot = U256{3}},
+      {.prototype = "magic()", .body = BodyKind::kPush4Garbage},
+      {.prototype = "value()", .body = BodyKind::kReturnStorageWord,
+       .slot = U256{3}},
+  });
+}
+
+Bytes ContractFactory::library_user(const Address& library) {
+  return build_plain({
+      {.prototype = "compute(uint256)", .body = BodyKind::kDelegateToLibrary,
+       .aux = library.to_word()},
+      {.prototype = "result()", .body = BodyKind::kReturnStorageWord,
+       .slot = U256{7}},
+  });
+}
+
+Bytes ContractFactory::math_library() {
+  return build_plain({
+      {.prototype = "add(uint256,uint256)", .body = BodyKind::kReturnConstant,
+       .aux = U256{42}},
+      {.prototype = "mul(uint256,uint256)", .body = BodyKind::kReturnConstant,
+       .aux = U256{1764}},
+  });
+}
+
+Bytes ContractFactory::honeypot_proxy(const U256& logic_slot,
+                                      std::uint32_t colliding_selector) {
+  // Listing 1: the proxy function shadows the logic's lure (same selector)
+  // and "steals" from the caller (modelled as a caller-marking write).
+  std::vector<FunctionSpec> funcs = {
+      {.prototype = "", .body = BodyKind::kStoreCaller, .slot = U256{99}},
+      {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+       .slot = U256{0}},
+  };
+  funcs[0].raw_selector = colliding_selector;
+  return build_with_fallback(funcs, logic_slot);
+}
+
+Bytes ContractFactory::honeypot_logic(std::uint32_t lure_selector) {
+  std::vector<FunctionSpec> funcs = {
+      {.prototype = "", .body = BodyKind::kTransferToCaller,
+       .aux = U256{10'000'000'000ull}},
+  };
+  funcs[0].raw_selector = lure_selector;
+  return build_plain(funcs);
+}
+
+Bytes ContractFactory::audius_style_proxy() {
+  // Slot 0 = owner (address, 20 bytes); slot 1 = logic address.
+  return build_with_fallback(
+      {
+          {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+           .slot = U256{0}},
+          {.prototype = "upgradeTo(address)",
+           .body = BodyKind::kGuardedStoreArgAddress, .slot = U256{1},
+           .aux = U256{0}},
+      },
+      U256{1});
+}
+
+Bytes ContractFactory::audius_style_logic() {
+  // Slot 0 = initialized/initializing flags (bool bytes) in the logic's own
+  // layout — colliding with the proxy's owner.
+  return build_plain({
+      {.prototype = "initialize()", .body = BodyKind::kAudiusInitialize,
+       .slot = U256{0}},
+      {.prototype = "initialized()", .body = BodyKind::kReturnStorageBool,
+       .slot = U256{0}},
+      {.prototype = "work(uint256)", .body = BodyKind::kStoreArgWord,
+       .slot = U256{5}},
+  });
+}
+
+Bytes ContractFactory::token_contract(std::uint64_t salt) {
+  return build_plain({
+      {.prototype = "totalSupply()", .body = BodyKind::kReturnConstant,
+       .aux = U256{1'000'000 + salt}},
+      {.prototype = "balanceOf(address)",
+       .body = BodyKind::kReturnStorageWord, .slot = U256{2}},
+      {.prototype = "transfer(address,uint256)",
+       .body = BodyKind::kStoreArgWord, .slot = U256{2}},
+      {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+       .slot = U256{0}},
+  });
+}
+
+}  // namespace proxion::datagen

@@ -1,0 +1,150 @@
+// Builds realistic EVM runtime bytecode for every contract archetype the
+// paper's analyses encounter: solc-style dispatchers (PUSH4/EQ/JUMPI
+// chains), EIP-1167 minimal proxies (canonical 45-byte runtime), EIP-1967 /
+// EIP-1822 / custom-slot proxies, transparent proxies, diamond proxies,
+// library-call contracts, honeypots (paper Listing 1), and the Audius-style
+// storage-collision pair (paper Listing 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/eth.h"
+#include "datagen/assembler.h"
+#include "evm/types.h"
+
+namespace proxion::datagen {
+
+using evm::Address;
+
+/// What a dispatched function body does. Bodies are small but *behavioural*:
+/// they read/write storage with width-revealing idioms (masks, CALLER
+/// comparisons) so the storage-collision analysis has real material to chew.
+enum class BodyKind {
+  kStop,              // empty body
+  kReturnConstant,    // return aux as a 32-byte word
+  kReturnStorageWord, // return sload(slot) unmasked (uint256 read)
+  kReturnStorageAddress,  // return sload(slot) & 2^160-1 (address read)
+  kReturnStorageBool, // return sload(slot) & 0xff (bool read)
+  kReturnStorageBoolAtOffset,  // return (sload(slot) >> 8*aux) & 0xff (packed)
+  kStoreBoolPackedAt,  // sstore(slot, (sload & ~(0xff<<8k)) | (1<<8k)), k=aux
+                       // — Solidity's packed read-modify-write idiom
+  kStoreArgWord,      // sstore(slot, calldataload(4)) — unguarded uint write
+  kStoreArgAddress,   // sstore(slot, calldataload(4) & 2^160-1)
+  kStoreCaller,       // sstore(slot, caller) — unguarded address write
+  kGuardedStoreArgAddress,  // require(caller == address(sload(aux))); store
+  kRevert,
+  kTransferToCaller,  // send aux wei to msg.sender (honeypot lure)
+  kDelegateToLibrary, // delegatecall to hard-coded address aux (library call)
+  kAudiusInitialize,  // bool read of slot 0 + unguarded caller write (Listing 2)
+  kPush4Garbage,      // PUSH4 constants that are NOT selectors (FP trap)
+};
+
+struct FunctionSpec {
+  std::string prototype;          // canonical signature for the selector
+  BodyKind body = BodyKind::kStop;
+  evm::U256 slot;                 // storage slot the body touches
+  evm::U256 aux;                  // constant / owner slot / library address
+  evm::U256 aux2;                 // secondary operand (library fn selector)
+  /// Overrides the prototype-derived selector; how honeypots force the
+  /// collision with the logic contract's lure (Listing 1).
+  std::optional<std::uint32_t> raw_selector;
+
+  std::uint32_t selector() const {
+    return raw_selector ? *raw_selector : crypto::selector_u32(prototype);
+  }
+};
+
+/// Where a proxy keeps its logic contract's address.
+enum class ProxySlotKind {
+  kHardcoded,   // in the bytecode (EIP-1167 / clone pattern)
+  kSlotZero,    // storage slot 0 (early hand-rolled proxies)
+  kCustomSlot,  // some other small slot ("non-standard" in Table 4)
+  kEip1967,     // keccak("eip1967.proxy.implementation") - 1
+  kEip1822,     // keccak("PROXIABLE")
+};
+
+class ContractFactory {
+ public:
+  /// The canonical EIP-1167 45-byte runtime delegating to `logic`.
+  static Bytes minimal_proxy(const Address& logic);
+
+  /// Dispatcher over `funcs` plus a fallback that forwards all call data via
+  /// DELEGATECALL to the address stored in `slot` (solc/OpenZeppelin shape).
+  static Bytes slot_proxy(const evm::U256& slot,
+                          const std::vector<FunctionSpec>& funcs = {});
+
+  static Bytes eip1967_proxy(const std::vector<FunctionSpec>& funcs = {});
+  static Bytes eip1822_proxy(const std::vector<FunctionSpec>& funcs = {});
+
+  /// EIP-1967 proxy whose fallback first routes the stored admin to an
+  /// upgradeTo(address) dispatcher — the Transparent pattern that dodges
+  /// function collisions by construction (§3.1 footnote).
+  static Bytes transparent_proxy();
+
+  /// EIP-2535 diamond: the fallback looks the facet up in a selector-keyed
+  /// mapping; unregistered selectors revert, which is exactly why Proxion's
+  /// random-selector probe misses diamonds (§8.1).
+  static Bytes diamond_proxy();
+
+  /// EIP-1967 *beacon* variant: the fallback STATICCALLs the beacon's
+  /// implementation() getter and delegates to the returned address. The
+  /// logic address is thus neither in the proxy's code nor its storage.
+  static Bytes beacon_proxy();
+  /// The beacon contract itself: implementation() returns slot 0.
+  static Bytes beacon();
+
+  /// Plain (non-proxy) contract: dispatcher + revert fallback.
+  static Bytes plain_contract(const std::vector<FunctionSpec>& funcs);
+
+  /// Non-proxy contract whose *bodies* contain PUSH4 garbage — defeats naive
+  /// "any PUSH4 is a selector" extraction (§3.1 challenge 3).
+  static Bytes garbage_push4_contract();
+
+  /// Contract that delegatecalls a hard-coded library inside a *named
+  /// function* (not the fallback): per §2.2 this is NOT a proxy, and the
+  /// paper faults CRUSH for classifying it as one.
+  static Bytes library_user(const Address& library);
+
+  /// Pure library: exported helper functions, no storage of its own.
+  static Bytes math_library();
+
+  /// Paper Listing 1 — the honeypot pair. The proxy's dispatcher carries a
+  /// function whose selector equals `colliding_selector` (the logic's lure).
+  static Bytes honeypot_proxy(const evm::U256& logic_slot,
+                              std::uint32_t colliding_selector);
+  static Bytes honeypot_logic(std::uint32_t lure_selector);
+
+  /// Paper Listing 2 — the Audius-style pair. Proxy reads slot 0 as a
+  /// 20-byte owner address; logic reads it as 1-byte flags and writes it
+  /// unguarded with CALLER in initialize().
+  static Bytes audius_style_proxy();
+  static Bytes audius_style_logic();
+
+  /// ERC20-ish token used as logic contracts / plain population filler.
+  /// `salt` perturbs a constant so duplicates vs uniques are controllable.
+  static Bytes token_contract(std::uint64_t salt);
+
+  /// Shared helpers -------------------------------------------------------
+
+  /// Emits the solc-style selector dispatcher over `funcs`; control falls
+  /// through to "fallback" when no selector matches (callers must define the
+  /// label and bodies). Returns the assembler for continued use.
+  static void emit_dispatcher(Assembler& a,
+                              const std::vector<FunctionSpec>& funcs);
+  /// Emits one function body under its (already defined) label.
+  static void emit_body(Assembler& a, const FunctionSpec& func,
+                        const std::string& label);
+  /// Emits the calldata-forwarding DELEGATECALL fallback reading the target
+  /// address from `slot`.
+  static void emit_delegate_fallback_from_slot(Assembler& a,
+                                               const evm::U256& slot);
+
+  static const evm::U256& eip1967_slot();
+  static const evm::U256& eip1822_slot();
+  static const evm::U256& diamond_base_slot();
+};
+
+}  // namespace proxion::datagen

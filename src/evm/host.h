@@ -1,0 +1,170 @@
+// Host interface: everything the interpreter needs from the outside world
+// (account code, storage, balances, block context). The blockchain module
+// implements it for real execution; `OverlayHost` wraps any host with a
+// write-buffer so Proxion's *emulated* runs never mutate chain state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "evm/types.h"
+
+namespace proxion::evm {
+
+struct BlockContext {
+  U256 number;
+  U256 timestamp;
+  U256 difficulty;   // PREVRANDAO post-merge
+  U256 gas_limit{30'000'000};
+  U256 base_fee{7};
+  U256 gas_price{10};
+  U256 chain_id{1};  // Ethereum mainnet
+  Address coinbase;
+};
+
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  virtual Bytes get_code(const Address& account) = 0;
+  virtual U256 get_storage(const Address& account, const U256& slot) = 0;
+  virtual void set_storage(const Address& account, const U256& slot,
+                           const U256& value) = 0;
+  virtual U256 get_balance(const Address& account) = 0;
+  virtual void set_balance(const Address& account, const U256& value) = 0;
+  virtual std::uint64_t get_nonce(const Address& account) = 0;
+  virtual void set_nonce(const Address& account, std::uint64_t nonce) = 0;
+  virtual void set_code(const Address& account, Bytes code) = 0;
+  virtual bool account_exists(const Address& account) = 0;
+  virtual U256 block_hash(std::uint64_t block_number) = 0;
+  virtual const BlockContext& block_context() = 0;
+};
+
+/// Copy-on-write view over a base host. Reads fall through to the base until
+/// a local write shadows them; writes never reach the base. Used for EVM
+/// *emulation* (§4.2) and for the storage-collision exploit verification,
+/// both of which must leave the chain untouched.
+class OverlayHost final : public Host {
+ public:
+  explicit OverlayHost(Host& base) : base_(base) {}
+
+  Bytes get_code(const Address& a) override {
+    if (const auto it = code_.find(a); it != code_.end()) return it->second;
+    return base_.get_code(a);
+  }
+  U256 get_storage(const Address& a, const U256& slot) override {
+    if (const auto it = storage_.find(a); it != storage_.end()) {
+      if (const auto jt = it->second.find(slot); jt != it->second.end()) {
+        return jt->second;
+      }
+    }
+    return base_.get_storage(a, slot);
+  }
+  void set_storage(const Address& a, const U256& slot,
+                   const U256& value) override {
+    storage_[a][slot] = value;
+  }
+  U256 get_balance(const Address& a) override {
+    if (const auto it = balance_.find(a); it != balance_.end()) {
+      return it->second;
+    }
+    return base_.get_balance(a);
+  }
+  void set_balance(const Address& a, const U256& value) override {
+    balance_[a] = value;
+  }
+  std::uint64_t get_nonce(const Address& a) override {
+    if (const auto it = nonce_.find(a); it != nonce_.end()) return it->second;
+    return base_.get_nonce(a);
+  }
+  void set_nonce(const Address& a, std::uint64_t nonce) override {
+    nonce_[a] = nonce;
+  }
+  void set_code(const Address& a, Bytes code) override {
+    code_[a] = std::move(code);
+  }
+  bool account_exists(const Address& a) override {
+    return code_.contains(a) || balance_.contains(a) || nonce_.contains(a) ||
+           base_.account_exists(a);
+  }
+  U256 block_hash(std::uint64_t n) override { return base_.block_hash(n); }
+  const BlockContext& block_context() override {
+    return base_.block_context();
+  }
+
+  /// Slots written during the overlay's lifetime (per account) — the
+  /// storage-collision verifier inspects these to confirm an exploit wrote
+  /// the sensitive slot.
+  const std::unordered_map<U256, U256, U256Hasher>* written_slots(
+      const Address& a) const {
+    const auto it = storage_.find(a);
+    return it == storage_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  Host& base_;
+  std::unordered_map<Address, Bytes, AddressHasher> code_;
+  std::unordered_map<Address,
+                     std::unordered_map<U256, U256, U256Hasher>,
+                     AddressHasher>
+      storage_;
+  std::unordered_map<Address, U256, AddressHasher> balance_;
+  std::unordered_map<Address, std::uint64_t, AddressHasher> nonce_;
+};
+
+/// Minimal in-memory host for unit tests and standalone emulation (no chain
+/// behind it; missing accounts read as empty).
+class MemoryHost final : public Host {
+ public:
+  Bytes get_code(const Address& a) override {
+    const auto it = code_.find(a);
+    return it == code_.end() ? Bytes{} : it->second;
+  }
+  U256 get_storage(const Address& a, const U256& slot) override {
+    const auto it = storage_.find(a);
+    if (it == storage_.end()) return U256{};
+    const auto jt = it->second.find(slot);
+    return jt == it->second.end() ? U256{} : jt->second;
+  }
+  void set_storage(const Address& a, const U256& slot,
+                   const U256& value) override {
+    storage_[a][slot] = value;
+  }
+  U256 get_balance(const Address& a) override {
+    const auto it = balance_.find(a);
+    return it == balance_.end() ? U256{} : it->second;
+  }
+  void set_balance(const Address& a, const U256& value) override {
+    balance_[a] = value;
+  }
+  std::uint64_t get_nonce(const Address& a) override {
+    const auto it = nonce_.find(a);
+    return it == nonce_.end() ? 0 : it->second;
+  }
+  void set_nonce(const Address& a, std::uint64_t nonce) override {
+    nonce_[a] = nonce;
+  }
+  void set_code(const Address& a, Bytes code) override {
+    code_[a] = std::move(code);
+  }
+  bool account_exists(const Address& a) override {
+    return code_.contains(a) || balance_.contains(a) || nonce_.contains(a);
+  }
+  U256 block_hash(std::uint64_t n) override {
+    return U256{n} * U256{2654435761u};  // deterministic stand-in
+  }
+  const BlockContext& block_context() override { return block_; }
+  BlockContext& mutable_block_context() { return block_; }
+
+ private:
+  std::unordered_map<Address, Bytes, AddressHasher> code_;
+  std::unordered_map<Address,
+                     std::unordered_map<U256, U256, U256Hasher>,
+                     AddressHasher>
+      storage_;
+  std::unordered_map<Address, U256, AddressHasher> balance_;
+  std::unordered_map<Address, std::uint64_t, AddressHasher> nonce_;
+  BlockContext block_;
+};
+
+}  // namespace proxion::evm

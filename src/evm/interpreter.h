@@ -1,0 +1,188 @@
+// The EVM interpreter: a 1024-deep stack machine with byte-addressed memory,
+// persistent storage through a Host, the full call family (CALL / CALLCODE /
+// DELEGATECALL / STATICCALL), CREATE / CREATE2, and coarse gas accounting.
+//
+// Guest misbehaviour (stack underflow, bad jumps, out-of-gas, invalid
+// opcodes) never throws — it becomes a HaltReason in the result, exactly the
+// property Proxion's emulation phase (§4.2) relies on when sweeping millions
+// of potentially malformed contracts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "evm/host.h"
+#include "evm/types.h"
+
+namespace proxion::evm {
+
+enum class CallKind : std::uint8_t {
+  kCall,
+  kCallCode,
+  kDelegateCall,
+  kStaticCall,
+  kCreate,
+  kCreate2,
+};
+
+std::string_view to_string(CallKind kind) noexcept;
+
+enum class HaltReason : std::uint8_t {
+  kStop,            // STOP or implicit end of code
+  kReturn,          // RETURN
+  kRevert,          // REVERT
+  kSelfDestruct,    // SELFDESTRUCT
+  kOutOfGas,
+  kStackUnderflow,
+  kStackOverflow,
+  kBadJumpDestination,
+  kInvalidOpcode,
+  kStaticViolation,      // state-changing op inside STATICCALL
+  kCallDepthExceeded,
+  kReturnDataOutOfBounds,
+  kStepLimit,            // emulator fuse: too many instructions executed
+};
+
+std::string_view to_string(HaltReason reason) noexcept;
+
+/// Did the frame complete successfully (STOP/RETURN/SELFDESTRUCT)?
+constexpr bool is_success(HaltReason r) noexcept {
+  return r == HaltReason::kStop || r == HaltReason::kReturn ||
+         r == HaltReason::kSelfDestruct;
+}
+
+struct CallParams {
+  Address code_address;     // whose code runs
+  Address storage_address;  // whose storage/balance context applies
+  Address caller;
+  Address origin;
+  U256 value;
+  Bytes calldata;
+  std::uint64_t gas = 10'000'000;
+  bool is_static = false;
+  int depth = 0;
+};
+
+struct LogRecord {
+  Address emitter;
+  std::vector<U256> topics;
+  Bytes data;
+};
+
+struct ExecResult {
+  HaltReason halt = HaltReason::kStop;
+  Bytes return_data;
+  std::uint64_t gas_used = 0;
+  std::vector<LogRecord> logs;
+
+  bool success() const noexcept { return is_success(halt); }
+};
+
+/// Observation hooks. Proxion's proxy detector installs one to watch for
+/// DELEGATECALL instructions and to check that the crafted call data is
+/// forwarded verbatim into the callee frame.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+
+  /// Before each instruction. `stack` is the full operand stack, bottom
+  /// first (stack.back() is the top).
+  virtual void on_instruction(int /*depth*/, const Address& /*code_addr*/,
+                              std::uint32_t /*pc*/, std::uint8_t /*opcode*/,
+                              std::span<const U256> /*stack*/) {}
+
+  /// When a call-family instruction (or a top-level message call) enters a
+  /// callee frame. `calldata` is the input the callee observes.
+  virtual void on_call(CallKind /*kind*/, int /*depth*/,
+                       const Address& /*from*/, const Address& /*to*/,
+                       BytesView /*calldata*/) {}
+
+  /// When a frame halts.
+  virtual void on_halt(int /*depth*/, HaltReason /*reason*/) {}
+
+  /// Every SLOAD: which storage slot was read in which context and what
+  /// value came back. The proxy detector uses this to locate the storage
+  /// slot holding the logic contract's address (§4.3).
+  virtual void on_sload(int /*depth*/, const Address& /*storage_addr*/,
+                        const U256& /*slot*/, const U256& /*value*/) {}
+
+  /// Every SSTORE (pre-write).
+  virtual void on_sstore(int /*depth*/, const Address& /*storage_addr*/,
+                         const U256& /*slot*/, const U256& /*value*/) {}
+};
+
+struct InterpreterConfig {
+  /// Hard cap on executed instructions across all frames, a fuse against
+  /// infinite loops during emulation of unknown bytecode.
+  std::uint64_t step_limit = 1'000'000;
+  int max_call_depth = 1024;
+  bool charge_gas = true;
+  /// EIP-2929 warm/cold account & slot access pricing (cold SLOAD 2100,
+  /// cold account touch 2600; warm accesses 100).
+  bool eip2929_access_costs = true;
+};
+
+/// Per-transaction access sets (EIP-2929): shared by every frame spawned
+/// from one top-level call, reset between transactions.
+struct TxAccessState {
+  std::unordered_map<Address, bool, AddressHasher> warm_accounts;
+  std::unordered_map<Address,
+                     std::unordered_map<U256, bool, U256Hasher>,
+                     AddressHasher>
+      warm_slots;
+  /// EIP-1153 transient storage: per-transaction, per-contract, cleared
+  /// when the transaction ends (this struct is reset per transaction).
+  std::unordered_map<Address,
+                     std::unordered_map<U256, U256, U256Hasher>,
+                     AddressHasher>
+      transient;
+
+  /// Marks the account warm; returns true if it was cold before.
+  bool touch_account(const Address& a) {
+    return !std::exchange(warm_accounts[a], true);
+  }
+  bool touch_slot(const Address& a, const U256& slot) {
+    return !std::exchange(warm_slots[a][slot], true);
+  }
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(Host& host, InterpreterConfig config = {})
+      : host_(host), config_(config) {}
+
+  void set_observer(TraceObserver* observer) noexcept { observer_ = observer; }
+
+  /// Runs a message call (code already deployed at params.code_address).
+  ExecResult execute(const CallParams& params);
+
+  /// Runs init code and deploys the returned runtime code at `target`.
+  /// Returns the runtime code via ExecResult::return_data on success.
+  ExecResult execute_create(const Address& creator, const Address& target,
+                            BytesView init_code, const U256& value, int depth,
+                            std::uint64_t gas);
+
+  std::uint64_t steps_executed() const noexcept { return steps_; }
+
+ private:
+  struct Frame;
+  ExecResult run_frame(Frame& frame);
+  /// Charges the EIP-2929 cold surcharge for touching `a` (0 when warm or
+  /// when access costs are disabled). Precompiles are always warm.
+  std::int64_t account_access_surcharge(const Address& a);
+  std::int64_t slot_access_surcharge(const Address& a, const U256& slot);
+
+  Host& host_;
+  InterpreterConfig config_;
+  TraceObserver* observer_ = nullptr;
+  std::uint64_t steps_ = 0;
+  TxAccessState owned_access_state_;
+  TxAccessState* access_ = &owned_access_state_;
+};
+
+}  // namespace proxion::evm

@@ -1,0 +1,144 @@
+#include "evm/opcodes.h"
+
+#include <array>
+
+namespace proxion::evm {
+namespace {
+
+struct Entry {
+  std::uint8_t byte;
+  OpcodeInfo info;
+};
+
+// mnemonic, immediates, in, out, gas, defined
+constexpr Entry kEntries[] = {
+    {0x00, {"STOP", 0, 0, 0, 0, true}},
+    {0x01, {"ADD", 0, 2, 1, 3, true}},
+    {0x02, {"MUL", 0, 2, 1, 5, true}},
+    {0x03, {"SUB", 0, 2, 1, 3, true}},
+    {0x04, {"DIV", 0, 2, 1, 5, true}},
+    {0x05, {"SDIV", 0, 2, 1, 5, true}},
+    {0x06, {"MOD", 0, 2, 1, 5, true}},
+    {0x07, {"SMOD", 0, 2, 1, 5, true}},
+    {0x08, {"ADDMOD", 0, 3, 1, 8, true}},
+    {0x09, {"MULMOD", 0, 3, 1, 8, true}},
+    {0x0a, {"EXP", 0, 2, 1, 10, true}},
+    {0x0b, {"SIGNEXTEND", 0, 2, 1, 5, true}},
+    {0x10, {"LT", 0, 2, 1, 3, true}},
+    {0x11, {"GT", 0, 2, 1, 3, true}},
+    {0x12, {"SLT", 0, 2, 1, 3, true}},
+    {0x13, {"SGT", 0, 2, 1, 3, true}},
+    {0x14, {"EQ", 0, 2, 1, 3, true}},
+    {0x15, {"ISZERO", 0, 1, 1, 3, true}},
+    {0x16, {"AND", 0, 2, 1, 3, true}},
+    {0x17, {"OR", 0, 2, 1, 3, true}},
+    {0x18, {"XOR", 0, 2, 1, 3, true}},
+    {0x19, {"NOT", 0, 1, 1, 3, true}},
+    {0x1a, {"BYTE", 0, 2, 1, 3, true}},
+    {0x1b, {"SHL", 0, 2, 1, 3, true}},
+    {0x1c, {"SHR", 0, 2, 1, 3, true}},
+    {0x1d, {"SAR", 0, 2, 1, 3, true}},
+    {0x20, {"KECCAK256", 0, 2, 1, 30, true}},
+    {0x30, {"ADDRESS", 0, 0, 1, 2, true}},
+    {0x31, {"BALANCE", 0, 1, 1, 100, true}},
+    {0x32, {"ORIGIN", 0, 0, 1, 2, true}},
+    {0x33, {"CALLER", 0, 0, 1, 2, true}},
+    {0x34, {"CALLVALUE", 0, 0, 1, 2, true}},
+    {0x35, {"CALLDATALOAD", 0, 1, 1, 3, true}},
+    {0x36, {"CALLDATASIZE", 0, 0, 1, 2, true}},
+    {0x37, {"CALLDATACOPY", 0, 3, 0, 3, true}},
+    {0x38, {"CODESIZE", 0, 0, 1, 2, true}},
+    {0x39, {"CODECOPY", 0, 3, 0, 3, true}},
+    {0x3a, {"GASPRICE", 0, 0, 1, 2, true}},
+    {0x3b, {"EXTCODESIZE", 0, 1, 1, 100, true}},
+    {0x3c, {"EXTCODECOPY", 0, 4, 0, 100, true}},
+    {0x3d, {"RETURNDATASIZE", 0, 0, 1, 2, true}},
+    {0x3e, {"RETURNDATACOPY", 0, 3, 0, 3, true}},
+    {0x3f, {"EXTCODEHASH", 0, 1, 1, 100, true}},
+    {0x40, {"BLOCKHASH", 0, 1, 1, 20, true}},
+    {0x41, {"COINBASE", 0, 0, 1, 2, true}},
+    {0x42, {"TIMESTAMP", 0, 0, 1, 2, true}},
+    {0x43, {"NUMBER", 0, 0, 1, 2, true}},
+    {0x44, {"DIFFICULTY", 0, 0, 1, 2, true}},
+    {0x45, {"GASLIMIT", 0, 0, 1, 2, true}},
+    {0x46, {"CHAINID", 0, 0, 1, 2, true}},
+    {0x47, {"SELFBALANCE", 0, 0, 1, 5, true}},
+    {0x48, {"BASEFEE", 0, 0, 1, 2, true}},
+    {0x50, {"POP", 0, 1, 0, 2, true}},
+    {0x51, {"MLOAD", 0, 1, 1, 3, true}},
+    {0x52, {"MSTORE", 0, 2, 0, 3, true}},
+    {0x53, {"MSTORE8", 0, 2, 0, 3, true}},
+    {0x54, {"SLOAD", 0, 1, 1, 100, true}},
+    {0x55, {"SSTORE", 0, 2, 0, 100, true}},
+    {0x56, {"JUMP", 0, 1, 0, 8, true}},
+    {0x57, {"JUMPI", 0, 2, 0, 10, true}},
+    {0x58, {"PC", 0, 0, 1, 2, true}},
+    {0x59, {"MSIZE", 0, 0, 1, 2, true}},
+    {0x5a, {"GAS", 0, 0, 1, 2, true}},
+    {0x5b, {"JUMPDEST", 0, 0, 0, 1, true}},
+    {0x5c, {"TLOAD", 0, 1, 1, 100, true}},
+    {0x5d, {"TSTORE", 0, 2, 0, 100, true}},
+    {0x5e, {"MCOPY", 0, 3, 0, 3, true}},
+    {0xf0, {"CREATE", 0, 3, 1, 32000, true}},
+    {0xf1, {"CALL", 0, 7, 1, 100, true}},
+    {0xf2, {"CALLCODE", 0, 7, 1, 100, true}},
+    {0xf3, {"RETURN", 0, 2, 0, 0, true}},
+    {0xf4, {"DELEGATECALL", 0, 6, 1, 100, true}},
+    {0xf5, {"CREATE2", 0, 4, 1, 32000, true}},
+    {0xfa, {"STATICCALL", 0, 6, 1, 100, true}},
+    {0xfd, {"REVERT", 0, 2, 0, 0, true}},
+    {0xfe, {"INVALID", 0, 0, 0, 0, true}},
+    {0xff, {"SELFDESTRUCT", 0, 1, 0, 5000, true}},
+};
+
+constexpr std::string_view kPushNames[] = {
+    "PUSH0",  "PUSH1",  "PUSH2",  "PUSH3",  "PUSH4",  "PUSH5",  "PUSH6",
+    "PUSH7",  "PUSH8",  "PUSH9",  "PUSH10", "PUSH11", "PUSH12", "PUSH13",
+    "PUSH14", "PUSH15", "PUSH16", "PUSH17", "PUSH18", "PUSH19", "PUSH20",
+    "PUSH21", "PUSH22", "PUSH23", "PUSH24", "PUSH25", "PUSH26", "PUSH27",
+    "PUSH28", "PUSH29", "PUSH30", "PUSH31", "PUSH32"};
+constexpr std::string_view kDupNames[] = {
+    "DUP1",  "DUP2",  "DUP3",  "DUP4",  "DUP5",  "DUP6",  "DUP7",  "DUP8",
+    "DUP9",  "DUP10", "DUP11", "DUP12", "DUP13", "DUP14", "DUP15", "DUP16"};
+constexpr std::string_view kSwapNames[] = {
+    "SWAP1",  "SWAP2",  "SWAP3",  "SWAP4",  "SWAP5",  "SWAP6",
+    "SWAP7",  "SWAP8",  "SWAP9",  "SWAP10", "SWAP11", "SWAP12",
+    "SWAP13", "SWAP14", "SWAP15", "SWAP16"};
+constexpr std::string_view kLogNames[] = {"LOG0", "LOG1", "LOG2", "LOG3",
+                                          "LOG4"};
+
+std::array<OpcodeInfo, 256> build_table() {
+  std::array<OpcodeInfo, 256> table;
+  table.fill(OpcodeInfo{"UNDEFINED", 0, 0, 0, 0, false});
+  for (const Entry& e : kEntries) table[e.byte] = e.info;
+  for (int n = 0; n <= 32; ++n) {
+    table[0x5f + n] = OpcodeInfo{kPushNames[n], static_cast<std::uint8_t>(n),
+                                 0, 1, 3, true};
+  }
+  for (int n = 0; n < 16; ++n) {
+    table[0x80 + n] =
+        OpcodeInfo{kDupNames[n], 0, static_cast<std::uint8_t>(n + 1),
+                   static_cast<std::uint8_t>(n + 2), 3, true};
+    table[0x90 + n] =
+        OpcodeInfo{kSwapNames[n], 0, static_cast<std::uint8_t>(n + 2),
+                   static_cast<std::uint8_t>(n + 2), 3, true};
+  }
+  for (int n = 0; n < 5; ++n) {
+    table[0xa0 + n] = OpcodeInfo{
+        kLogNames[n], 0, static_cast<std::uint8_t>(n + 2), 0, 375, true};
+  }
+  return table;
+}
+
+const std::array<OpcodeInfo, 256>& table() {
+  static const std::array<OpcodeInfo, 256> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(std::uint8_t byte) noexcept {
+  return table()[byte];
+}
+
+}  // namespace proxion::evm

@@ -1,0 +1,179 @@
+// The full EVM instruction set through the Shanghai fork (PUSH0 included),
+// with static metadata: mnemonic, immediate size, stack arity, and a coarse
+// gas cost used by the emulator's fuel accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace proxion::evm {
+
+enum class Opcode : std::uint8_t {
+  STOP = 0x00,
+  ADD = 0x01,
+  MUL = 0x02,
+  SUB = 0x03,
+  DIV = 0x04,
+  SDIV = 0x05,
+  MOD = 0x06,
+  SMOD = 0x07,
+  ADDMOD = 0x08,
+  MULMOD = 0x09,
+  EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+
+  LT = 0x10,
+  GT = 0x11,
+  SLT = 0x12,
+  SGT = 0x13,
+  EQ = 0x14,
+  ISZERO = 0x15,
+  AND = 0x16,
+  OR = 0x17,
+  XOR = 0x18,
+  NOT = 0x19,
+  BYTE = 0x1a,
+  SHL = 0x1b,
+  SHR = 0x1c,
+  SAR = 0x1d,
+
+  KECCAK256 = 0x20,
+
+  ADDRESS = 0x30,
+  BALANCE = 0x31,
+  ORIGIN = 0x32,
+  CALLER = 0x33,
+  CALLVALUE = 0x34,
+  CALLDATALOAD = 0x35,
+  CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37,
+  CODESIZE = 0x38,
+  CODECOPY = 0x39,
+  GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b,
+  EXTCODECOPY = 0x3c,
+  RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e,
+  EXTCODEHASH = 0x3f,
+
+  BLOCKHASH = 0x40,
+  COINBASE = 0x41,
+  TIMESTAMP = 0x42,
+  NUMBER = 0x43,
+  DIFFICULTY = 0x44,  // PREVRANDAO post-merge; same byte
+  GASLIMIT = 0x45,
+  CHAINID = 0x46,
+  SELFBALANCE = 0x47,
+  BASEFEE = 0x48,
+
+  POP = 0x50,
+  MLOAD = 0x51,
+  MSTORE = 0x52,
+  MSTORE8 = 0x53,
+  SLOAD = 0x54,
+  SSTORE = 0x55,
+  JUMP = 0x56,
+  JUMPI = 0x57,
+  PC = 0x58,
+  MSIZE = 0x59,
+  GAS = 0x5a,
+  JUMPDEST = 0x5b,
+  TLOAD = 0x5c,   // EIP-1153 transient storage (Cancun)
+  TSTORE = 0x5d,
+  MCOPY = 0x5e,   // EIP-5656 memory copy (Cancun)
+
+  PUSH0 = 0x5f,
+  PUSH1 = 0x60,
+  PUSH2 = 0x61,
+  PUSH4 = 0x63,   // the opcode preceding every function selector (§3.1)
+  PUSH20 = 0x73,  // the opcode preceding hard-coded addresses (EIP-1167)
+  PUSH32 = 0x7f,
+  // all other PUSHn fill 0x60..0x7f contiguously
+
+  DUP1 = 0x80,
+  // DUP2..DUP16 are 0x81..0x8f
+  DUP16 = 0x8f,
+
+  SWAP1 = 0x90,
+  // SWAP2..SWAP16 are 0x91..0x9f
+  SWAP16 = 0x9f,
+
+  LOG0 = 0xa0,
+  LOG1 = 0xa1,
+  LOG2 = 0xa2,
+  LOG3 = 0xa3,
+  LOG4 = 0xa4,
+
+  CREATE = 0xf0,
+  CALL = 0xf1,
+  CALLCODE = 0xf2,
+  RETURN = 0xf3,
+  DELEGATECALL = 0xf4,
+  CREATE2 = 0xf5,
+  STATICCALL = 0xfa,
+  REVERT = 0xfd,
+  INVALID = 0xfe,
+  SELFDESTRUCT = 0xff,
+};
+
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  std::uint8_t immediate_bytes;  // bytes of inline operand (PUSHn only)
+  std::uint8_t stack_in;         // items popped
+  std::uint8_t stack_out;        // items pushed
+  std::uint32_t base_gas;        // coarse static cost for fuel accounting
+  bool defined;                  // false for unassigned byte values
+};
+
+/// Metadata for a raw opcode byte; `defined == false` for unassigned bytes
+/// (those execute as INVALID).
+const OpcodeInfo& opcode_info(std::uint8_t byte) noexcept;
+
+inline const OpcodeInfo& opcode_info(Opcode op) noexcept {
+  return opcode_info(static_cast<std::uint8_t>(op));
+}
+
+constexpr bool is_push(std::uint8_t byte) noexcept {
+  return byte >= 0x5f && byte <= 0x7f;  // PUSH0..PUSH32
+}
+constexpr int push_size(std::uint8_t byte) noexcept {
+  return is_push(byte) ? byte - 0x5f : 0;
+}
+constexpr bool is_dup(std::uint8_t byte) noexcept {
+  return byte >= 0x80 && byte <= 0x8f;
+}
+constexpr bool is_swap(std::uint8_t byte) noexcept {
+  return byte >= 0x90 && byte <= 0x9f;
+}
+constexpr bool is_log(std::uint8_t byte) noexcept {
+  return byte >= 0xa0 && byte <= 0xa4;
+}
+/// Instructions that unconditionally end a basic block.
+constexpr bool is_terminator(std::uint8_t byte) noexcept {
+  switch (static_cast<Opcode>(byte)) {
+    case Opcode::STOP:
+    case Opcode::JUMP:
+    case Opcode::RETURN:
+    case Opcode::REVERT:
+    case Opcode::INVALID:
+    case Opcode::SELFDESTRUCT:
+      return true;
+    default:
+      return false;
+  }
+}
+/// Calls that transfer control to another contract's code.
+constexpr bool is_call_family(std::uint8_t byte) noexcept {
+  switch (static_cast<Opcode>(byte)) {
+    case Opcode::CALL:
+    case Opcode::CALLCODE:
+    case Opcode::DELEGATECALL:
+    case Opcode::STATICCALL:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace proxion::evm

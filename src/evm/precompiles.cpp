@@ -1,0 +1,46 @@
+#include "evm/precompiles.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace proxion::evm {
+
+bool is_precompile_address(const Address& target) noexcept {
+  for (std::size_t i = 0; i < 19; ++i) {
+    if (target.bytes[i] != 0) return false;
+  }
+  const std::uint8_t last = target.bytes[19];
+  return last >= 0x01 && last <= 0x09;
+}
+
+std::optional<PrecompileResult> run_precompile(const Address& target,
+                                               BytesView input) {
+  if (!is_precompile_address(target)) return std::nullopt;
+  const std::uint64_t words = (input.size() + 31) / 32;
+
+  switch (target.bytes[19]) {
+    case 0x02: {  // SHA-256
+      const auto digest = crypto::sha256(input);
+      PrecompileResult result;
+      result.output.assign(digest.begin(), digest.end());
+      result.gas_cost = 60 + 12 * words;
+      return result;
+    }
+    case 0x04: {  // identity (datacopy)
+      PrecompileResult result;
+      result.output.assign(input.begin(), input.end());
+      result.gas_cost = 15 + 3 * words;
+      return result;
+    }
+    default: {
+      // Unimplemented reserved address: succeed with empty output, exactly
+      // like calling an empty account (documented substitution).
+      PrecompileResult result;
+      result.gas_cost = 0;
+      return result;
+    }
+  }
+}
+
+}  // namespace proxion::evm

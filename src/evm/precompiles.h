@@ -1,0 +1,28 @@
+// Precompiled contracts. The interpreter short-circuits CALL-family targets
+// at the reserved low addresses instead of running (empty) code there. We
+// implement the two precompiles real proxy/logic bytecode actually leans on
+// — SHA-256 (0x02) and identity (0x04) — and let the remaining reserved
+// addresses behave like empty accounts (success, empty output), which is
+// also what a default-configured emulator observes for never-invoked ones.
+#pragma once
+
+#include <optional>
+
+#include "evm/types.h"
+
+namespace proxion::evm {
+
+struct PrecompileResult {
+  Bytes output;
+  std::uint64_t gas_cost = 0;
+};
+
+/// Address 0x01..0x09 dispatch. Returns nullopt when `target` is not a
+/// handled precompile (callers then treat it as a normal account).
+std::optional<PrecompileResult> run_precompile(const Address& target,
+                                               BytesView input);
+
+/// True for any address in the reserved precompile range 0x01..0x09.
+bool is_precompile_address(const Address& target) noexcept;
+
+}  // namespace proxion::evm

@@ -1,0 +1,354 @@
+#include "evm/types.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace proxion::evm {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t, 32> be) noexcept {
+  U256 out;
+  for (std::size_t limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      v = (v << 8) | be[(3 - limb) * 8 + b];
+    }
+    out.limbs_[limb] = v;
+  }
+  return out;
+}
+
+U256 U256::from_be_slice(BytesView be) noexcept {
+  std::array<std::uint8_t, 32> padded{};
+  const std::size_t n = std::min<std::size_t>(be.size(), 32);
+  // Keep the *last* 32 bytes if the slice is oversized (EVM truncation rule).
+  std::memcpy(padded.data() + (32 - n), be.data() + (be.size() - n), n);
+  return from_be_bytes(padded);
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty() || hex.size() > 64) {
+    throw std::invalid_argument("U256::from_hex: bad length");
+  }
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  const auto raw = crypto::from_hex(padded);
+  return from_be_slice(raw);
+}
+
+std::array<std::uint8_t, 32> U256::to_be_bytes() const noexcept {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = limbs_[limb];
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[(3 - limb) * 8 + (7 - b)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  const auto be = to_be_bytes();
+  std::string full = crypto::to_hex(be);
+  const std::size_t first = full.find_first_not_of('0');
+  if (first == std::string::npos) return "0x0";
+  return "0x" + full.substr(first);
+}
+
+int U256::bit_length() const noexcept {
+  for (int limb = 3; limb >= 0; --limb) {
+    const std::uint64_t v = limbs_[static_cast<std::size_t>(limb)];
+    if (v != 0) return limb * 64 + (63 - std::countl_zero(v)) + 1;
+  }
+  return 0;
+}
+
+std::strong_ordering U256::operator<=>(const U256& rhs) const noexcept {
+  for (int i = 3; i >= 0; --i) {
+    const auto a = limbs_[static_cast<std::size_t>(i)];
+    const auto b = rhs.limbs_[static_cast<std::size_t>(i)];
+    if (a != b) return a < b ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+U256 U256::operator+(const U256& rhs) const noexcept {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = u128{limbs_[i]} + rhs.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return out;
+}
+
+U256 U256::operator-(const U256& rhs) const noexcept {
+  U256 out;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 lhs = u128{limbs_[i]};
+    const u128 sub = u128{rhs.limbs_[i]} + borrow;
+    out.limbs_[i] = static_cast<std::uint64_t>(lhs - sub);
+    borrow = lhs < sub ? 1 : 0;
+  }
+  return out;
+}
+
+U256 U256::operator*(const U256& rhs) const noexcept {
+  // Schoolbook multiply, keeping only the low 4 limbs (mod 2^256).
+  std::uint64_t acc[4] = {};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; i + j < 4; ++j) {
+      const u128 t = u128{limbs_[i]} * rhs.limbs_[j] + acc[i + j] + carry;
+      acc[i + j] = static_cast<std::uint64_t>(t);
+      carry = static_cast<std::uint64_t>(t >> 64);
+    }
+  }
+  return U256{acc[3], acc[2], acc[1], acc[0]};
+}
+
+namespace {
+
+/// Shift-subtract long division; returns {quotient, remainder}.
+std::pair<U256, U256> divmod(const U256& num, const U256& den) noexcept {
+  if (den.is_zero()) return {U256{}, U256{}};
+  if (num < den) return {U256{}, num};
+
+  U256 quotient;
+  U256 remainder;
+  for (int bit = num.bit_length() - 1; bit >= 0; --bit) {
+    remainder = remainder << U256{1};
+    const std::uint64_t in_bit =
+        (num.limb(static_cast<std::size_t>(bit / 64)) >>
+         (static_cast<unsigned>(bit) % 64)) &
+        1;
+    if (in_bit != 0) remainder = remainder | U256{1};
+    if (remainder >= den) {
+      remainder = remainder - den;
+      // set quotient bit
+      U256 one_shifted = U256{1} << U256{static_cast<std::uint64_t>(bit)};
+      quotient = quotient | one_shifted;
+    }
+  }
+  return {quotient, remainder};
+}
+
+U256 negate(const U256& v) noexcept { return (~v) + U256{1}; }
+
+}  // namespace
+
+U256 U256::operator/(const U256& rhs) const noexcept {
+  return divmod(*this, rhs).first;
+}
+
+U256 U256::operator%(const U256& rhs) const noexcept {
+  return divmod(*this, rhs).second;
+}
+
+U256 U256::operator&(const U256& rhs) const noexcept {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] & rhs.limbs_[i];
+  return out;
+}
+
+U256 U256::operator|(const U256& rhs) const noexcept {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] | rhs.limbs_[i];
+  return out;
+}
+
+U256 U256::operator^(const U256& rhs) const noexcept {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] ^ rhs.limbs_[i];
+  return out;
+}
+
+U256 U256::operator~() const noexcept {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = ~limbs_[i];
+  return out;
+}
+
+U256 U256::operator<<(const U256& shift) const noexcept {
+  if (!shift.fits_u64() || shift.low64() >= 256) return U256{};
+  const unsigned s = static_cast<unsigned>(shift.low64());
+  const unsigned limb_shift = s / 64;
+  const unsigned bit_shift = s % 64;
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i < limb_shift) continue;
+    std::uint64_t v = limbs_[i - limb_shift] << bit_shift;
+    if (bit_shift != 0 && i > limb_shift) {
+      v |= limbs_[i - limb_shift - 1] >> (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 U256::operator>>(const U256& shift) const noexcept {
+  if (!shift.fits_u64() || shift.low64() >= 256) return U256{};
+  const unsigned s = static_cast<unsigned>(shift.low64());
+  const unsigned limb_shift = s / 64;
+  const unsigned bit_shift = s % 64;
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i + limb_shift >= 4) continue;
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < 4) {
+      v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 U256::sdiv(const U256& rhs) const noexcept {
+  if (rhs.is_zero()) return U256{};
+  const bool neg_lhs = is_negative();
+  const bool neg_rhs = rhs.is_negative();
+  const U256 a = neg_lhs ? negate(*this) : *this;
+  const U256 b = neg_rhs ? negate(rhs) : rhs;
+  const U256 q = a / b;
+  return (neg_lhs != neg_rhs) ? negate(q) : q;
+}
+
+U256 U256::smod(const U256& rhs) const noexcept {
+  if (rhs.is_zero()) return U256{};
+  const bool neg_lhs = is_negative();
+  const U256 a = neg_lhs ? negate(*this) : *this;
+  const U256 b = rhs.is_negative() ? negate(rhs) : rhs;
+  const U256 r = a % b;
+  return neg_lhs ? negate(r) : r;  // result takes the dividend's sign
+}
+
+U256 U256::sar(const U256& shift) const noexcept {
+  const bool neg = is_negative();
+  if (!shift.fits_u64() || shift.low64() >= 256) {
+    return neg ? ~U256{} : U256{};
+  }
+  const U256 logical = *this >> shift;
+  if (!neg) return logical;
+  // Fill the vacated high bits with ones.
+  const U256 mask = ~(~U256{} >> shift);
+  return logical | mask;
+}
+
+bool U256::slt(const U256& rhs) const noexcept {
+  const bool neg_lhs = is_negative();
+  const bool neg_rhs = rhs.is_negative();
+  if (neg_lhs != neg_rhs) return neg_lhs;
+  return *this < rhs;
+}
+
+U256 U256::exp(const U256& exponent) const noexcept {
+  U256 result{1};
+  U256 base = *this;
+  for (int bit = 0; bit < 256; ++bit) {
+    const std::uint64_t limb = exponent.limb(static_cast<std::size_t>(bit / 64));
+    if ((limb >> (static_cast<unsigned>(bit) % 64)) & 1) {
+      result = result * base;
+    }
+    // Early exit once no higher bits remain.
+    if (exponent >> U256{static_cast<std::uint64_t>(bit + 1)} == U256{}) break;
+    base = base * base;
+  }
+  return result;
+}
+
+U256 U256::addmod(const U256& a, const U256& b, const U256& m) noexcept {
+  if (m.is_zero()) return U256{};
+  const U256 ra = a % m;
+  const U256 rb = b % m;
+  U256 sum = ra + rb;
+  // Detect 257-bit overflow: sum < ra means wraparound.
+  if (sum < ra || sum >= m) sum = sum - m;
+  if (sum >= m) sum = sum - m;  // wraparound case may still exceed m once
+  return sum;
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& m) noexcept {
+  if (m.is_zero()) return U256{};
+  // Russian-peasant multiplication with addmod keeps every intermediate
+  // below 2*m, avoiding a 512-bit representation.
+  U256 result{};
+  U256 acc = a % m;
+  for (int bit = 0; bit < 256; ++bit) {
+    const std::uint64_t limb = b.limb(static_cast<std::size_t>(bit / 64));
+    if ((limb >> (static_cast<unsigned>(bit) % 64)) & 1) {
+      result = addmod(result, acc, m);
+    }
+    if (b >> U256{static_cast<std::uint64_t>(bit + 1)} == U256{}) break;
+    acc = addmod(acc, acc, m);
+  }
+  return result;
+}
+
+U256 U256::signextend(const U256& byte_index) const noexcept {
+  if (!byte_index.fits_u64() || byte_index.low64() >= 31) return *this;
+  const unsigned idx = static_cast<unsigned>(byte_index.low64());
+  const unsigned sign_bit = idx * 8 + 7;
+  const std::uint64_t limb = limbs_[sign_bit / 64];
+  const bool negative = (limb >> (sign_bit % 64)) & 1;
+  const U256 mask = (~U256{}) << U256{sign_bit + 1};
+  return negative ? (*this | mask) : (*this & ~mask);
+}
+
+std::uint8_t U256::byte(const U256& index) const noexcept {
+  if (!index.fits_u64() || index.low64() >= 32) return 0;
+  const auto be = to_be_bytes();
+  return be[static_cast<std::size_t>(index.low64())];
+}
+
+Address Address::from_word(const U256& w) noexcept {
+  const auto be = w.to_be_bytes();
+  Address out;
+  std::memcpy(out.bytes.data(), be.data() + 12, 20);
+  return out;
+}
+
+Address Address::from_hex(std::string_view hex) {
+  const auto raw = crypto::from_hex(hex);
+  if (raw.size() != 20) {
+    throw std::invalid_argument("Address::from_hex: expected 20 bytes");
+  }
+  Address out;
+  std::memcpy(out.bytes.data(), raw.data(), 20);
+  return out;
+}
+
+Address Address::from_label(std::string_view label) {
+  const crypto::Hash256 h = crypto::keccak256(label);
+  Address out;
+  std::memcpy(out.bytes.data(), h.data() + 12, 20);
+  return out;
+}
+
+U256 Address::to_word() const noexcept {
+  std::array<std::uint8_t, 32> be{};
+  std::memcpy(be.data() + 12, bytes.data(), 20);
+  return U256::from_be_bytes(be);
+}
+
+std::string Address::to_hex() const { return "0x" + crypto::to_hex(bytes); }
+
+bool Address::is_zero() const noexcept {
+  return std::all_of(bytes.begin(), bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+crypto::Hash256 code_hash(BytesView code) { return crypto::keccak256(code); }
+
+U256 to_u256(const crypto::Hash256& h) noexcept {
+  return U256::from_be_bytes(std::span<const std::uint8_t, 32>(h));
+}
+
+}  // namespace proxion::evm

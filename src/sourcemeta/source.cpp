@@ -1,0 +1,92 @@
+#include "sourcemeta/source.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace proxion::sourcemeta {
+
+std::uint8_t type_width(const std::string& type) {
+  if (type == "bool") return 1;
+  if (type == "address") return 20;
+  if (type == "address payable") return 20;
+  if (type.rfind("uint", 0) == 0 || type.rfind("int", 0) == 0) {
+    const std::size_t digits_at = type[0] == 'u' ? 4 : 3;
+    if (type.size() == digits_at) return 32;  // bare uint/int
+    int bits = 0;
+    for (std::size_t i = digits_at; i < type.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(type[i]))) return 32;
+      bits = bits * 10 + (type[i] - '0');
+    }
+    return static_cast<std::uint8_t>(bits / 8);
+  }
+  if (type.rfind("bytes", 0) == 0 && type.size() > 5) {
+    int n = 0;
+    for (std::size_t i = 5; i < type.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(type[i]))) return 32;
+      n = n * 10 + (type[i] - '0');
+    }
+    if (n >= 1 && n <= 32) return static_cast<std::uint8_t>(n);
+  }
+  // mapping / dynamic array / struct / string / bytes: full slot.
+  return 32;
+}
+
+void layout_storage(std::vector<VariableDecl>& vars) {
+  std::uint32_t slot = 0;
+  std::uint8_t used = 0;  // bytes consumed in the current slot
+  const auto fresh_slot_type = [](const std::string& t) {
+    return t.rfind("mapping", 0) == 0 || t == "string" || t == "bytes" ||
+           t.find("[]") != std::string::npos;
+  };
+  for (VariableDecl& v : vars) {
+    v.size = type_width(v.type);
+    const bool needs_fresh = fresh_slot_type(v.type);
+    if (needs_fresh || used + v.size > 32) {
+      if (used != 0) {
+        ++slot;
+        used = 0;
+      }
+    }
+    v.slot = slot;
+    v.offset = used;
+    if (needs_fresh || v.size == 32) {
+      ++slot;
+      used = 0;
+    } else {
+      used = static_cast<std::uint8_t>(used + v.size);
+    }
+  }
+}
+
+std::vector<std::uint32_t> SourceRecord::selectors() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(functions.size());
+  for (const FunctionDecl& f : functions) {
+    if (f.is_public) out.push_back(f.selector_u32());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SourceRepository::publish(const Address& address, SourceRecord record) {
+  records_[address] = std::move(record);
+}
+
+const SourceRecord* SourceRepository::lookup(const Address& address) const {
+  const auto it = records_.find(address);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void SourceRepository::index_code_hash(const Address& address,
+                                       const crypto::Hash256& hash) {
+  if (records_.contains(address)) by_code_hash_.emplace(hash, address);
+}
+
+const SourceRecord* SourceRepository::lookup_by_code_hash(
+    const crypto::Hash256& hash) const {
+  const auto it = by_code_hash_.find(hash);
+  return it == by_code_hash_.end() ? nullptr : lookup(it->second);
+}
+
+}  // namespace proxion::sourcemeta

@@ -1,0 +1,207 @@
+// Conformance matrix: every factory archetype swept through the full
+// detection chain with its expected verdict, standard, and collision
+// profile — the ground-truth contract between datagen and core.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "chain/blockchain.h"
+#include "core/function_collision.h"
+#include "core/proxy_detector.h"
+#include "core/storage_collision.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using chain::Blockchain;
+using core::ProxyStandard;
+using core::ProxyVerdict;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+struct ArchetypeCase {
+  const char* name;
+  /// Deploys the contract (and any supporting contracts); returns the
+  /// address under test.
+  std::function<evm::Address(Blockchain&, const evm::Address& deployer)>
+      deploy;
+  ProxyVerdict expected_verdict;
+  ProxyStandard expected_standard;
+  bool expect_function_collision = false;  // vs its own logic, if any
+  bool expect_storage_collision = false;
+};
+
+evm::Address deploy_logic(Blockchain& chain, const evm::Address& deployer) {
+  return chain.deploy_runtime(deployer, ContractFactory::token_contract(777));
+}
+
+const std::vector<ArchetypeCase>& cases() {
+  static const std::vector<ArchetypeCase> kCases = {
+      {"minimal-proxy",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(
+             d, ContractFactory::minimal_proxy(deploy_logic(c, d)));
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kEip1167},
+      {"eip1967",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic = deploy_logic(c, d);
+         const auto p = c.deploy_runtime(d, ContractFactory::eip1967_proxy());
+         c.set_storage(p, ContractFactory::eip1967_slot(), logic.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kEip1967},
+      {"eip1822",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic = deploy_logic(c, d);
+         const auto p = c.deploy_runtime(d, ContractFactory::eip1822_proxy());
+         c.set_storage(p, ContractFactory::eip1822_slot(), logic.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kEip1822},
+      {"custom-slot0",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic = deploy_logic(c, d);
+         const auto p =
+             c.deploy_runtime(d, ContractFactory::slot_proxy(U256{0}));
+         c.set_storage(p, U256{0}, logic.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kOther},
+      {"transparent",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic = deploy_logic(c, d);
+         const auto p =
+             c.deploy_runtime(d, ContractFactory::transparent_proxy());
+         c.set_storage(p, ContractFactory::eip1967_slot(), logic.to_word());
+         c.set_storage(p, evm::to_u256(crypto::eip1967_admin_slot()),
+                       evm::Address::from_label("adm").to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kEip1967},
+      {"beacon",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic = deploy_logic(c, d);
+         const auto beacon = c.deploy_runtime(d, ContractFactory::beacon());
+         c.set_storage(beacon, U256{0}, logic.to_word());
+         const auto p = c.deploy_runtime(d, ContractFactory::beacon_proxy());
+         c.set_storage(p, evm::to_u256(crypto::eip1967_beacon_slot()),
+                       beacon.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kOther},
+      {"diamond",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d, ContractFactory::diamond_proxy());
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"honeypot",
+       [](Blockchain& c, const evm::Address& d) {
+         const std::uint32_t lure =
+             crypto::selector_u32("free_ether_withdrawal()");
+         const auto logic =
+             c.deploy_runtime(d, ContractFactory::honeypot_logic(lure));
+         const auto p = c.deploy_runtime(
+             d, ContractFactory::honeypot_proxy(U256{1}, lure));
+         c.set_storage(p, U256{1}, logic.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kOther,
+       /*fn_collision=*/true},
+      {"audius",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto logic =
+             c.deploy_runtime(d, ContractFactory::audius_style_logic());
+         const auto p =
+             c.deploy_runtime(d, ContractFactory::audius_style_proxy());
+         c.set_storage(p, U256{1}, logic.to_word());
+         return p;
+       },
+       ProxyVerdict::kProxy, ProxyStandard::kOther,
+       /*fn_collision=*/false, /*storage_collision=*/true},
+      {"token",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d, ContractFactory::token_contract(9));
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"garbage-push4",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d, ContractFactory::garbage_push4_contract());
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"library-user",
+       [](Blockchain& c, const evm::Address& d) {
+         const auto lib = c.deploy_runtime(d, ContractFactory::math_library());
+         return c.deploy_runtime(d, ContractFactory::library_user(lib));
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"math-library",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d, ContractFactory::math_library());
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+  };
+  return kCases;
+}
+
+class ArchetypeMatrixTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArchetypeMatrixTest, DetectionMatchesExpectation) {
+  const ArchetypeCase& c = cases()[GetParam()];
+  Blockchain chain;
+  const evm::Address deployer = evm::Address::from_label("matrix.deployer");
+  const evm::Address target = c.deploy(chain, deployer);
+
+  core::ProxyDetector detector(chain);
+  const auto report = detector.analyze(target);
+  EXPECT_EQ(report.verdict, c.expected_verdict) << c.name;
+  EXPECT_EQ(report.standard, c.expected_standard) << c.name;
+
+  if (report.is_proxy() && !report.logic_address.is_zero()) {
+    const Bytes proxy_code = chain.get_code(target);
+    const Bytes logic_code = chain.get_code(report.logic_address);
+    core::FunctionCollisionDetector fn;
+    EXPECT_EQ(fn.detect(target, proxy_code, report.logic_address, logic_code)
+                  .has_collision(),
+              c.expect_function_collision)
+        << c.name;
+    core::StorageCollisionDetector st(chain);
+    EXPECT_EQ(st.detect(target, proxy_code, report.logic_address, logic_code)
+                  .has_collision(),
+              c.expect_storage_collision)
+        << c.name;
+  }
+}
+
+TEST_P(ArchetypeMatrixTest, VerdictStableAcrossRepeatedAnalysis) {
+  const ArchetypeCase& c = cases()[GetParam()];
+  Blockchain chain;
+  const evm::Address deployer = evm::Address::from_label("matrix.deployer2");
+  const evm::Address target = c.deploy(chain, deployer);
+  core::ProxyDetector detector(chain);
+  const auto first = detector.analyze(target);
+  for (int i = 0; i < 3; ++i) {
+    const auto again = detector.analyze(target);
+    EXPECT_EQ(again.verdict, first.verdict) << c.name;
+    EXPECT_EQ(again.logic_address, first.logic_address) << c.name;
+    EXPECT_EQ(again.standard, first.standard) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchetypes, ArchetypeMatrixTest,
+    ::testing::Range<std::size_t>(0, cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string name = cases()[info.param].name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace

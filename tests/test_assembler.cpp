@@ -1,0 +1,363 @@
+// The datagen assembler and contract factory: label resolution, initcode
+// wrapping, and behavioural checks that every factory archetype actually
+// runs (dispatches, delegates, reverts) the way its spec claims.
+#include <gtest/gtest.h>
+
+#include "crypto/eth.h"
+#include "datagen/assembler.h"
+#include "datagen/contract_factory.h"
+#include "evm/disassembler.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+
+namespace {
+
+using namespace proxion::evm;
+using namespace proxion::datagen;
+using proxion::crypto::from_hex;
+using proxion::crypto::selector_u32;
+
+Bytes with_selector(std::uint32_t selector, const U256& arg = {}) {
+  Bytes calldata(36, 0);
+  calldata[0] = static_cast<std::uint8_t>(selector >> 24);
+  calldata[1] = static_cast<std::uint8_t>(selector >> 16);
+  calldata[2] = static_cast<std::uint8_t>(selector >> 8);
+  calldata[3] = static_cast<std::uint8_t>(selector);
+  const auto word = arg.to_be_bytes();
+  std::copy(word.begin(), word.end(), calldata.begin() + 4);
+  return calldata;
+}
+
+class FactoryTest : public ::testing::Test {
+ protected:
+  ExecResult call(const Address& target, Bytes calldata) {
+    Interpreter interp(host_);
+    CallParams params;
+    params.code_address = target;
+    params.storage_address = target;
+    params.caller = user_;
+    params.origin = user_;
+    params.calldata = std::move(calldata);
+    return interp.execute(params);
+  }
+
+  Address deploy(Bytes code) {
+    const Address a = Address::from_label(
+        "factory.target." + std::to_string(counter_++));
+    host_.set_code(a, std::move(code));
+    return a;
+  }
+
+  MemoryHost host_;
+  Address user_ = Address::from_label("user");
+  int counter_ = 0;
+};
+
+TEST(Assembler, LabelResolution) {
+  Assembler a;
+  a.push_label("end").op(Opcode::JUMP);
+  a.push(U256{0xbad}, 2);
+  a.jumpdest("end").op(Opcode::STOP);
+  const Bytes code = a.assemble();
+  // PUSH2 <offset of end>; JUMP; PUSH2 0x0bad; end: JUMPDEST STOP
+  EXPECT_EQ(code[0], 0x61);
+  EXPECT_EQ((code[1] << 8) | code[2], 7);
+  EXPECT_EQ(code[7], 0x5b);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a;
+  a.push_label("nowhere").op(Opcode::JUMP);
+  EXPECT_THROW(a.assemble(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a;
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, PushWidthValidation) {
+  Assembler a;
+  EXPECT_THROW(a.push(U256{0x1234}, 1), std::invalid_argument);  // too narrow
+  EXPECT_THROW(a.push(U256{1}, 0), std::invalid_argument);
+  EXPECT_THROW(a.push(U256{1}, 33), std::invalid_argument);
+  a.push(U256{0x1234}, 2);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Assembler, MinimalPushWidth) {
+  Assembler a;
+  a.push(U256{0});          // PUSH1 0x00
+  a.push(U256{0x1ff});      // PUSH2
+  const Bytes code = a.assemble();
+  EXPECT_EQ(code[0], 0x60);
+  EXPECT_EQ(code[2], 0x61);
+}
+
+TEST(Assembler, DupSwapHelpers) {
+  Assembler a;
+  a.dup(5).swap(3);
+  const Bytes code = a.assemble();
+  EXPECT_EQ(code[0], 0x84);
+  EXPECT_EQ(code[1], 0x92);
+  EXPECT_THROW(a.dup(0), std::invalid_argument);
+  EXPECT_THROW(a.swap(17), std::invalid_argument);
+}
+
+TEST_F(FactoryTest, WrapInitcodeDeploysRuntimeAndRunsConstructorStores) {
+  const Bytes runtime = from_hex("6001600055600160005260206000f3");
+  const Bytes init = Assembler::wrap_initcode(
+      runtime, {{U256{7}, U256{0xabc}}});
+  Interpreter interp(host_);
+  const Address target = Address::from_label("deploy.target");
+  const ExecResult r = interp.execute_create(user_, target, init, {}, 0,
+                                             10'000'000);
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(host_.get_code(target), runtime);
+  EXPECT_EQ(host_.get_storage(target, U256{7}), U256{0xabc});
+}
+
+TEST_F(FactoryTest, DispatcherRoutesBySelector) {
+  const Bytes code = ContractFactory::plain_contract({
+      {.prototype = "alpha()", .body = BodyKind::kReturnConstant,
+       .aux = U256{111}},
+      {.prototype = "beta()", .body = BodyKind::kReturnConstant,
+       .aux = U256{222}},
+  });
+  const Address c = deploy(code);
+  EXPECT_EQ(U256::from_be_slice(
+                call(c, with_selector(selector_u32("alpha()"))).return_data),
+            U256{111});
+  EXPECT_EQ(U256::from_be_slice(
+                call(c, with_selector(selector_u32("beta()"))).return_data),
+            U256{222});
+  // Unknown selector falls into the revert fallback.
+  EXPECT_EQ(call(c, with_selector(0x01020304)).halt, HaltReason::kRevert);
+  // Short calldata (<4 bytes) also reverts.
+  EXPECT_EQ(call(c, from_hex("aa")).halt, HaltReason::kRevert);
+}
+
+TEST_F(FactoryTest, StorageBodies) {
+  const Bytes code = ContractFactory::plain_contract({
+      {.prototype = "set(uint256)", .body = BodyKind::kStoreArgWord,
+       .slot = U256{3}},
+      {.prototype = "get()", .body = BodyKind::kReturnStorageWord,
+       .slot = U256{3}},
+      {.prototype = "setOwner(address)", .body = BodyKind::kStoreArgAddress,
+       .slot = U256{0}},
+      {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+       .slot = U256{0}},
+  });
+  const Address c = deploy(code);
+  EXPECT_EQ(call(c, with_selector(selector_u32("set(uint256)"), U256{0x77}))
+                .halt,
+            HaltReason::kStop);
+  EXPECT_EQ(host_.get_storage(c, U256{3}), U256{0x77});
+  EXPECT_EQ(U256::from_be_slice(
+                call(c, with_selector(selector_u32("get()"))).return_data),
+            U256{0x77});
+
+  const U256 dirty_address =
+      (U256{0xff} << U256{200}) | user_.to_word();  // upper garbage
+  call(c, with_selector(selector_u32("setOwner(address)"), dirty_address));
+  // kStoreArgAddress masks to 160 bits before storing.
+  EXPECT_EQ(host_.get_storage(c, U256{0}), user_.to_word());
+  EXPECT_EQ(U256::from_be_slice(
+                call(c, with_selector(selector_u32("owner()"))).return_data),
+            user_.to_word());
+}
+
+TEST_F(FactoryTest, GuardedStoreEnforcesOwner) {
+  const Bytes code = ContractFactory::plain_contract({
+      {.prototype = "upgradeTo(address)",
+       .body = BodyKind::kGuardedStoreArgAddress, .slot = U256{1},
+       .aux = U256{0}},
+  });
+  const Address c = deploy(code);
+  const Address new_impl = Address::from_label("new-impl");
+
+  // Not the owner: revert, nothing written.
+  EXPECT_EQ(call(c, with_selector(selector_u32("upgradeTo(address)"),
+                                  new_impl.to_word()))
+                .halt,
+            HaltReason::kRevert);
+  EXPECT_EQ(host_.get_storage(c, U256{1}), U256{});
+
+  // Become the owner: the write goes through.
+  host_.set_storage(c, U256{0}, user_.to_word());
+  EXPECT_EQ(call(c, with_selector(selector_u32("upgradeTo(address)"),
+                                  new_impl.to_word()))
+                .halt,
+            HaltReason::kStop);
+  EXPECT_EQ(host_.get_storage(c, U256{1}), new_impl.to_word());
+}
+
+TEST_F(FactoryTest, MinimalProxyForwardsAndReturns) {
+  const Bytes logic_code = ContractFactory::plain_contract({
+      {.prototype = "ping()", .body = BodyKind::kReturnConstant,
+       .aux = U256{0x5150}},
+  });
+  const Address logic = deploy(logic_code);
+  const Address proxy = deploy(ContractFactory::minimal_proxy(logic));
+
+  const ExecResult r = call(proxy, with_selector(selector_u32("ping()")));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0x5150});
+}
+
+TEST_F(FactoryTest, MinimalProxyBubblesRevert) {
+  const Bytes logic_code = ContractFactory::plain_contract({});  // all revert
+  const Address logic = deploy(logic_code);
+  const Address proxy = deploy(ContractFactory::minimal_proxy(logic));
+  EXPECT_EQ(call(proxy, with_selector(0xaabbccdd)).halt, HaltReason::kRevert);
+}
+
+TEST_F(FactoryTest, SlotProxyDelegatesThroughStorage) {
+  const Bytes logic_code = ContractFactory::plain_contract({
+      {.prototype = "whoami()", .body = BodyKind::kStoreCaller,
+       .slot = U256{9}},
+  });
+  const Address logic = deploy(logic_code);
+  const Address proxy = deploy(ContractFactory::slot_proxy(U256{0}));
+  host_.set_storage(proxy, U256{0}, logic.to_word());
+
+  const ExecResult r = call(proxy, with_selector(selector_u32("whoami()")));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  // Delegatecall context: the write lands in the PROXY's storage and the
+  // caller observed is the original user.
+  EXPECT_EQ(host_.get_storage(proxy, U256{9}), user_.to_word());
+  EXPECT_EQ(host_.get_storage(logic, U256{9}), U256{});
+}
+
+TEST_F(FactoryTest, Eip1967ProxyUsesStandardSlot) {
+  const Bytes logic_code = ContractFactory::plain_contract({
+      {.prototype = "ping()", .body = BodyKind::kReturnConstant,
+       .aux = U256{1}},
+  });
+  const Address logic = deploy(logic_code);
+  const Address proxy = deploy(ContractFactory::eip1967_proxy());
+  host_.set_storage(proxy, ContractFactory::eip1967_slot(), logic.to_word());
+  const ExecResult r = call(proxy, with_selector(selector_u32("ping()")));
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{1});
+  EXPECT_EQ(ContractFactory::eip1967_slot(),
+            to_u256(proxion::crypto::eip1967_implementation_slot()));
+}
+
+TEST_F(FactoryTest, TransparentProxyRoutesAdminAndUsers) {
+  const Bytes logic_code = ContractFactory::plain_contract({
+      {.prototype = "ping()", .body = BodyKind::kReturnConstant,
+       .aux = U256{0xcafe}},
+  });
+  const Address logic = deploy(logic_code);
+  const Address admin = Address::from_label("the-admin");
+  const Address proxy = deploy(ContractFactory::transparent_proxy());
+  host_.set_storage(proxy, ContractFactory::eip1967_slot(), logic.to_word());
+  host_.set_storage(proxy, to_u256(proxion::crypto::eip1967_admin_slot()),
+                    admin.to_word());
+
+  // A regular user always falls through to the delegating fallback.
+  EXPECT_EQ(U256::from_be_slice(
+                call(proxy, with_selector(selector_u32("ping()"))).return_data),
+            U256{0xcafe});
+
+  // The admin reaches the admin dispatcher instead: upgradeTo works...
+  const Address new_impl = Address::from_label("new-impl");
+  Interpreter interp(host_);
+  CallParams params;
+  params.code_address = proxy;
+  params.storage_address = proxy;
+  params.caller = admin;
+  params.origin = admin;
+  params.calldata =
+      with_selector(selector_u32("upgradeTo(address)"), new_impl.to_word());
+  EXPECT_EQ(interp.execute(params).halt, HaltReason::kStop);
+  EXPECT_EQ(host_.get_storage(proxy, ContractFactory::eip1967_slot()),
+            new_impl.to_word());
+
+  // ... and the admin can NEVER hit the fallback (collision-proof, §3.1 fn2).
+  params.calldata = with_selector(selector_u32("ping()"));
+  EXPECT_EQ(interp.execute(params).halt, HaltReason::kRevert);
+}
+
+TEST_F(FactoryTest, DiamondProxyOnlyServesRegisteredSelectors) {
+  const Bytes logic_code = ContractFactory::plain_contract({
+      {.prototype = "facetFn()", .body = BodyKind::kReturnConstant,
+       .aux = U256{0xfa}},
+  });
+  const Address logic = deploy(logic_code);
+  const Address diamond = deploy(ContractFactory::diamond_proxy());
+
+  // Register facetFn() in the diamond's selector mapping.
+  const std::uint32_t sel = selector_u32("facetFn()");
+  std::array<std::uint8_t, 64> preimage{};
+  const auto sel_word = U256{sel}.to_be_bytes();
+  std::copy(sel_word.begin(), sel_word.end(), preimage.begin());
+  const auto base = ContractFactory::diamond_base_slot().to_be_bytes();
+  std::copy(base.begin(), base.end(), preimage.begin() + 32);
+  const U256 slot = to_u256(proxion::crypto::keccak256(preimage));
+  host_.set_storage(diamond, slot, logic.to_word());
+
+  // Registered selector delegates; unregistered reverts.
+  EXPECT_EQ(U256::from_be_slice(call(diamond, with_selector(sel)).return_data),
+            U256{0xfa});
+  EXPECT_EQ(call(diamond, with_selector(0x31337aaa)).halt,
+            HaltReason::kRevert);
+}
+
+TEST_F(FactoryTest, LibraryUserDelegatesOutsideFallback) {
+  const Address lib = deploy(ContractFactory::math_library());
+  const Address user_contract = deploy(ContractFactory::library_user(lib));
+
+  // The delegatecall happens only via the *named* function...
+  const ExecResult r =
+      call(user_contract, with_selector(selector_u32("compute(uint256)")));
+  EXPECT_EQ(r.halt, HaltReason::kStop);
+  // ... while unknown selectors revert (no delegating fallback).
+  EXPECT_EQ(call(user_contract, with_selector(0xdeadc0de)).halt,
+            HaltReason::kRevert);
+}
+
+TEST_F(FactoryTest, HoneypotCollisionHijacksLureSelector) {
+  const std::uint32_t lure = selector_u32("free_ether_withdrawal()");
+  const Address logic = deploy(ContractFactory::honeypot_logic(lure));
+  const Address proxy = deploy(ContractFactory::honeypot_proxy(U256{1}, lure));
+  host_.set_storage(proxy, U256{1}, logic.to_word());
+
+  // Calling the lure through the proxy executes the PROXY's colliding
+  // function (which marks the caller as "robbed"), not the logic's payout.
+  const ExecResult r = call(proxy, with_selector(lure));
+  EXPECT_EQ(r.halt, HaltReason::kStop);
+  EXPECT_EQ(host_.get_storage(proxy, U256{99}), user_.to_word());
+}
+
+TEST_F(FactoryTest, AudiusPairReinitializesThroughCollision) {
+  const Address logic = deploy(ContractFactory::audius_style_logic());
+  const Address proxy = deploy(ContractFactory::audius_style_proxy());
+  host_.set_storage(proxy, U256{1}, logic.to_word());
+  // Fresh proxy: slot 0 (owner) is zero, so initialize()'s bool check sees
+  // "not initialized" and the attacker becomes the owner.
+  const ExecResult r =
+      call(proxy, with_selector(selector_u32("initialize()")));
+  // The delegatecall succeeds and the proxy fallback RETURNs its (empty)
+  // return data.
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(host_.get_storage(proxy, U256{0}), user_.to_word());
+}
+
+TEST_F(FactoryTest, GarbagePush4BodyExecutes) {
+  const Address c = deploy(ContractFactory::garbage_push4_contract());
+  const ExecResult r = call(c, with_selector(selector_u32("magic()")));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(r.return_data.size(), 0x40u);
+  EXPECT_EQ(r.return_data[28], 0xde);  // 0xdeadbeef right-aligned in word 0
+}
+
+TEST_F(FactoryTest, TokenContractSaltChangesBytecode) {
+  EXPECT_NE(ContractFactory::token_contract(1),
+            ContractFactory::token_contract(2));
+  EXPECT_EQ(ContractFactory::token_contract(7),
+            ContractFactory::token_contract(7));
+}
+
+}  // namespace

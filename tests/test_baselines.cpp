@@ -1,0 +1,224 @@
+// The baseline models (Etherscan / USCHunt / CRUSH) and their documented
+// blind spots, which §6.2/§6.3 measure Proxion against.
+#include <gtest/gtest.h>
+
+#include "baselines/crush.h"
+#include "baselines/etherscan.h"
+#include "baselines/uschunt.h"
+#include "chain/blockchain.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::baselines;
+using chain::Blockchain;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+Bytes selector_calldata(std::string_view prototype) {
+  const auto sel = crypto::selector_of(prototype);
+  Bytes out(36, 0);
+  std::copy(sel.begin(), sel.end(), out.begin());
+  return out;
+}
+
+// ---- Etherscan ----------------------------------------------------------
+
+TEST(EtherscanBaseline, FlagsAnyDelegatecallAsProxy) {
+  const auto proxy_code =
+      ContractFactory::minimal_proxy(evm::Address::from_label("l"));
+  EXPECT_TRUE(etherscan_detect(proxy_code).is_proxy);
+  EXPECT_FALSE(etherscan_detect(ContractFactory::token_contract(1)).is_proxy);
+}
+
+TEST(EtherscanBaseline, LibraryUserIsAFalsePositive) {
+  // The documented FP: any DELEGATECALL counts, even library calls.
+  const auto code =
+      ContractFactory::library_user(evm::Address::from_label("lib"));
+  EXPECT_TRUE(etherscan_detect(code).is_proxy);
+}
+
+// ---- USCHunt ------------------------------------------------------------
+
+class UschuntTest : public ::testing::Test {
+ protected:
+  sourcemeta::SourceRecord proxy_record(bool visible_delegation = true,
+                                        std::string compiler = "0.8.17") {
+    sourcemeta::SourceRecord rec;
+    rec.contract_name = "Proxy";
+    rec.compiler_version = std::move(compiler);
+    rec.fallback_delegates = visible_delegation;
+    rec.functions = {{.prototype = "owner()"}};
+    rec.storage = {{.name = "owner", .type = "address"}};
+    sourcemeta::layout_storage(rec.storage);
+    return rec;
+  }
+
+  sourcemeta::SourceRepository sources_;
+  Address proxy_ = Address::from_label("u.proxy");
+  Address logic_ = Address::from_label("u.logic");
+};
+
+TEST_F(UschuntTest, NoSourceMeansNoAnalysis) {
+  UschuntAnalyzer analyzer(sources_);
+  EXPECT_EQ(analyzer.detect_proxy(proxy_).status, UschuntStatus::kNoSource);
+}
+
+TEST_F(UschuntTest, UnknownCompilerHalts) {
+  sources_.publish(proxy_, proxy_record(true, "unknown"));
+  UschuntAnalyzer analyzer(sources_);
+  EXPECT_EQ(analyzer.detect_proxy(proxy_).status,
+            UschuntStatus::kCompileError);
+}
+
+TEST_F(UschuntTest, DetectsProxyWhenSourceShowsDelegation) {
+  sources_.publish(proxy_, proxy_record(true));
+  UschuntAnalyzer analyzer(sources_);
+  const auto r = analyzer.detect_proxy(proxy_);
+  EXPECT_EQ(r.status, UschuntStatus::kAnalyzed);
+  EXPECT_TRUE(r.is_proxy);
+}
+
+TEST_F(UschuntTest, MissesObscuredProxies) {
+  // The §6.3 FN source: Slither's heuristics fail on non-standard source.
+  sources_.publish(proxy_, proxy_record(false));
+  UschuntAnalyzer analyzer(sources_);
+  EXPECT_FALSE(analyzer.detect_proxy(proxy_).is_proxy);
+}
+
+TEST_F(UschuntTest, FunctionCollisionViaDeclaredPrototypes) {
+  auto proxy_rec = proxy_record();
+  proxy_rec.functions = {{.prototype = "implementation()"}};
+  sources_.publish(proxy_, proxy_rec);
+
+  sourcemeta::SourceRecord logic_rec;
+  logic_rec.functions = {{.prototype = "implementation()"},
+                         {.prototype = "doWork()"}};
+  sources_.publish(logic_, logic_rec);
+
+  UschuntAnalyzer analyzer(sources_);
+  const auto r = analyzer.analyze_pair(proxy_, logic_);
+  EXPECT_EQ(r.status, UschuntStatus::kAnalyzed);
+  EXPECT_TRUE(r.function_collision);
+}
+
+TEST_F(UschuntTest, PaddingVariableIsAStorageFalsePositive) {
+  // Proxy declares a deliberate gap at slot 0; the logic has a real
+  // variable there. USCHunt's name comparison flags it although the gap is
+  // not exploitable — the paper's documented FP (§6.3).
+  auto proxy_rec = proxy_record();
+  proxy_rec.storage = {{.name = "__gap0", .type = "uint256",
+                        .is_padding = true}};
+  sourcemeta::layout_storage(proxy_rec.storage);
+  sources_.publish(proxy_, proxy_rec);
+
+  sourcemeta::SourceRecord logic_rec;
+  logic_rec.storage = {{.name = "counter", .type = "uint256"}};
+  sourcemeta::layout_storage(logic_rec.storage);
+  sources_.publish(logic_, logic_rec);
+
+  UschuntAnalyzer analyzer(sources_);
+  EXPECT_TRUE(analyzer.analyze_pair(proxy_, logic_).storage_collision);
+}
+
+TEST_F(UschuntTest, SameNamesSameSlotsNoCollision) {
+  auto proxy_rec = proxy_record();
+  sources_.publish(proxy_, proxy_rec);
+  sourcemeta::SourceRecord logic_rec;
+  logic_rec.storage = {{.name = "owner", .type = "address"}};
+  sourcemeta::layout_storage(logic_rec.storage);
+  sources_.publish(logic_, logic_rec);
+
+  UschuntAnalyzer analyzer(sources_);
+  EXPECT_FALSE(analyzer.analyze_pair(proxy_, logic_).storage_collision);
+}
+
+// ---- CRUSH ----------------------------------------------------------------
+
+class CrushTest : public ::testing::Test {
+ protected:
+  Blockchain chain_;
+  Address user_ = Address::from_label("crush.user");
+};
+
+TEST_F(CrushTest, FindsPairsFromTransactionHistory) {
+  const Address logic = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "f()", .body = BodyKind::kStop}}));
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+  chain_.call(user_, proxy, selector_calldata("f()"));
+
+  CrushAnalyzer crush(chain_);
+  const auto pairs = crush.find_proxy_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].proxy, proxy);
+  EXPECT_EQ(pairs[0].logic, logic);
+  EXPECT_TRUE(pairs[0].via_fallback);
+}
+
+TEST_F(CrushTest, MissesProxiesWithoutTransactions) {
+  // The headline blind spot: a freshly deployed proxy that never
+  // transacted is invisible to transaction mining.
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+  chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+
+  CrushAnalyzer crush(chain_);
+  EXPECT_TRUE(crush.find_proxy_pairs().empty());
+}
+
+TEST_F(CrushTest, LibraryCallerCountsAsProxyFalsePositive) {
+  const Address lib =
+      chain_.deploy_runtime(user_, ContractFactory::math_library());
+  const Address lib_user =
+      chain_.deploy_runtime(user_, ContractFactory::library_user(lib));
+  chain_.call(user_, lib_user, selector_calldata("compute(uint256)"));
+
+  CrushAnalyzer crush(chain_);
+  const auto pairs = crush.find_proxy_pairs();
+  ASSERT_EQ(pairs.size(), 1u);  // flagged, although §2.2 says not a proxy
+  EXPECT_EQ(pairs[0].proxy, lib_user);
+
+  // Proxion's emulation-based detector disagrees, correctly.
+  core::ProxyDetector detector(chain_);
+  EXPECT_EQ(detector.analyze(lib_user).verdict,
+            core::ProxyVerdict::kNotProxy);
+}
+
+TEST_F(CrushTest, DeduplicatesRepeatedEdges) {
+  const Address logic = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "f()", .body = BodyKind::kStop}}));
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+  chain_.call(user_, proxy, selector_calldata("f()"));
+  chain_.call(user_, proxy, selector_calldata("f()"));
+  chain_.call(user_, proxy, selector_calldata("f()"));
+
+  CrushAnalyzer crush(chain_);
+  EXPECT_EQ(crush.find_proxy_pairs().size(), 1u);
+}
+
+TEST_F(CrushTest, StorageCollisionViaSharedEngine) {
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::audius_style_logic());
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::audius_style_proxy());
+  chain_.set_storage(proxy, U256{1}, logic.to_word());
+  chain_.call(user_, proxy, selector_calldata("initialized()"));
+
+  CrushAnalyzer crush(chain_);
+  const auto pairs = crush.find_proxy_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  const auto result = crush.analyze_pair(pairs[0].proxy, pairs[0].logic);
+  EXPECT_TRUE(result.storage_collision);
+  EXPECT_TRUE(result.exploitable);
+}
+
+}  // namespace

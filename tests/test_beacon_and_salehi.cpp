@@ -1,0 +1,166 @@
+// The beacon-proxy archetype (logic address behind a STATICCALL, neither in
+// code nor in the proxy's own slot) and the Salehi et al. replay baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/salehi.h"
+#include "chain/blockchain.h"
+#include "core/pipeline.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using chain::Blockchain;
+using evm::Address;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+Bytes selector_calldata(std::string_view prototype) {
+  const auto sel = crypto::selector_of(prototype);
+  Bytes out(36, 0);
+  std::copy(sel.begin(), sel.end(), out.begin());
+  return out;
+}
+
+class BeaconTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    logic_ = chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+    beacon_ = chain_.deploy_runtime(user_, ContractFactory::beacon());
+    chain_.set_storage(beacon_, U256{0}, logic_.to_word());
+    proxy_ = chain_.deploy_runtime(user_, ContractFactory::beacon_proxy());
+    chain_.set_storage(proxy_,
+                       evm::to_u256(crypto::eip1967_beacon_slot()),
+                       beacon_.to_word());
+  }
+
+  Blockchain chain_;
+  Address user_ = Address::from_label("beacon.user");
+  Address logic_, beacon_, proxy_;
+};
+
+TEST_F(BeaconTest, CallsForwardThroughBeaconIndirection) {
+  const auto r = chain_.call(user_, proxy_, selector_calldata("totalSupply()"));
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(evm::U256::from_be_slice(r.return_data), U256{1'000'001});
+}
+
+TEST_F(BeaconTest, DetectedAsProxyWithComputedLogicSource) {
+  core::ProxyDetector detector(chain_);
+  const auto report = detector.analyze(proxy_);
+  EXPECT_EQ(report.verdict, core::ProxyVerdict::kProxy);
+  EXPECT_EQ(report.logic_address, logic_);
+  // The delegate target came back from a STATICCALL, not from the proxy's
+  // own storage and not from its code bytes.
+  EXPECT_EQ(report.logic_source, core::LogicSource::kComputed);
+  EXPECT_EQ(report.standard, core::ProxyStandard::kOther);
+}
+
+TEST_F(BeaconTest, BeaconUpgradeRetargetsEveryProxy) {
+  const Address proxy2 =
+      chain_.deploy_runtime(user_, ContractFactory::beacon_proxy());
+  chain_.set_storage(proxy2, evm::to_u256(crypto::eip1967_beacon_slot()),
+                     beacon_.to_word());
+  const Address logic2 =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(2));
+  chain_.set_storage(beacon_, U256{0}, logic2.to_word());
+
+  core::ProxyDetector detector(chain_);
+  EXPECT_EQ(detector.analyze(proxy_).logic_address, logic2);
+  EXPECT_EQ(detector.analyze(proxy2).logic_address, logic2);
+}
+
+class SalehiTest : public ::testing::Test {
+ protected:
+  Blockchain chain_;
+  Address user_ = Address::from_label("salehi.user");
+};
+
+TEST_F(SalehiTest, DetectsProxyWithReplayableHistory) {
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+  chain_.call(user_, proxy, selector_calldata("totalSupply()"));
+
+  baselines::SalehiAnalyzer salehi(chain_);
+  const auto r = salehi.analyze(proxy);
+  EXPECT_TRUE(r.has_history);
+  EXPECT_TRUE(r.is_proxy);
+  EXPECT_GE(r.replayed, 1u);
+}
+
+TEST_F(SalehiTest, BlindToContractsWithoutTransactions) {
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+
+  baselines::SalehiAnalyzer salehi(chain_);
+  const auto r = salehi.analyze(proxy);
+  EXPECT_FALSE(r.has_history);
+  EXPECT_FALSE(r.is_proxy);  // the paper's documented limitation
+
+  // Proxion needs no history.
+  core::ProxyDetector detector(chain_);
+  EXPECT_TRUE(detector.analyze(proxy).is_proxy());
+}
+
+TEST_F(SalehiTest, DispatchedSelectorsAloneDoNotProveProxying) {
+  // The only recorded tx hit a real dispatcher function, which does not
+  // delegate: replay finds nothing even though the fallback would forward.
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+  const Address proxy = chain_.deploy_runtime(
+      user_, ContractFactory::slot_proxy(
+                 U256{1}, {{.prototype = "owner()",
+                            .body = BodyKind::kReturnStorageAddress,
+                            .slot = U256{0}}}));
+  chain_.set_storage(proxy, U256{1}, logic.to_word());
+  chain_.call(user_, proxy, selector_calldata("owner()"));
+
+  baselines::SalehiAnalyzer salehi(chain_);
+  const auto r = salehi.analyze(proxy);
+  EXPECT_TRUE(r.has_history);
+  EXPECT_FALSE(r.is_proxy);  // fidelity limited by what history exists
+}
+
+TEST_F(SalehiTest, NonProxyWithHistoryIsNegative) {
+  const Address token =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(3));
+  chain_.call(user_, token, selector_calldata("totalSupply()"));
+  baselines::SalehiAnalyzer salehi(chain_);
+  const auto r = salehi.analyze(token);
+  EXPECT_TRUE(r.has_history);
+  EXPECT_FALSE(r.is_proxy);
+}
+
+TEST(PipelineDiamondOption, RecoversTransactedDiamonds) {
+  datagen::PopulationSpec spec;
+  spec.total_contracts = 1'500;
+  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
+
+  core::PipelineConfig config;
+  config.probe_diamonds = true;
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  const auto stats = pipeline.summarize(reports);
+
+  std::uint64_t diamonds_with_tx = 0;
+  for (std::size_t i = 0; i < pop.contracts.size(); ++i) {
+    if (pop.contracts[i].archetype == datagen::Archetype::kDiamondProxy &&
+        pop.contracts[i].has_tx) {
+      ++diamonds_with_tx;
+      EXPECT_TRUE(reports[i].diamond.is_diamond)
+          << pop.contracts[i].address.to_hex();
+    }
+  }
+  EXPECT_EQ(stats.diamonds_recovered, diamonds_with_tx);
+}
+
+}  // namespace

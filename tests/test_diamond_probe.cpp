@@ -1,0 +1,170 @@
+// The §8.2 future-work extension: diamond (EIP-2535) detection via
+// transaction-harvested selector hints.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "core/diamond_probe.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::core;
+using chain::Blockchain;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+class DiamondProbeTest : public ::testing::Test {
+ protected:
+  Address deploy_diamond_with_facet(std::string_view prototype,
+                                    const Address& facet) {
+    const Address diamond =
+        chain_.deploy_runtime(user_, ContractFactory::diamond_proxy());
+    register_facet(diamond, crypto::selector_u32(prototype), facet);
+    return diamond;
+  }
+
+  void register_facet(const Address& diamond, std::uint32_t selector,
+                      const Address& facet) {
+    std::array<std::uint8_t, 64> preimage{};
+    const auto sel_word = U256{selector}.to_be_bytes();
+    std::copy(sel_word.begin(), sel_word.end(), preimage.begin());
+    const auto base = ContractFactory::diamond_base_slot().to_be_bytes();
+    std::copy(base.begin(), base.end(), preimage.begin() + 32);
+    chain_.set_storage(diamond, evm::to_u256(crypto::keccak256(preimage)),
+                       facet.to_word());
+  }
+
+  Bytes calldata_for(std::string_view prototype) {
+    const auto sel = crypto::selector_of(prototype);
+    Bytes out(36, 0);
+    std::copy(sel.begin(), sel.end(), out.begin());
+    return out;
+  }
+
+  ProxyReport base_report(const Address& a) {
+    ProxyDetector detector(chain_);
+    return detector.analyze(a);
+  }
+
+  Blockchain chain_;
+  Address user_ = Address::from_label("diamond.user");
+};
+
+TEST_F(DiamondProbeTest, DetectsDiamondAfterTransactionHint) {
+  const Address facet = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "facetFn()",
+                   .body = BodyKind::kReturnConstant, .aux = U256{7}}}));
+  const Address diamond = deploy_diamond_with_facet("facetFn()", facet);
+
+  // A user once called the registered selector: that tx is the hint.
+  chain_.call(user_, diamond, calldata_for("facetFn()"));
+
+  const ProxyReport base = base_report(diamond);
+  EXPECT_FALSE(base.is_proxy());  // the plain detector misses it (§8.1)
+
+  DiamondProber prober(chain_);
+  const DiamondReport report = prober.probe(diamond, base);
+  EXPECT_TRUE(report.is_diamond);
+  ASSERT_EQ(report.routed_selectors.size(), 1u);
+  EXPECT_EQ(report.routed_selectors[0], crypto::selector_u32("facetFn()"));
+  ASSERT_EQ(report.facets.size(), 1u);
+  EXPECT_EQ(report.facets[0], facet);
+}
+
+TEST_F(DiamondProbeTest, NoTransactionsNoDetection) {
+  // Without any past tx (and no PUSH4 hints in the runtime), the diamond
+  // stays hidden — the residual limitation the paper accepts.
+  const Address facet = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "facetFn()", .body = BodyKind::kStop}}));
+  const Address diamond = deploy_diamond_with_facet("facetFn()", facet);
+
+  DiamondProber prober(chain_);
+  const DiamondReport report = prober.probe(diamond, base_report(diamond));
+  EXPECT_FALSE(report.is_diamond);
+}
+
+TEST_F(DiamondProbeTest, MultipleFacetsRecovered) {
+  const Address facet_a = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "alpha()", .body = BodyKind::kStop}}));
+  const Address facet_b = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "beta()", .body = BodyKind::kStop}}));
+  const Address diamond = deploy_diamond_with_facet("alpha()", facet_a);
+  register_facet(diamond, crypto::selector_u32("beta()"), facet_b);
+
+  chain_.call(user_, diamond, calldata_for("alpha()"));
+  chain_.call(user_, diamond, calldata_for("beta()"));
+
+  DiamondProber prober(chain_);
+  const DiamondReport report = prober.probe(diamond, base_report(diamond));
+  EXPECT_TRUE(report.is_diamond);
+  EXPECT_EQ(report.routed_selectors.size(), 2u);
+  EXPECT_EQ(report.facets.size(), 2u);
+}
+
+TEST_F(DiamondProbeTest, UnregisteredSelectorHintsDoNotTrigger) {
+  const Address facet = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "facetFn()", .body = BodyKind::kStop}}));
+  const Address diamond = deploy_diamond_with_facet("facetFn()", facet);
+  // Users called the wrong selector (reverted) — still a hint, still no
+  // forwarding for it.
+  chain_.call(user_, diamond, calldata_for("bogus()"));
+
+  DiamondProber prober(chain_);
+  const DiamondReport report = prober.probe(diamond, base_report(diamond));
+  EXPECT_FALSE(report.is_diamond);
+}
+
+TEST_F(DiamondProbeTest, DoesNotReexaminePlainProxiesOrNonProxies) {
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(1));
+  const Address proxy =
+      chain_.deploy_runtime(user_, ContractFactory::minimal_proxy(logic));
+  const Address token =
+      chain_.deploy_runtime(user_, ContractFactory::token_contract(2));
+
+  DiamondProber prober(chain_);
+  EXPECT_FALSE(prober.probe(proxy, base_report(proxy)).is_diamond);
+  EXPECT_FALSE(prober.probe(token, base_report(token)).is_diamond);
+}
+
+TEST_F(DiamondProbeTest, HarvestMergesExternalAndInternalSelectors) {
+  const Address facet = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "facetFn()", .body = BodyKind::kStop}}));
+  const Address diamond = deploy_diamond_with_facet("facetFn()", facet);
+  chain_.call(user_, diamond, calldata_for("facetFn()"));
+  chain_.call(user_, diamond, calldata_for("other()"));
+
+  DiamondProber prober(chain_);
+  const auto hints = prober.harvest_selectors(diamond);
+  EXPECT_GE(hints.size(), 2u);
+  EXPECT_NE(std::find(hints.begin(), hints.end(),
+                      crypto::selector_u32("facetFn()")),
+            hints.end());
+}
+
+TEST_F(DiamondProbeTest, ProbingDoesNotMutateChain) {
+  const Address facet = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "facetFn()", .body = BodyKind::kStoreCaller,
+                   .slot = U256{3}}}));
+  const Address diamond = deploy_diamond_with_facet("facetFn()", facet);
+  chain_.call(user_, diamond, calldata_for("facetFn()"));
+  const U256 before = chain_.get_storage(diamond, U256{3});
+
+  DiamondProber prober(chain_);
+  prober.probe(diamond, base_report(diamond));
+  EXPECT_EQ(chain_.get_storage(diamond, U256{3}), before);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Linear-sweep disassembly: PUSH-data skipping, truncated pushes, JUMPDEST
+// discovery, basic-block boundaries, and the PUSH4 candidate-selector sweep.
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.h"
+#include "datagen/assembler.h"
+#include "datagen/contract_factory.h"
+#include "evm/disassembler.h"
+
+namespace {
+
+using namespace proxion::evm;
+using proxion::crypto::from_hex;
+using proxion::datagen::Assembler;
+using proxion::datagen::ContractFactory;
+
+TEST(Disassembler, DecodesPushAndOperands) {
+  const Bytes code = from_hex("608060405200");
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 4u);
+  EXPECT_EQ(dis.instructions()[0].opcode(), Opcode::PUSH1);
+  EXPECT_EQ(dis.instructions()[0].push_value(), U256{0x80});
+  EXPECT_EQ(dis.instructions()[1].push_value(), U256{0x40});
+  EXPECT_EQ(dis.instructions()[2].opcode(), Opcode::MSTORE);
+  EXPECT_EQ(dis.instructions()[3].opcode(), Opcode::STOP);
+}
+
+TEST(Disassembler, PushDataIsNotDecodedAsInstructions) {
+  // PUSH2 0x5b5b (two JUMPDEST bytes as data) then JUMPDEST.
+  const Bytes code = from_hex("615b5b5b");
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 2u);
+  EXPECT_EQ(dis.instructions()[0].opcode(), Opcode::PUSH2);
+  EXPECT_EQ(dis.instructions()[1].opcode(), Opcode::JUMPDEST);
+  // Only the real JUMPDEST at pc=3 is a valid target.
+  EXPECT_FALSE(dis.is_jumpdest(1));
+  EXPECT_FALSE(dis.is_jumpdest(2));
+  EXPECT_TRUE(dis.is_jumpdest(3));
+}
+
+TEST(Disassembler, TruncatedPushAtEndOfCode) {
+  // PUSH32 with only 2 payload bytes present.
+  const Bytes code = from_hex("7fabcd");
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 1u);
+  EXPECT_EQ(dis.instructions()[0].immediate.size(), 2u);
+}
+
+TEST(Disassembler, EmptyCode) {
+  Disassembly dis(Bytes{});
+  EXPECT_TRUE(dis.instructions().empty());
+  EXPECT_TRUE(dis.blocks().empty());
+}
+
+TEST(Disassembler, ContainsFindsDelegatecall) {
+  const Bytes with = from_hex("60005af4");
+  const Bytes without = from_hex("60005af1");
+  EXPECT_TRUE(Disassembly(with).contains(Opcode::DELEGATECALL));
+  EXPECT_FALSE(Disassembly(without).contains(Opcode::DELEGATECALL));
+}
+
+TEST(Disassembler, DelegatecallByteInsidePushDataStillCounts) {
+  // The prefilter is a *linear sweep*: 0xf4 inside push data is skipped, so
+  // a contract hiding the byte in data is correctly NOT flagged.
+  const Bytes code = from_hex("60f400");  // PUSH1 0xf4; STOP
+  EXPECT_FALSE(Disassembly(code).contains(Opcode::DELEGATECALL));
+}
+
+TEST(Disassembler, Push4Values) {
+  Assembler a;
+  a.push_selector(0xdf4a3106);
+  a.push(U256{0xaabb}, 2);  // PUSH2, ignored
+  a.push_selector(0xdeadbeef);
+  const Bytes code = a.assemble();
+  const auto values = Disassembly(code).push4_values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 0xdf4a3106u);
+  EXPECT_EQ(values[1], 0xdeadbeefu);
+}
+
+TEST(Disassembler, BlocksSplitAtJumpdestAndTerminators) {
+  Assembler a;
+  a.push(U256{1}, 1).push_label("target").op(Opcode::JUMPI);  // block 1
+  a.op(Opcode::STOP);                                          // block 2
+  a.jumpdest("target").op(Opcode::STOP);                       // block 3
+  Disassembly dis(a.assemble());
+  ASSERT_EQ(dis.blocks().size(), 3u);
+  EXPECT_FALSE(dis.blocks()[0].starts_at_jumpdest);
+  EXPECT_TRUE(dis.blocks()[2].starts_at_jumpdest);
+  EXPECT_EQ(dis.blocks()[0].instruction_count, 3u);
+}
+
+TEST(Disassembler, InstructionAtMapsPcCorrectly) {
+  const Bytes code = from_hex("6080604052");
+  Disassembly dis(code);
+  EXPECT_EQ(dis.instruction_at(0), std::optional<std::uint32_t>{0});
+  EXPECT_EQ(dis.instruction_at(1), std::nullopt);  // inside push data
+  EXPECT_EQ(dis.instruction_at(2), std::optional<std::uint32_t>{1});
+  EXPECT_EQ(dis.instruction_at(4), std::optional<std::uint32_t>{2});
+  EXPECT_EQ(dis.instruction_at(100), std::nullopt);
+}
+
+TEST(Disassembler, ToStringRendersMnemonicsAndImmediates) {
+  const Bytes code = from_hex("6080f4");
+  const std::string listing = Disassembly(code).to_string();
+  EXPECT_NE(listing.find("PUSH1 0x80"), std::string::npos);
+  EXPECT_NE(listing.find("DELEGATECALL"), std::string::npos);
+}
+
+TEST(Disassembler, UndefinedBytesAreMarked) {
+  const Bytes code = from_hex("0c");  // unassigned opcode byte
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 1u);
+  EXPECT_FALSE(dis.instructions()[0].info().defined);
+}
+
+TEST(Disassembler, MinimalProxyListing) {
+  // The canonical EIP-1167 runtime disassembles to the expected shape:
+  // CALLDATASIZE ... PUSH20 <addr> GAS DELEGATECALL ...
+  const Address logic = Address::from_label("logic");
+  const Bytes code = ContractFactory::minimal_proxy(logic);
+  EXPECT_EQ(code.size(), 45u);
+  Disassembly dis(code);
+  EXPECT_EQ(dis.instructions()[0].opcode(), Opcode::CALLDATASIZE);
+  EXPECT_TRUE(dis.contains(Opcode::DELEGATECALL));
+  bool found_push20 = false;
+  for (const auto& ins : dis.instructions()) {
+    if (ins.opcode() == Opcode::PUSH20) {
+      found_push20 = true;
+      EXPECT_EQ(Address::from_word(ins.push_value()), logic);
+    }
+  }
+  EXPECT_TRUE(found_push20);
+}
+
+TEST(Disassembler, OpcodeInfoTable) {
+  EXPECT_EQ(opcode_info(Opcode::DELEGATECALL).mnemonic, "DELEGATECALL");
+  EXPECT_EQ(opcode_info(Opcode::DELEGATECALL).stack_in, 6);
+  EXPECT_EQ(opcode_info(Opcode::CALL).stack_in, 7);
+  EXPECT_EQ(opcode_info(0x63).immediate_bytes, 4);  // PUSH4
+  EXPECT_EQ(opcode_info(0x5f).immediate_bytes, 0);  // PUSH0
+  EXPECT_EQ(opcode_info(0x8f).stack_in, 16);        // DUP16
+  EXPECT_TRUE(is_push(0x5f));
+  EXPECT_TRUE(is_push(0x7f));
+  EXPECT_FALSE(is_push(0x80));
+  EXPECT_EQ(push_size(0x63), 4);
+  EXPECT_TRUE(is_call_family(0xf4));
+  EXPECT_FALSE(is_call_family(0xf3));
+  EXPECT_TRUE(is_terminator(0x00));
+  EXPECT_TRUE(is_terminator(0xfd));
+  EXPECT_FALSE(is_terminator(0x57));  // JUMPI falls through
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Execution-level behaviour of the newer factory bodies (packed reads and
+// read-modify-write packed stores, beacon admin paths, honeypot payouts)
+// plus §8.2 multi-chain population generation.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/contract_factory.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using chain::Blockchain;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Address;
+using evm::Bytes;
+using evm::U256;
+
+Bytes with_selector(std::string_view prototype, const U256& arg = {}) {
+  const auto sel = crypto::selector_of(prototype);
+  Bytes out(36, 0);
+  std::copy(sel.begin(), sel.end(), out.begin());
+  const auto word = arg.to_be_bytes();
+  std::copy(word.begin(), word.end(), out.begin() + 4);
+  return out;
+}
+
+class FactoryBehaviourTest : public ::testing::Test {
+ protected:
+  Blockchain chain_;
+  Address user_ = Address::from_label("fb.user");
+};
+
+TEST_F(FactoryBehaviourTest, PackedBoolReadExtractsCorrectByte) {
+  const Address c = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "byteAt1()",
+                   .body = BodyKind::kReturnStorageBoolAtOffset,
+                   .slot = U256{0}, .aux = U256{1}},
+                  {.prototype = "byteAt5()",
+                   .body = BodyKind::kReturnStorageBoolAtOffset,
+                   .slot = U256{0}, .aux = U256{5}}}));
+  // slot0 = 0x...66 55 44 33 22 11 (byte k = 0x11 * (k+1))
+  U256 value;
+  for (int k = 5; k >= 0; --k) {
+    value = (value << U256{8}) | U256{static_cast<std::uint64_t>(0x11 * (k + 1))};
+  }
+  chain_.set_storage(c, U256{0}, value);
+
+  auto r1 = chain_.call(user_, c, with_selector("byteAt1()"));
+  EXPECT_EQ(U256::from_be_slice(r1.return_data), U256{0x22});
+  auto r5 = chain_.call(user_, c, with_selector("byteAt5()"));
+  EXPECT_EQ(U256::from_be_slice(r5.return_data), U256{0x66});
+}
+
+TEST_F(FactoryBehaviourTest, PackedRmwWriteTouchesOnlyItsByte) {
+  const Address c = chain_.deploy_runtime(
+      user_, ContractFactory::plain_contract(
+                 {{.prototype = "begin()",
+                   .body = BodyKind::kStoreBoolPackedAt, .slot = U256{0},
+                   .aux = U256{1}}}));
+  // Pre-existing packed neighbours must survive the write.
+  const U256 before = U256::from_hex("0xaabbccdd");
+  chain_.set_storage(c, U256{0}, before);
+
+  EXPECT_TRUE(chain_.call(user_, c, with_selector("begin()")).success());
+  const U256 after = chain_.get_storage(c, U256{0});
+  // byte 1 (0xcc) replaced by 0x01; all other bytes intact.
+  EXPECT_EQ(after, U256::from_hex("0xaabb01dd"));
+}
+
+TEST_F(FactoryBehaviourTest, BeaconUpgradeToIsOwnerGuarded) {
+  const Address beacon = chain_.deploy_runtime(user_, ContractFactory::beacon());
+  const Address owner = Address::from_label("beacon.owner2");
+  chain_.set_storage(beacon, U256{1}, owner.to_word());
+  const Address old_impl = Address::from_label("old-impl");
+  chain_.set_storage(beacon, U256{0}, old_impl.to_word());
+
+  // A stranger cannot retarget the beacon...
+  const Address evil = Address::from_label("new-evil-impl");
+  auto r = chain_.call(user_, beacon,
+                       with_selector("upgradeTo(address)", evil.to_word()));
+  EXPECT_FALSE(r.success());
+  EXPECT_EQ(chain_.get_storage(beacon, U256{0}), old_impl.to_word());
+
+  // ... the owner can.
+  r = chain_.call(owner, beacon,
+                  with_selector("upgradeTo(address)", evil.to_word()));
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(chain_.get_storage(beacon, U256{0}), evil.to_word());
+}
+
+TEST_F(FactoryBehaviourTest, HoneypotLurePaysWhenCalledDirectly) {
+  // Called directly (not through the trap proxy), the lure really pays —
+  // that's what makes the honeypot credible to victims reading the logic.
+  const std::uint32_t lure = crypto::selector_u32("free_ether_withdrawal()");
+  const Address logic =
+      chain_.deploy_runtime(user_, ContractFactory::honeypot_logic(lure));
+  chain_.fund(logic, U256{1'000'000'000'000ull});
+  Bytes calldata(4, 0);
+  calldata[0] = static_cast<std::uint8_t>(lure >> 24);
+  calldata[1] = static_cast<std::uint8_t>(lure >> 16);
+  calldata[2] = static_cast<std::uint8_t>(lure >> 8);
+  calldata[3] = static_cast<std::uint8_t>(lure);
+  const auto victim = Address::from_label("curious.victim");
+  EXPECT_TRUE(chain_.call(victim, logic, calldata).success());
+  EXPECT_EQ(chain_.get_balance(victim), U256{10'000'000'000ull});
+}
+
+TEST_F(FactoryBehaviourTest, LibraryUserReencodesCalldata) {
+  // The library receives [inner-selector][args], not the original calldata:
+  // delegating to add(uint256,uint256) returns the library's constant.
+  const Address lib = chain_.deploy_runtime(user_, ContractFactory::math_library());
+  const Address lu = chain_.deploy_runtime(user_, ContractFactory::library_user(lib));
+  const auto r =
+      chain_.call(user_, lu, with_selector("compute(uint256)", U256{5}));
+  EXPECT_TRUE(r.success());
+  ASSERT_EQ(chain_.internal_txs().size(), 1u);
+  EXPECT_EQ(chain_.internal_txs()[0].selector,
+            crypto::selector_u32("add(uint256,uint256)"));
+  EXPECT_FALSE(chain_.internal_txs()[0].in_fallback_position);
+}
+
+TEST(MultiChainTest, PopulationHonoursChainId) {
+  datagen::PopulationSpec spec;
+  spec.total_contracts = 120;
+  spec.chain_id = 137;  // Polygon
+  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
+  EXPECT_EQ(pop.chain->block_context().chain_id, U256{137});
+
+  // Detection is chain-agnostic: the sweep behaves identically.
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  std::uint64_t proxies = 0;
+  for (const auto& r : reports) {
+    if (r.proxy.is_proxy()) ++proxies;
+  }
+  EXPECT_GT(proxies, 0u);
+}
+
+TEST(MultiChainTest, ChainIdVisibleToContracts) {
+  Blockchain chain;
+  chain.set_chain_id(56);  // BSC
+  const Address user = Address::from_label("mc.user");
+  // Contract returning CHAINID.
+  datagen::Assembler a;
+  a.op(evm::Opcode::CHAINID);
+  a.push(U256{0}, 1).op(evm::Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(evm::Opcode::RETURN);
+  const Address c = chain.deploy_runtime(user, a.assemble());
+  const auto r = chain.call(user, c, {});
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{56});
+}
+
+}  // namespace

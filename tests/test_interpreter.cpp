@@ -1,0 +1,510 @@
+// EVM interpreter semantics: arithmetic dispatch, memory, storage, control
+// flow, environment opcodes, the call family (incl. DELEGATECALL context
+// rules, which all of Proxion hinges on), CREATE/CREATE2, guest-fault
+// containment, and gas/step fuses.
+#include <gtest/gtest.h>
+
+#include "crypto/eth.h"
+#include "crypto/keccak.h"
+#include "datagen/assembler.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+
+namespace {
+
+using namespace proxion::evm;
+using proxion::crypto::from_hex;
+using proxion::datagen::Assembler;
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  ExecResult run(const Bytes& code, Bytes calldata = {}, U256 value = {}) {
+    host_.set_code(contract_, code);
+    Interpreter interp(host_);
+    CallParams params;
+    params.code_address = contract_;
+    params.storage_address = contract_;
+    params.caller = caller_;
+    params.origin = caller_;
+    params.calldata = std::move(calldata);
+    params.value = value;
+    return interp.execute(params);
+  }
+
+  /// Assembles "push a; push b; <op>; mstore at 0; return 32 bytes" and
+  /// returns the 32-byte result as U256. Operand `a` ends up on top.
+  U256 binop(Opcode op, const U256& a, const U256& b) {
+    Assembler asm_;
+    asm_.push(b.is_zero() ? U256{0} : b, 32);
+    asm_.push(a.is_zero() ? U256{0} : a, 32);
+    asm_.op(op);
+    asm_.push(U256{0}, 1).op(Opcode::MSTORE);
+    asm_.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+    const ExecResult r = run(asm_.assemble());
+    EXPECT_EQ(r.halt, HaltReason::kReturn);
+    EXPECT_EQ(r.return_data.size(), 32u);
+    return U256::from_be_slice(r.return_data);
+  }
+
+  MemoryHost host_;
+  Address contract_ = Address::from_label("contract");
+  Address caller_ = Address::from_label("caller");
+};
+
+TEST_F(InterpreterTest, StopAndImplicitStop) {
+  EXPECT_EQ(run(from_hex("00")).halt, HaltReason::kStop);
+  EXPECT_EQ(run(from_hex("6001")).halt, HaltReason::kStop);  // run off end
+}
+
+TEST_F(InterpreterTest, ArithmeticOpcodes) {
+  EXPECT_EQ(binop(Opcode::ADD, U256{2}, U256{3}), U256{5});
+  EXPECT_EQ(binop(Opcode::SUB, U256{7}, U256{3}), U256{4});  // a - b, a on top
+  EXPECT_EQ(binop(Opcode::MUL, U256{6}, U256{7}), U256{42});
+  EXPECT_EQ(binop(Opcode::DIV, U256{42}, U256{5}), U256{8});
+  EXPECT_EQ(binop(Opcode::DIV, U256{42}, U256{0}), U256{0});
+  EXPECT_EQ(binop(Opcode::MOD, U256{42}, U256{5}), U256{2});
+  EXPECT_EQ(binop(Opcode::EXP, U256{2}, U256{8}), U256{256});
+  EXPECT_EQ(binop(Opcode::SDIV, U256{} - U256{8}, U256{2}), U256{} - U256{4});
+  EXPECT_EQ(binop(Opcode::SIGNEXTEND, U256{0}, U256{0xff}), ~U256{});
+}
+
+TEST_F(InterpreterTest, ComparisonOpcodes) {
+  EXPECT_EQ(binop(Opcode::LT, U256{1}, U256{2}), U256{1});
+  EXPECT_EQ(binop(Opcode::LT, U256{2}, U256{1}), U256{0});
+  EXPECT_EQ(binop(Opcode::GT, U256{2}, U256{1}), U256{1});
+  EXPECT_EQ(binop(Opcode::EQ, U256{5}, U256{5}), U256{1});
+  EXPECT_EQ(binop(Opcode::SLT, U256{} - U256{1}, U256{0}), U256{1});
+  EXPECT_EQ(binop(Opcode::SGT, U256{} - U256{1}, U256{0}), U256{0});
+}
+
+TEST_F(InterpreterTest, BitwiseAndShifts) {
+  EXPECT_EQ(binop(Opcode::AND, U256{0xf0f0}, U256{0xff00}), U256{0xf000});
+  EXPECT_EQ(binop(Opcode::OR, U256{0xf0}, U256{0x0f}), U256{0xff});
+  EXPECT_EQ(binop(Opcode::XOR, U256{0xff}, U256{0x0f}), U256{0xf0});
+  // SHL/SHR take the shift amount on top.
+  EXPECT_EQ(binop(Opcode::SHL, U256{4}, U256{1}), U256{16});
+  EXPECT_EQ(binop(Opcode::SHR, U256{4}, U256{16}), U256{1});
+  EXPECT_EQ(binop(Opcode::BYTE, U256{31}, U256{0xab}), U256{0xab});
+}
+
+TEST_F(InterpreterTest, MemoryStoreLoadRoundTrip) {
+  Assembler a;
+  a.push(U256{0x1234}, 2).push(U256{0x40}, 1).op(Opcode::MSTORE);
+  a.push(U256{0x40}, 1).op(Opcode::MLOAD);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0x1234});
+}
+
+TEST_F(InterpreterTest, Mstore8WritesSingleByte) {
+  Assembler a;
+  a.push(U256{0xffee}, 2).push(U256{0}, 1).op(Opcode::MSTORE8);  // low byte only
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(r.return_data[0], 0xee);
+  EXPECT_EQ(r.return_data[1], 0x00);
+}
+
+TEST_F(InterpreterTest, StorageRoundTripAndHostVisibility) {
+  Assembler a;
+  a.push(U256{0xbeef}, 2).push(U256{5}, 1).op(Opcode::SSTORE);
+  a.push(U256{5}, 1).op(Opcode::SLOAD);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0xbeef});
+  EXPECT_EQ(host_.get_storage(contract_, U256{5}), U256{0xbeef});
+}
+
+TEST_F(InterpreterTest, JumpAndJumpi) {
+  Assembler a;
+  a.push(U256{1}, 1).push_label("skip").op(Opcode::JUMPI);
+  a.push(U256{0xbad}, 2).push(U256{0}, 1).op(Opcode::MSTORE);
+  a.jumpdest("skip");
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{});  // skipped the store
+}
+
+TEST_F(InterpreterTest, JumpToNonJumpdestFaults) {
+  const Bytes code = from_hex("600456");  // JUMP to pc 4 (no JUMPDEST)
+  EXPECT_EQ(run(code).halt, HaltReason::kBadJumpDestination);
+}
+
+TEST_F(InterpreterTest, JumpIntoPushDataFaults) {
+  // PUSH2 0x5b5b puts JUMPDEST bytes at pcs 1-2 as *data*; jumping there
+  // must fault (classic disassembler-confusion attack).
+  const Bytes code = from_hex("615b5b600156");
+  EXPECT_EQ(run(code).halt, HaltReason::kBadJumpDestination);
+}
+
+TEST_F(InterpreterTest, StackUnderflowContained) {
+  EXPECT_EQ(run(from_hex("01")).halt, HaltReason::kStackUnderflow);  // ADD on empty
+}
+
+TEST_F(InterpreterTest, StackOverflowContained) {
+  // PUSH1 0; JUMPDEST at 2... simpler: unroll via loop of DUPs.
+  Assembler a;
+  a.push(U256{1}, 1);
+  a.jumpdest("loop");
+  a.op(Opcode::DUP1);
+  a.push_label("loop").op(Opcode::JUMP);
+  EXPECT_EQ(run(a.assemble()).halt, HaltReason::kStackOverflow);
+}
+
+TEST_F(InterpreterTest, InvalidOpcodeContained) {
+  EXPECT_EQ(run(from_hex("fe")).halt, HaltReason::kInvalidOpcode);
+  EXPECT_EQ(run(from_hex("0c")).halt, HaltReason::kInvalidOpcode);  // undefined
+}
+
+TEST_F(InterpreterTest, InfiniteLoopHitsStepLimit) {
+  Assembler a;
+  a.jumpdest("loop");
+  a.push_label("loop").op(Opcode::JUMP);
+  host_.set_code(contract_, a.assemble());
+  InterpreterConfig config;
+  config.step_limit = 1000;
+  config.charge_gas = false;
+  Interpreter interp(host_, config);
+  CallParams params;
+  params.code_address = contract_;
+  params.storage_address = contract_;
+  const ExecResult r = interp.execute(params);
+  EXPECT_EQ(r.halt, HaltReason::kStepLimit);
+}
+
+TEST_F(InterpreterTest, OutOfGasOnTightBudget) {
+  Assembler a;
+  a.jumpdest("loop");
+  a.push_label("loop").op(Opcode::JUMP);
+  host_.set_code(contract_, a.assemble());
+  Interpreter interp(host_);
+  CallParams params;
+  params.code_address = contract_;
+  params.storage_address = contract_;
+  params.gas = 500;
+  const ExecResult r = interp.execute(params);
+  EXPECT_EQ(r.halt, HaltReason::kOutOfGas);
+  EXPECT_LE(r.gas_used, 510u);
+}
+
+TEST_F(InterpreterTest, CalldataOpcodes) {
+  Assembler a;
+  a.push(U256{0}, 1).op(Opcode::CALLDATALOAD);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.op(Opcode::CALLDATASIZE);
+  a.push(U256{0x20}, 1).op(Opcode::MSTORE);
+  a.push(U256{0x40}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  Bytes calldata = from_hex("a9059cbb000000000000000000000000000000000000000000000000000000000000002a");
+  const ExecResult r = run(a.assemble(), calldata);
+  // First word: selector left-aligned.
+  EXPECT_EQ(r.return_data[0], 0xa9);
+  EXPECT_EQ(r.return_data[3], 0xbb);
+  // Second word: calldatasize = 36.
+  EXPECT_EQ(U256::from_be_slice(BytesView(r.return_data).subspan(32)),
+            U256{36});
+}
+
+TEST_F(InterpreterTest, CalldataloadBeyondEndZeroPads) {
+  Assembler a;
+  a.push(U256{100}, 1).op(Opcode::CALLDATALOAD);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble(), from_hex("aabb"));
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{});
+}
+
+TEST_F(InterpreterTest, EnvironmentOpcodes) {
+  Assembler a;
+  a.op(Opcode::CALLER).push(U256{0}, 1).op(Opcode::MSTORE);
+  a.op(Opcode::ADDRESS).push(U256{0x20}, 1).op(Opcode::MSTORE);
+  a.op(Opcode::CALLVALUE).push(U256{0x40}, 1).op(Opcode::MSTORE);
+  a.op(Opcode::CHAINID).push(U256{0x60}, 1).op(Opcode::MSTORE);
+  a.push(U256{0x80}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble(), {}, U256{77});
+  const BytesView out(r.return_data);
+  EXPECT_EQ(U256::from_be_slice(out.subspan(0, 32)), caller_.to_word());
+  EXPECT_EQ(U256::from_be_slice(out.subspan(32, 32)), contract_.to_word());
+  EXPECT_EQ(U256::from_be_slice(out.subspan(64, 32)), U256{77});
+  EXPECT_EQ(U256::from_be_slice(out.subspan(96, 32)), U256{1});  // mainnet
+}
+
+TEST_F(InterpreterTest, Keccak256Opcode) {
+  Assembler a;
+  // keccak256("") == keccak of empty memory range
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::KECCAK256);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(U256::from_be_slice(r.return_data),
+            to_u256(proxion::crypto::keccak256("")));
+}
+
+TEST_F(InterpreterTest, RevertReturnsData) {
+  Assembler a;
+  a.push(U256{0xdead}, 2).push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(r.halt, HaltReason::kRevert);
+  EXPECT_FALSE(r.success());
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0xdead});
+}
+
+TEST_F(InterpreterTest, LogsAreRecorded) {
+  Assembler a;
+  a.push(U256{0xabc}, 2).push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{7}, 1);                       // topic
+  a.push(U256{32}, 1).push(U256{0}, 1);     // size, offset
+  a.op(Opcode::LOG1);
+  a.op(Opcode::STOP);
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.logs.size(), 1u);
+  EXPECT_EQ(r.logs[0].topics.size(), 1u);
+  EXPECT_EQ(r.logs[0].topics[0], U256{7});
+  EXPECT_EQ(U256::from_be_slice(r.logs[0].data), U256{0xabc});
+}
+
+// ---- call family -----------------------------------------------------------
+
+class CallTest : public InterpreterTest {
+ protected:
+  Address callee_ = Address::from_label("callee");
+
+  /// Callee that stores CALLER at slot 0, CALLVALUE at slot 1, then returns
+  /// the 32-byte word 0x99.
+  Bytes context_reporter() {
+    Assembler a;
+    a.op(Opcode::CALLER).push(U256{0}, 1).op(Opcode::SSTORE);
+    a.op(Opcode::CALLVALUE).push(U256{1}, 1).op(Opcode::SSTORE);
+    a.push(U256{0x99}, 1).push(U256{0}, 1).op(Opcode::MSTORE);
+    a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+    return a.assemble();
+  }
+
+  /// Caller code performing `kind` to callee_ with 4 bytes of calldata, then
+  /// returning the call's returndata.
+  Bytes call_wrapper(Opcode kind, U256 value = {}) {
+    Assembler a;
+    a.push(U256{0xdeadbeef}, 4).push(U256{0xe0}, 1).op(Opcode::SHL);
+    a.push(U256{0}, 1).op(Opcode::MSTORE);  // mem[0..4) = 0xdeadbeef
+    a.push(U256{0}, 1);                     // retSize
+    a.push(U256{0}, 1);                     // retOffset
+    a.push(U256{4}, 1);                     // argsSize
+    a.push(U256{0}, 1);                     // argsOffset
+    if (kind == Opcode::CALL || kind == Opcode::CALLCODE) {
+      a.push(value.is_zero() ? U256{0} : value);  // value
+    }
+    a.push_address(callee_);
+    a.op(Opcode::GAS);
+    a.op(kind);
+    a.op(Opcode::POP);
+    a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).push(U256{0}, 1)
+        .op(Opcode::RETURNDATACOPY);
+    a.op(Opcode::RETURNDATASIZE).push(U256{0}, 1).op(Opcode::RETURN);
+    return a.assemble();
+  }
+};
+
+TEST_F(CallTest, PlainCallSwitchesStorageContext) {
+  host_.set_code(callee_, context_reporter());
+  const ExecResult r = run(call_wrapper(Opcode::CALL));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0x99});
+  // CALL: callee's storage written, caller seen = our contract.
+  EXPECT_EQ(host_.get_storage(callee_, U256{0}), contract_.to_word());
+  EXPECT_EQ(host_.get_storage(contract_, U256{0}), U256{});
+}
+
+TEST_F(CallTest, DelegatecallKeepsStorageCallerAndValue) {
+  host_.set_code(callee_, context_reporter());
+  const ExecResult r = run(call_wrapper(Opcode::DELEGATECALL), {}, U256{55});
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  // DELEGATECALL: *our* storage written; caller = the original caller;
+  // value = our frame's value. This is the proxy-pattern cornerstone (§2.2).
+  EXPECT_EQ(host_.get_storage(contract_, U256{0}), caller_.to_word());
+  EXPECT_EQ(host_.get_storage(contract_, U256{1}), U256{55});
+  EXPECT_EQ(host_.get_storage(callee_, U256{0}), U256{});
+}
+
+TEST_F(CallTest, CallcodeKeepsStorageButChangesCaller) {
+  host_.set_code(callee_, context_reporter());
+  const ExecResult r = run(call_wrapper(Opcode::CALLCODE));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(host_.get_storage(contract_, U256{0}), contract_.to_word());
+}
+
+TEST_F(CallTest, StaticcallBlocksStateChanges) {
+  host_.set_code(callee_, context_reporter());  // does SSTORE -> must fail
+  const ExecResult r = run(call_wrapper(Opcode::STATICCALL));
+  // The outer frame succeeds; the inner static frame fails, returndata empty.
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_TRUE(r.return_data.empty());
+  EXPECT_EQ(host_.get_storage(callee_, U256{0}), U256{});
+}
+
+TEST_F(CallTest, CallValueTransfersBalance) {
+  host_.set_code(callee_, context_reporter());
+  host_.set_balance(contract_, U256{100});
+  const ExecResult r = run(call_wrapper(Opcode::CALL, U256{40}));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(host_.get_balance(contract_), U256{60});
+  EXPECT_EQ(host_.get_balance(callee_), U256{40});
+  EXPECT_EQ(host_.get_storage(callee_, U256{1}), U256{40});
+}
+
+TEST_F(CallTest, CallWithInsufficientBalanceFails) {
+  host_.set_code(callee_, context_reporter());
+  host_.set_balance(contract_, U256{10});
+  const ExecResult r = run(call_wrapper(Opcode::CALL, U256{40}));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_TRUE(r.return_data.empty());  // inner call failed -> no returndata
+  EXPECT_EQ(host_.get_balance(callee_), U256{});
+}
+
+TEST_F(CallTest, CallToEmptyAccountSucceedsTrivially) {
+  const ExecResult r = run(call_wrapper(Opcode::CALL));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_TRUE(r.return_data.empty());
+}
+
+TEST_F(CallTest, CalleeRevertPropagatesReturndataButNotState) {
+  Assembler rev;
+  rev.push(U256{0x1badbad}, 4).push(U256{0}, 1).op(Opcode::MSTORE);
+  rev.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  host_.set_code(callee_, rev.assemble());
+  const ExecResult r = run(call_wrapper(Opcode::CALL));
+  EXPECT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0x1badbad});
+}
+
+TEST_F(CallTest, ObserverSeesDelegatecallWithForwardedCalldata) {
+  struct Watcher final : TraceObserver {
+    CallKind kind = CallKind::kCall;
+    Bytes calldata;
+    Address to;
+    int calls = 0;
+    void on_call(CallKind k, int depth, const Address&, const Address& target,
+                 BytesView data) override {
+      if (depth == 0) return;
+      ++calls;
+      kind = k;
+      to = target;
+      calldata.assign(data.begin(), data.end());
+    }
+  };
+  host_.set_code(callee_, context_reporter());
+  host_.set_code(contract_, call_wrapper(Opcode::DELEGATECALL));
+  Watcher watcher;
+  Interpreter interp(host_);
+  interp.set_observer(&watcher);
+  CallParams params;
+  params.code_address = contract_;
+  params.storage_address = contract_;
+  params.caller = caller_;
+  interp.execute(params);
+  EXPECT_EQ(watcher.calls, 1);
+  EXPECT_EQ(watcher.kind, CallKind::kDelegateCall);
+  EXPECT_EQ(watcher.to, callee_);
+  EXPECT_EQ(watcher.calldata, from_hex("deadbeef"));
+}
+
+// ---- CREATE family -----------------------------------------------------------
+
+TEST_F(InterpreterTest, CreateDeploysRuntimeCode) {
+  // init code: returns 2 bytes of runtime ("60ff" => PUSH1 0xff).
+  // runtime placed via CODECOPY from offset 10.
+  Assembler init;
+  init.push(U256{2}, 1).push_label("rt").push(U256{0}, 1).op(Opcode::CODECOPY);
+  init.push(U256{2}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  init.label("rt").raw(from_hex("60ff"));
+  const Bytes init_code = init.assemble();
+
+  // deployer: CODECOPY the init code blob into memory, CREATE, store result.
+  Assembler a;
+  a.push(U256{init_code.size()}, 2).push_label("blob").push(U256{0}, 1)
+      .op(Opcode::CODECOPY);
+  a.push(U256{init_code.size()}, 2).push(U256{0}, 1).push(U256{0}, 1)
+      .op(Opcode::CREATE);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  a.label("blob").raw(init_code);
+
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  const Address created = Address::from_word(U256::from_be_slice(r.return_data));
+  EXPECT_FALSE(created.is_zero());
+  EXPECT_EQ(host_.get_code(created), from_hex("60ff"));
+
+  // Address must follow the CREATE derivation from (contract, nonce 0).
+  proxion::crypto::AddressBytes sender{};
+  std::copy(contract_.bytes.begin(), contract_.bytes.end(), sender.begin());
+  EXPECT_EQ(created.bytes, proxion::crypto::create_address(sender, 0));
+}
+
+TEST_F(InterpreterTest, Create2AddressIsSaltDeterministic) {
+  Assembler init;
+  init.push(U256{1}, 1).push_label("rt").push(U256{0}, 1).op(Opcode::CODECOPY);
+  init.push(U256{1}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  init.label("rt").raw(from_hex("00"));
+  const Bytes init_code = init.assemble();
+
+  Assembler a;
+  a.push(U256{init_code.size()}, 2).push_label("blob").push(U256{0}, 1)
+      .op(Opcode::CODECOPY);
+  a.push(U256{0x5a17}, 2);  // salt
+  a.push(U256{init_code.size()}, 2).push(U256{0}, 1).push(U256{0}, 1)
+      .op(Opcode::CREATE2);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  a.label("blob").raw(init_code);
+
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  const Address created = Address::from_word(U256::from_be_slice(r.return_data));
+
+  proxion::crypto::AddressBytes sender{};
+  std::copy(contract_.bytes.begin(), contract_.bytes.end(), sender.begin());
+  EXPECT_EQ(created.bytes,
+            proxion::crypto::create2_address(sender, U256{0x5a17}.to_be_bytes(),
+                                             init_code));
+}
+
+TEST_F(InterpreterTest, RevertingInitCodePushesZero) {
+  Assembler a;
+  // init code = "fd" won't even get that far: empty init that REVERTs.
+  a.push(U256{1}, 1).push_label("blob").push(U256{0}, 1).op(Opcode::CODECOPY);
+  a.push(U256{1}, 1).push(U256{0}, 1).push(U256{0}, 1).op(Opcode::CREATE);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  a.label("blob").raw(from_hex("fd"));  // instant REVERT... actually INVALID-free
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{});
+}
+
+TEST_F(InterpreterTest, SelfdestructTransfersBalance) {
+  Assembler a;
+  a.push_address(caller_);
+  a.op(Opcode::SELFDESTRUCT);
+  host_.set_balance(contract_, U256{123});
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(r.halt, HaltReason::kSelfDestruct);
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(host_.get_balance(caller_), U256{123});
+  EXPECT_EQ(host_.get_balance(contract_), U256{});
+}
+
+TEST_F(InterpreterTest, OverlayHostIsolatesWrites) {
+  MemoryHost base;
+  base.set_storage(contract_, U256{0}, U256{42});
+  OverlayHost overlay(base);
+  EXPECT_EQ(overlay.get_storage(contract_, U256{0}), U256{42});
+  overlay.set_storage(contract_, U256{0}, U256{99});
+  EXPECT_EQ(overlay.get_storage(contract_, U256{0}), U256{99});
+  EXPECT_EQ(base.get_storage(contract_, U256{0}), U256{42});  // untouched
+  ASSERT_NE(overlay.written_slots(contract_), nullptr);
+  EXPECT_EQ(overlay.written_slots(contract_)->at(U256{0}), U256{99});
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Keccak-256 known-answer tests plus the Ethereum-specific helpers built on
+// it (selectors, proxy storage slot constants, CREATE/CREATE2 addresses).
+#include <gtest/gtest.h>
+
+#include "crypto/eth.h"
+#include "crypto/keccak.h"
+
+namespace {
+
+using namespace proxion::crypto;
+
+std::string hex_of(const Hash256& h) {
+  return to_hex(std::span<const std::uint8_t>(h));
+}
+
+TEST(Keccak, EmptyString) {
+  // The famous Keccak-256("") digest, e.g. the default account code hash.
+  EXPECT_EQ(hex_of(keccak256("")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak, Abc) {
+  EXPECT_EQ(hex_of(keccak256("abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak, HelloWorld) {
+  EXPECT_EQ(hex_of(keccak256("hello world")),
+            "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad");
+}
+
+TEST(Keccak, LongInputCrossingBlockBoundary) {
+  // 200 bytes > rate (136): exercises multi-block absorption.
+  std::string input(200, 'a');
+  const Hash256 once = keccak256(input);
+  Keccak256 streaming;
+  streaming.update(std::string_view(input).substr(0, 77));
+  streaming.update(std::string_view(input).substr(77));
+  EXPECT_EQ(once, streaming.finalize());
+}
+
+TEST(Keccak, ExactlyOneRateBlock) {
+  std::string input(136, 'x');
+  Keccak256 h;
+  h.update(input);
+  EXPECT_EQ(h.finalize(), keccak256(input));
+}
+
+TEST(Keccak, IncrementalByteAtATime) {
+  const std::string input = "the quick brown fox jumps over the lazy dog";
+  Keccak256 h;
+  for (const char c : input) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finalize(), keccak256(input));
+}
+
+TEST(Selector, TransferSelector) {
+  // transfer(address,uint256) -> 0xa9059cbb, the best-known selector.
+  EXPECT_EQ(selector_u32("transfer(address,uint256)"), 0xa9059cbbu);
+}
+
+TEST(Selector, PaperExampleFreeEtherWithdrawal) {
+  // §2.1 states free_ether_withdrawal() hashes to 0xdf4a3106.
+  EXPECT_EQ(selector_u32("free_ether_withdrawal()"), 0xdf4a3106u);
+}
+
+TEST(Selector, BalanceOf) {
+  EXPECT_EQ(selector_u32("balanceOf(address)"), 0x70a08231u);
+}
+
+TEST(Slots, Eip1967ImplementationSlot) {
+  // The well-known constant from EIP-1967.
+  EXPECT_EQ(
+      hex_of(eip1967_implementation_slot()),
+      "360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc");
+}
+
+TEST(Slots, Eip1967AdminSlot) {
+  EXPECT_EQ(
+      hex_of(eip1967_admin_slot()),
+      "b53127684a568b3173ae13b9f8a6016e243e63b6e8ee1178d6a717850b5d6103");
+}
+
+TEST(Slots, Eip1822ProxiableSlot) {
+  EXPECT_EQ(
+      hex_of(eip1822_proxiable_slot()),
+      "c5f16f0fcc639fa48a6947836d9850f504798523bf8c9a3a87d5876cf622bcf7");
+}
+
+TEST(Slots, DistinctFromEachOther) {
+  EXPECT_NE(eip1967_implementation_slot(), eip1967_admin_slot());
+  EXPECT_NE(eip1967_implementation_slot(), eip1967_beacon_slot());
+  EXPECT_NE(eip1822_proxiable_slot(), eip2535_diamond_storage_slot());
+}
+
+TEST(Rlp, SingleSmallByte) {
+  const std::vector<std::uint8_t> data = {0x42};
+  EXPECT_EQ(rlp::encode_bytes(data), (std::vector<std::uint8_t>{0x42}));
+}
+
+TEST(Rlp, ShortString) {
+  const std::vector<std::uint8_t> data = {0xde, 0xad};
+  EXPECT_EQ(rlp::encode_bytes(data),
+            (std::vector<std::uint8_t>{0x82, 0xde, 0xad}));
+}
+
+TEST(Rlp, ZeroEncodesAsEmptyString) {
+  EXPECT_EQ(rlp::encode_uint(0), (std::vector<std::uint8_t>{0x80}));
+}
+
+TEST(Rlp, SmallIntEncodesAsItself) {
+  EXPECT_EQ(rlp::encode_uint(5), (std::vector<std::uint8_t>{0x05}));
+}
+
+TEST(Rlp, LongStringUsesLengthOfLength) {
+  std::vector<std::uint8_t> data(60, 0xaa);
+  const auto encoded = rlp::encode_bytes(data);
+  EXPECT_EQ(encoded[0], 0xb8);  // 0xb7 + 1 length byte
+  EXPECT_EQ(encoded[1], 60);
+  EXPECT_EQ(encoded.size(), 62u);
+}
+
+TEST(CreateAddress, KnownVector) {
+  // The canonical test vector: sender 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0
+  // with nonce 0 creates 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d.
+  AddressBytes sender{};
+  const auto raw = from_hex("6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0");
+  std::copy(raw.begin(), raw.end(), sender.begin());
+  EXPECT_EQ(to_hex(create_address(sender, 0)),
+            "cd234a471b72ba2f1ccf0a70fcaba648a5eecd8d");
+  EXPECT_EQ(to_hex(create_address(sender, 1)),
+            "343c43a37d37dff08ae8c4a11544c718abb4fcf8");
+}
+
+TEST(Create2Address, Eip1014Vector) {
+  // EIP-1014 example 1: address 0x0000...00, salt 0, init code 0x00.
+  AddressBytes sender{};
+  Hash256 salt{};
+  const std::vector<std::uint8_t> init_code = {0x00};
+  EXPECT_EQ(to_hex(create2_address(sender, salt, init_code)),
+            "4d1a2e2bb4f88f0250f26ffff098b0b30b26bf38");
+}
+
+TEST(Create2Address, DependsOnEveryInput) {
+  AddressBytes sender{};
+  Hash256 salt{};
+  const std::vector<std::uint8_t> code1 = {0x00};
+  const std::vector<std::uint8_t> code2 = {0x01};
+  const auto a = create2_address(sender, salt, code1);
+  const auto b = create2_address(sender, salt, code2);
+  EXPECT_NE(a, b);
+  salt[31] = 1;
+  const auto c = create2_address(sender, salt, code1);
+  EXPECT_NE(a, c);
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0xff, 0x12, 0xab};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+  EXPECT_EQ(from_hex("0x00ff12ab"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Integration assertions for the paper's headline claims, pinned as tests so
+// regressions that would silently break a reproduction claim fail CI:
+//   §6.2  Proxion finds strictly more proxies than every baseline;
+//   §6.2  Proxion excludes the library callers CRUSH includes;
+//   §6.3  on labelled pairs Proxion's accuracy beats the baselines';
+//   §7.2  clone families dominate; most proxies never upgrade;
+//   §6.1  Algorithm 1 costs ~log(blocks), not blocks.
+#include <gtest/gtest.h>
+
+#include "baselines/crush.h"
+#include "baselines/etherscan.h"
+#include "baselines/salehi.h"
+#include "baselines/uschunt.h"
+#include "core/pipeline.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using datagen::Archetype;
+using datagen::Population;
+
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  static Population& pop() {
+    static Population p = [] {
+      datagen::PopulationSpec spec;
+      spec.total_contracts = 2'500;
+      return datagen::PopulationGenerator().generate(spec);
+    }();
+    return p;
+  }
+
+  static const std::vector<core::ContractAnalysis>& reports() {
+    static const std::vector<core::ContractAnalysis> r = [] {
+      core::AnalysisPipeline pipeline(*pop().chain, &pop().sources);
+      return pipeline.run(pop().sweep_inputs());
+    }();
+    return r;
+  }
+};
+
+TEST_F(PaperClaimsTest, ProxionFindsMoreProxiesThanEveryBaseline) {
+  auto& chain = *pop().chain;
+  baselines::UschuntAnalyzer uschunt(pop().sources);
+  baselines::CrushAnalyzer crush(chain);
+  baselines::SalehiAnalyzer salehi(chain);
+
+  std::uint64_t proxion_count = 0, uschunt_count = 0, salehi_count = 0;
+  for (std::size_t i = 0; i < pop().contracts.size(); ++i) {
+    const auto& c = pop().contracts[i];
+    if (reports()[i].proxy.is_proxy()) ++proxion_count;
+    const auto ur = uschunt.detect_proxy(c.address);
+    if (ur.status == baselines::UschuntStatus::kAnalyzed && ur.is_proxy) {
+      ++uschunt_count;
+    }
+    // Salehi replay is expensive; only replay contracts with history.
+    if (c.has_tx && salehi.analyze(c.address).is_proxy) ++salehi_count;
+  }
+  std::unordered_set<std::string> crush_proxies;
+  for (const auto& pair : crush.find_proxy_pairs()) {
+    crush_proxies.insert(pair.proxy.to_hex());
+  }
+
+  EXPECT_GT(proxion_count, uschunt_count);
+  EXPECT_GT(proxion_count, crush_proxies.size());
+  EXPECT_GT(proxion_count, salehi_count);
+}
+
+TEST_F(PaperClaimsTest, ProxionExcludesLibraryCallersCrushIncludes) {
+  auto& chain = *pop().chain;
+  baselines::CrushAnalyzer crush(chain);
+  core::ProxyDetector detector(chain);
+
+  std::uint64_t crush_library_hits = 0;
+  for (const auto& pair : crush.find_proxy_pairs()) {
+    if (!detector.analyze(pair.proxy).is_proxy()) ++crush_library_hits;
+  }
+  // The population plants library users with history: CRUSH must have
+  // swallowed at least some, and Proxion must reject all of them.
+  EXPECT_GT(crush_library_hits, 0u);
+
+  for (std::size_t i = 0; i < pop().contracts.size(); ++i) {
+    if (pop().contracts[i].archetype == Archetype::kLibraryUser) {
+      EXPECT_FALSE(reports()[i].proxy.is_proxy());
+    }
+  }
+}
+
+TEST_F(PaperClaimsTest, HiddenProxiesAreProxionExclusive) {
+  auto& chain = *pop().chain;
+  baselines::UschuntAnalyzer uschunt(pop().sources);
+  baselines::SalehiAnalyzer salehi(chain);
+
+  std::uint64_t hidden_found = 0;
+  for (std::size_t i = 0; i < pop().contracts.size(); ++i) {
+    const auto& c = pop().contracts[i];
+    if (c.has_source || c.has_tx || !reports()[i].proxy.is_proxy()) continue;
+    ++hidden_found;
+    EXPECT_EQ(uschunt.detect_proxy(c.address).status,
+              baselines::UschuntStatus::kNoSource);
+    EXPECT_FALSE(salehi.analyze(c.address).has_history);
+  }
+  EXPECT_GT(hidden_found, 100u);  // a large class, per Fig 2
+}
+
+TEST_F(PaperClaimsTest, CloneFamiliesDominateAndRarelyUpgrade) {
+  std::unordered_map<std::string, std::uint64_t> by_code;
+  auto& chain = *pop().chain;
+  std::uint64_t proxies = 0, upgraded = 0;
+  for (const auto& r : reports()) {
+    if (!r.proxy.is_proxy()) continue;
+    ++proxies;
+    if (r.logic_history.upgrade_events > 0) ++upgraded;
+    const auto h = evm::code_hash(chain.get_code(r.address));
+    by_code[std::string(reinterpret_cast<const char*>(h.data()), h.size())]++;
+  }
+  // §7.2: duplicates dominate (few unique codebases)...
+  EXPECT_LT(by_code.size() * 20, proxies);
+  // ... and under ~2% of proxies ever upgrade (paper: 0.26%).
+  EXPECT_LT(upgraded * 50, proxies);
+}
+
+TEST_F(PaperClaimsTest, Algorithm1CostIsLogarithmicNotLinear) {
+  const std::uint64_t height = pop().chain->height();
+  for (const auto& r : reports()) {
+    if (!r.proxy.is_proxy() ||
+        r.proxy.logic_source != core::LogicSource::kStorageSlot) {
+      continue;
+    }
+    // Generous bound: even many-upgrade proxies stay far below per-block.
+    EXPECT_LT(r.logic_history.api_calls, height / 4) << r.address.to_hex();
+  }
+}
+
+TEST_F(PaperClaimsTest, EmulationErrorRateIsLowSingleDigits) {
+  std::uint64_t errors = 0;
+  for (const auto& r : reports()) {
+    if (r.proxy.verdict == core::ProxyVerdict::kEmulationError) ++errors;
+  }
+  const double rate =
+      static_cast<double>(errors) / static_cast<double>(reports().size());
+  EXPECT_GT(rate, 0.005);  // the population plants broken blobs (§7.1)
+  EXPECT_LT(rate, 0.10);   // paper: 4.9%
+}
+
+TEST_F(PaperClaimsTest, EtherscanHeuristicOverapproximatesProxion) {
+  auto& chain = *pop().chain;
+  std::uint64_t etherscan_count = 0, proxion_count = 0;
+  for (std::size_t i = 0; i < pop().contracts.size(); ++i) {
+    const auto code = chain.get_code(pop().contracts[i].address);
+    if (baselines::etherscan_detect(code).is_proxy) ++etherscan_count;
+    if (reports()[i].proxy.is_proxy()) ++proxion_count;
+  }
+  EXPECT_GT(etherscan_count, proxion_count);  // opcode presence is a superset
+}
+
+}  // namespace

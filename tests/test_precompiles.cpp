@@ -1,0 +1,166 @@
+// SHA-256 known-answer tests and the precompiled-contract dispatch (0x02
+// sha256, 0x04 identity) through the interpreter's CALL path.
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.h"
+#include "crypto/sha256.h"
+#include "datagen/assembler.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+#include "evm/precompiles.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::evm;
+using proxion::datagen::Assembler;
+
+std::string hex32(const std::array<std::uint8_t, 32>& h) {
+  return crypto::to_hex(std::span<const std::uint8_t>(h));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex32(crypto::sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex32(crypto::sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex32(crypto::sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string input(1'000'000, 'a');
+  EXPECT_EQ(hex32(crypto::sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding edge cases.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u}) {
+    std::string input(n, 'x');
+    const auto once = crypto::sha256(input);
+    const auto again = crypto::sha256(input);
+    EXPECT_EQ(once, again) << n;
+    EXPECT_NE(hex32(once), std::string(64, '0'));
+  }
+}
+
+TEST(Precompiles, AddressClassification) {
+  for (int i = 1; i <= 9; ++i) {
+    Address a;
+    a.bytes[19] = static_cast<std::uint8_t>(i);
+    EXPECT_TRUE(is_precompile_address(a)) << i;
+  }
+  EXPECT_FALSE(is_precompile_address(Address{}));          // 0x00
+  Address ten;
+  ten.bytes[19] = 0x0a;
+  EXPECT_FALSE(is_precompile_address(ten));
+  EXPECT_FALSE(is_precompile_address(Address::from_label("x")));
+  Address high_bits;
+  high_bits.bytes[0] = 1;
+  high_bits.bytes[19] = 2;
+  EXPECT_FALSE(is_precompile_address(high_bits));
+}
+
+TEST(Precompiles, Sha256Direct) {
+  Address two;
+  two.bytes[19] = 2;
+  const Bytes input = {'a', 'b', 'c'};
+  const auto result = run_precompile(two, input);
+  ASSERT_TRUE(result.has_value());
+  const auto expected = crypto::sha256("abc");
+  EXPECT_TRUE(std::equal(result->output.begin(), result->output.end(),
+                         expected.begin()));
+  EXPECT_EQ(result->gas_cost, 60u + 12u);  // 1 word
+}
+
+TEST(Precompiles, IdentityDirect) {
+  Address four;
+  four.bytes[19] = 4;
+  const Bytes input = {1, 2, 3, 4, 5};
+  const auto result = run_precompile(four, input);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->output, input);
+}
+
+TEST(Precompiles, UnhandledReservedAddressReturnsEmptySuccess) {
+  Address one;
+  one.bytes[19] = 1;  // ecrecover: modelled as empty success
+  const auto result = run_precompile(one, Bytes{1, 2, 3});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->output.empty());
+}
+
+class PrecompileCallTest : public ::testing::Test {
+ protected:
+  ExecResult run(const Bytes& code, Bytes calldata = {}) {
+    host_.set_code(self_, code);
+    Interpreter interp(host_);
+    CallParams params;
+    params.code_address = self_;
+    params.storage_address = self_;
+    params.calldata = std::move(calldata);
+    return interp.execute(params);
+  }
+
+  MemoryHost host_;
+  Address self_ = Address::from_label("pc.self");
+};
+
+TEST_F(PrecompileCallTest, StaticcallToSha256) {
+  // mem[0..3) = "abc"; staticcall(gas, 0x02, 0, 3, 0x20, 32); return mem.
+  Assembler a;
+  // Build "abc" in memory via three MSTORE8s.
+  a.push(U256{'a'}, 1).push(U256{0}, 1).op(Opcode::MSTORE8);
+  a.push(U256{'b'}, 1).push(U256{1}, 1).op(Opcode::MSTORE8);
+  a.push(U256{'c'}, 1).push(U256{2}, 1).op(Opcode::MSTORE8);
+  a.push(U256{32}, 1);       // retSize
+  a.push(U256{0x20}, 1);     // retOffset
+  a.push(U256{3}, 1);        // argsSize
+  a.push(U256{0}, 1);        // argsOffset
+  a.push(U256{2}, 1);        // address 0x02
+  a.op(Opcode::GAS).op(Opcode::STATICCALL).op(Opcode::POP);
+  a.push(U256{32}, 1).push(U256{0x20}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  const auto expected = crypto::sha256("abc");
+  EXPECT_TRUE(std::equal(r.return_data.begin(), r.return_data.end(),
+                         expected.begin()));
+}
+
+TEST_F(PrecompileCallTest, CallToIdentityCopiesInput) {
+  Assembler a;
+  a.push(U256{0xdeadbeef}, 4).push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1);     // retSize
+  a.push(U256{0x40}, 1);   // retOffset
+  a.push(U256{32}, 1);     // argsSize
+  a.push(U256{0}, 1);      // argsOffset
+  a.push(U256{0}, 1);      // value
+  a.push(U256{4}, 1);      // address 0x04
+  a.op(Opcode::GAS).op(Opcode::CALL).op(Opcode::POP);
+  a.push(U256{32}, 1).push(U256{0x40}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  ASSERT_EQ(r.halt, HaltReason::kReturn);
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{0xdeadbeef});
+}
+
+TEST_F(PrecompileCallTest, ReturndatasizeReflectsPrecompileOutput) {
+  Assembler a;
+  a.push(U256{0}, 1).push(U256{0}, 1).push(U256{5}, 1).push(U256{0}, 1);
+  a.push(U256{4}, 1);  // identity with 5 input bytes
+  a.op(Opcode::GAS).op(Opcode::STATICCALL).op(Opcode::POP);
+  a.op(Opcode::RETURNDATASIZE);
+  a.push(U256{0}, 1).op(Opcode::MSTORE);
+  a.push(U256{32}, 1).push(U256{0}, 1).op(Opcode::RETURN);
+  const ExecResult r = run(a.assemble());
+  EXPECT_EQ(U256::from_be_slice(r.return_data), U256{5});
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Cross-cutting property tests:
+//   - Algorithm 1 equals the exhaustive per-block scan on random upgrade
+//     schedules (the paper's correctness assumption, §4.3);
+//   - the OverlayHost is a faithful copy-on-write view;
+//   - the storage journal agrees with live state at head for random writes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "chain/archive_node.h"
+#include "chain/blockchain.h"
+#include "core/logic_finder.h"
+#include "core/proxy_detector.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using chain::ArchiveNode;
+using chain::Blockchain;
+using datagen::ContractFactory;
+using evm::Address;
+using evm::Bytes;
+using evm::U256;
+
+class Algorithm1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Algorithm1Property, BinarySearchEqualsExhaustiveScan) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    Blockchain chain;
+    const Address user = Address::from_label("p.user");
+    const Address proxy =
+        chain.deploy_runtime(user, ContractFactory::slot_proxy(U256{0}));
+
+    // Random schedule: 0..6 distinct upgrades at random strictly-increasing
+    // heights in a random-length chain.
+    const std::uint64_t chain_len = 200 + rng() % 3000;
+    const int upgrades = static_cast<int>(rng() % 7);
+    std::vector<std::uint64_t> heights;
+    for (int i = 0; i < upgrades; ++i) {
+      heights.push_back(1 + rng() % (chain_len - 1));
+    }
+    std::sort(heights.begin(), heights.end());
+    heights.erase(std::unique(heights.begin(), heights.end()), heights.end());
+    for (std::size_t i = 0; i < heights.size(); ++i) {
+      chain.mine_until(heights[i]);
+      chain.set_storage(
+          proxy, U256{0},
+          Address::from_label("impl." + std::to_string(rng())).to_word());
+    }
+    chain.mine_until(chain_len);
+
+    core::ProxyDetector detector(chain);
+    const auto report = detector.analyze(proxy);
+    ASSERT_EQ(report.verdict, core::ProxyVerdict::kProxy);
+
+    ArchiveNode node(chain);
+    core::LogicFinder finder(node);
+    const auto fast = finder.find(proxy, report);
+    const auto naive = finder.find_naive(proxy, U256{0});
+
+    EXPECT_EQ(fast.logic_addresses, naive.logic_addresses)
+        << "seed " << GetParam() << " trial " << trial;
+    EXPECT_EQ(fast.upgrade_events, naive.upgrade_events);
+    if (!heights.empty()) {
+      EXPECT_LT(fast.api_calls, naive.api_calls);
+    }
+  }
+}
+
+TEST_P(Algorithm1Property, JournalHeadMatchesLiveState) {
+  std::mt19937_64 rng(GetParam());
+  Blockchain chain;
+  const Address a = chain.deploy_runtime(Address::from_label("w"), {0x00});
+  std::vector<U256> slots = {U256{0}, U256{1}, U256{7}, U256{42}};
+
+  for (int i = 0; i < 120; ++i) {
+    const U256& slot = slots[rng() % slots.size()];
+    const U256 value{rng()};
+    chain.set_storage(a, slot, value);
+    if (rng() % 3 == 0) chain.mine_block();
+  }
+  for (const U256& slot : slots) {
+    EXPECT_EQ(chain.storage_at(a, slot, chain.height()),
+              chain.get_storage(a, slot));
+  }
+}
+
+TEST_P(Algorithm1Property, JournalIsMonotoneConsistent) {
+  // Reading the same slot at increasing heights must replay the write
+  // sequence in order (no value may appear before it was written).
+  std::mt19937_64 rng(GetParam());
+  Blockchain chain;
+  const Address a = chain.deploy_runtime(Address::from_label("w2"), {0x00});
+  std::vector<std::pair<std::uint64_t, U256>> writes;
+  for (int i = 0; i < 25; ++i) {
+    chain.mine_until(chain.height() + 1 + rng() % 50);
+    const U256 value{rng()};
+    chain.set_storage(a, U256{3}, value);
+    writes.emplace_back(chain.height(), value);
+  }
+  chain.mine_until(chain.height() + 10);
+
+  for (const auto& [height, value] : writes) {
+    EXPECT_EQ(chain.storage_at(a, U256{3}, height), value);
+    if (height > 0) {
+      const U256 before = chain.storage_at(a, U256{3}, height - 1);
+      EXPECT_NE(before, value);  // rng collision chance negligible
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1Property,
+                         ::testing::Values(7u, 1234u, 0xabcdefu));
+
+TEST(OverlayProperty, ReadsFallThroughWritesShadow) {
+  std::mt19937_64 rng(99);
+  evm::MemoryHost base;
+  const Address a = Address::from_label("ov");
+  for (int i = 0; i < 50; ++i) {
+    base.set_storage(a, U256{static_cast<std::uint64_t>(i)}, U256{rng()});
+  }
+  base.set_balance(a, U256{1000});
+  base.set_nonce(a, 5);
+  base.set_code(a, Bytes{0x60, 0x01});
+
+  evm::OverlayHost overlay(base);
+  // Untouched reads equal base.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(overlay.get_storage(a, U256{static_cast<std::uint64_t>(i)}),
+              base.get_storage(a, U256{static_cast<std::uint64_t>(i)}));
+  }
+  EXPECT_EQ(overlay.get_balance(a), U256{1000});
+  EXPECT_EQ(overlay.get_nonce(a), 5u);
+  EXPECT_EQ(overlay.get_code(a), (Bytes{0x60, 0x01}));
+
+  // Writes shadow without leaking.
+  overlay.set_storage(a, U256{3}, U256{0xdead});
+  overlay.set_balance(a, U256{1});
+  overlay.set_nonce(a, 99);
+  overlay.set_code(a, Bytes{0x00});
+  EXPECT_EQ(overlay.get_storage(a, U256{3}), U256{0xdead});
+  EXPECT_EQ(overlay.get_balance(a), U256{1});
+  EXPECT_EQ(overlay.get_nonce(a), 99u);
+  EXPECT_EQ(overlay.get_code(a), Bytes{0x00});
+  EXPECT_NE(base.get_storage(a, U256{3}), U256{0xdead});
+  EXPECT_EQ(base.get_balance(a), U256{1000});
+  EXPECT_EQ(base.get_nonce(a), 5u);
+  EXPECT_EQ(base.get_code(a), (Bytes{0x60, 0x01}));
+}
+
+TEST(OverlayProperty, AccountExistenceCombinesBothLayers) {
+  evm::MemoryHost base;
+  const Address in_base = Address::from_label("base-only");
+  const Address in_overlay = Address::from_label("overlay-only");
+  const Address nowhere = Address::from_label("nowhere");
+  base.set_balance(in_base, U256{1});
+
+  evm::OverlayHost overlay(base);
+  overlay.set_code(in_overlay, Bytes{0x00});
+  EXPECT_TRUE(overlay.account_exists(in_base));
+  EXPECT_TRUE(overlay.account_exists(in_overlay));
+  EXPECT_FALSE(overlay.account_exists(nowhere));
+  EXPECT_FALSE(base.account_exists(in_overlay));
+}
+
+TEST(DetectorProperty, ProbeNeverMutatesAnyHostState) {
+  // Sweep a batch of archetypes; after analysis the chain's storage journal
+  // and internal tx log must be untouched.
+  Blockchain chain;
+  const Address d = Address::from_label("dp");
+  std::vector<Address> targets;
+  const Address logic = chain.deploy_runtime(d, ContractFactory::token_contract(5));
+  targets.push_back(chain.deploy_runtime(d, ContractFactory::minimal_proxy(logic)));
+  targets.push_back(chain.deploy_runtime(d, ContractFactory::eip1967_proxy()));
+  targets.push_back(chain.deploy_runtime(d, ContractFactory::diamond_proxy()));
+  targets.push_back(chain.deploy_runtime(d, ContractFactory::audius_style_proxy()));
+  const std::size_t txs_before = chain.internal_txs().size();
+
+  core::ProxyDetector detector(chain);
+  for (const Address& t : targets) {
+    detector.analyze(t);
+  }
+  EXPECT_EQ(chain.internal_txs().size(), txs_before);
+  EXPECT_EQ(chain.get_storage(targets[1], ContractFactory::eip1967_slot()),
+            U256{});
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// The paper's core claim (§4): proxy detection from bytecode alone, via the
+// two-phase opcode-prefilter + crafted-calldata emulation, including logic
+// address attribution (hard-coded vs storage slot), standard classification
+// (Table 4), and the documented diamond-proxy miss (§8.1).
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "core/proxy_detector.h"
+#include "crypto/eth.h"
+#include "datagen/assembler.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::core;
+using chain::Blockchain;
+using datagen::Assembler;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using datagen::FunctionSpec;
+using evm::Bytes;
+using evm::Opcode;
+using evm::U256;
+
+class ProxyDetectorTest : public ::testing::Test {
+ protected:
+  Address deploy(Bytes code) { return chain_.deploy_runtime(user_, code); }
+
+  ProxyReport analyze(const Address& a) {
+    ProxyDetector detector(chain_);
+    return detector.analyze(a);
+  }
+
+  Blockchain chain_;
+  Address user_ = Address::from_label("detector.user");
+};
+
+TEST_F(ProxyDetectorTest, MinimalProxyIsDetectedAsEip1167) {
+  const Address logic = deploy(ContractFactory::token_contract(1));
+  const Address proxy = deploy(ContractFactory::minimal_proxy(logic));
+  const ProxyReport r = analyze(proxy);
+
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_TRUE(r.has_delegatecall_opcode);
+  EXPECT_TRUE(r.calldata_forwarded);
+  EXPECT_EQ(r.logic_address, logic);
+  EXPECT_EQ(r.logic_source, LogicSource::kHardcoded);
+  EXPECT_EQ(r.standard, ProxyStandard::kEip1167);
+}
+
+TEST_F(ProxyDetectorTest, SlotZeroProxyDetectedWithSlotAttribution) {
+  const Address logic = deploy(ContractFactory::token_contract(2));
+  const Address proxy = deploy(ContractFactory::slot_proxy(U256{0}));
+  chain_.set_storage(proxy, U256{0}, logic.to_word());
+
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.logic_source, LogicSource::kStorageSlot);
+  EXPECT_EQ(r.logic_slot, U256{0});
+  EXPECT_EQ(r.logic_address, logic);
+  EXPECT_EQ(r.standard, ProxyStandard::kOther);  // non-standard slot
+}
+
+TEST_F(ProxyDetectorTest, Eip1967ProxyClassified) {
+  const Address logic = deploy(ContractFactory::token_contract(3));
+  const Address proxy = deploy(ContractFactory::eip1967_proxy());
+  chain_.set_storage(proxy, ContractFactory::eip1967_slot(), logic.to_word());
+
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.standard, ProxyStandard::kEip1967);
+  EXPECT_EQ(r.logic_slot, ContractFactory::eip1967_slot());
+  EXPECT_EQ(r.logic_address, logic);
+}
+
+TEST_F(ProxyDetectorTest, Eip1822ProxyClassified) {
+  const Address logic = deploy(ContractFactory::token_contract(4));
+  const Address proxy = deploy(ContractFactory::eip1822_proxy());
+  chain_.set_storage(proxy, ContractFactory::eip1822_slot(), logic.to_word());
+
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.standard, ProxyStandard::kEip1822);
+}
+
+TEST_F(ProxyDetectorTest, TransparentProxyDetectedFromUserPerspective) {
+  const Address logic = deploy(ContractFactory::token_contract(5));
+  const Address proxy = deploy(ContractFactory::transparent_proxy());
+  chain_.set_storage(proxy, ContractFactory::eip1967_slot(), logic.to_word());
+  chain_.set_storage(proxy, evm::to_u256(crypto::eip1967_admin_slot()),
+                     Address::from_label("admin").to_word());
+
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.standard, ProxyStandard::kEip1967);
+}
+
+TEST_F(ProxyDetectorTest, UninitializedSlotProxyIsStillAProxy) {
+  // Fresh proxy whose implementation slot is still zero: the fallback
+  // forwards to address(0); the *pattern* is still a proxy.
+  const Address proxy = deploy(ContractFactory::eip1967_proxy());
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_TRUE(r.logic_address.is_zero());
+  EXPECT_EQ(r.logic_source, LogicSource::kStorageSlot);
+}
+
+TEST_F(ProxyDetectorTest, PlainTokenIsNotAProxy) {
+  const Address token = deploy(ContractFactory::token_contract(6));
+  const ProxyReport r = analyze(token);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kNotProxy);
+  EXPECT_FALSE(r.has_delegatecall_opcode);  // phase-1 already excludes it
+}
+
+TEST_F(ProxyDetectorTest, LibraryUserIsNotAProxyDespiteDelegatecall) {
+  // §2.2: delegatecall in a *named function* is a library call, not a proxy.
+  // Phase 1 passes (the opcode exists) but phase 2 must reject it.
+  const Address lib = deploy(ContractFactory::math_library());
+  const Address lib_user = deploy(ContractFactory::library_user(lib));
+  const ProxyReport r = analyze(lib_user);
+  EXPECT_TRUE(r.has_delegatecall_opcode);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kNotProxy);
+  EXPECT_FALSE(r.delegatecall_executed);
+}
+
+TEST_F(ProxyDetectorTest, DiamondProxyIsMissedAsDocumented) {
+  // §8.1: random probe selectors are not registered in the facet mapping,
+  // so the diamond reverts before delegating — Proxion's known limitation.
+  const Address diamond = deploy(ContractFactory::diamond_proxy());
+  const ProxyReport r = analyze(diamond);
+  EXPECT_TRUE(r.has_delegatecall_opcode);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kNotProxy);
+}
+
+TEST_F(ProxyDetectorTest, HoneypotProxyDetected) {
+  const Address logic = deploy(ContractFactory::honeypot_logic(0xdf4a3106));
+  const Address proxy =
+      deploy(ContractFactory::honeypot_proxy(U256{1}, 0xdf4a3106));
+  chain_.set_storage(proxy, U256{1}, logic.to_word());
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.logic_address, logic);
+}
+
+TEST_F(ProxyDetectorTest, EmptyCodeIsNotProxy) {
+  const ProxyReport r = analyze(Address::from_label("empty-account"));
+  EXPECT_EQ(r.verdict, ProxyVerdict::kNotProxy);
+}
+
+TEST_F(ProxyDetectorTest, MalformedBytecodeYieldsEmulationError) {
+  // DELEGATECALL with an empty stack: passes phase 1, faults in phase 2
+  // before any forwarding — the paper's §6.2 "insufficient values on the
+  // EVM stack" bucket.
+  const Address bad = deploy(Bytes{0xf4});
+  const ProxyReport r = analyze(bad);
+  EXPECT_TRUE(r.has_delegatecall_opcode);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kEmulationError);
+  EXPECT_EQ(r.halt, evm::HaltReason::kStackUnderflow);
+}
+
+TEST_F(ProxyDetectorTest, InfiniteLoopYieldsEmulationError) {
+  Assembler a;
+  a.jumpdest("loop");
+  a.push_label("loop").op(Opcode::JUMP);
+  a.op(Opcode::DELEGATECALL);  // unreachable; passes phase 1
+  const Address spinner = deploy(a.assemble());
+  const ProxyReport r = analyze(spinner);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kEmulationError);
+}
+
+TEST_F(ProxyDetectorTest, RevertingContractIsCleanNotProxy) {
+  Assembler a;
+  a.push(U256{0}, 1).push(U256{0}, 1).op(Opcode::REVERT);
+  a.op(Opcode::DELEGATECALL);  // dead code after revert
+  const Address r_contract = deploy(a.assemble());
+  const ProxyReport r = analyze(r_contract);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kNotProxy);
+}
+
+TEST_F(ProxyDetectorTest, ProbeSelectorAvoidsAllPush4Candidates) {
+  // Build a contract carrying many PUSH4 constants; the crafted probe must
+  // differ from every one of them (§4.2).
+  Assembler a;
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    a.push_selector(0x11110000 + s);
+    a.op(Opcode::POP);
+  }
+  a.op(Opcode::STOP);
+  const Bytes code = a.assemble();
+  const evm::Disassembly dis(code);
+  const std::uint32_t probe = ProxyDetector::craft_probe_selector(
+      Address::from_label("probe-test"), dis);
+  for (const std::uint32_t candidate : dis.push4_values()) {
+    EXPECT_NE(probe, candidate);
+  }
+}
+
+TEST_F(ProxyDetectorTest, ProbeSelectorIsDeterministicPerAddress) {
+  const evm::Disassembly dis(Bytes{0x00});
+  const Address a = Address::from_label("a");
+  const Address b = Address::from_label("b");
+  EXPECT_EQ(ProxyDetector::craft_probe_selector(a, dis),
+            ProxyDetector::craft_probe_selector(a, dis));
+  EXPECT_NE(ProxyDetector::craft_probe_selector(a, dis),
+            ProxyDetector::craft_probe_selector(b, dis));
+}
+
+TEST_F(ProxyDetectorTest, ProxyWithFunctionsStillDetected) {
+  // A proxy that has real dispatcher functions AND a delegating fallback
+  // (the honeypot shape): the probe must dodge the dispatcher.
+  const Address logic = deploy(ContractFactory::token_contract(8));
+  const Address proxy = deploy(ContractFactory::slot_proxy(
+      U256{1}, {{.prototype = "owner()",
+                 .body = BodyKind::kReturnStorageAddress,
+                 .slot = U256{0}}}));
+  chain_.set_storage(proxy, U256{1}, logic.to_word());
+  const ProxyReport r = analyze(proxy);
+  EXPECT_EQ(r.verdict, ProxyVerdict::kProxy);
+  EXPECT_EQ(r.logic_slot, U256{1});
+}
+
+TEST_F(ProxyDetectorTest, EmulationDoesNotMutateChainState) {
+  const Address logic = deploy(ContractFactory::plain_contract(
+      {{.prototype = "f()", .body = BodyKind::kStoreCaller, .slot = U256{5}}}));
+  const Address proxy = deploy(ContractFactory::slot_proxy(U256{0}));
+  chain_.set_storage(proxy, U256{0}, logic.to_word());
+
+  analyze(proxy);
+  // Whatever the emulated fallback did, the real chain is untouched.
+  EXPECT_EQ(chain_.get_storage(proxy, U256{5}), U256{});
+  EXPECT_TRUE(chain_.internal_txs().empty());
+}
+
+TEST_F(ProxyDetectorTest, VerdictStringsForReporting) {
+  EXPECT_EQ(to_string(ProxyVerdict::kProxy), "proxy");
+  EXPECT_EQ(to_string(ProxyVerdict::kNotProxy), "not-proxy");
+  EXPECT_EQ(to_string(ProxyStandard::kEip1167), "EIP-1167");
+  EXPECT_EQ(to_string(ProxyStandard::kOther), "other");
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Report rendering plus the §7.1 code-hash source-propagation pipeline
+// option.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "datagen/contract_factory.h"
+#include "datagen/population.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::core;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::U256;
+
+LandscapeStats sample_stats() {
+  LandscapeStats stats;
+  stats.total_contracts = 100;
+  stats.proxies = 54;
+  stats.hidden_proxies = 20;
+  stats.emulation_errors = 3;
+  stats.unique_proxy_codehashes = 7;
+  stats.function_collisions = 5;
+  stats.storage_collisions = 2;
+  stats.exploitable_storage_collisions = 1;
+  stats.total_upgrade_events = 4;
+  stats.by_standard[ProxyStandard::kEip1167] = 48;
+  stats.by_standard[ProxyStandard::kOther] = 6;
+  stats.function_collisions_by_year[2021] = 3;
+  stats.function_collisions_by_year[2022] = 2;
+  stats.storage_collisions_by_year[2022] = 2;
+  stats.upgrade_histogram[0] = 50;
+  stats.upgrade_histogram[2] = 4;
+  return stats;
+}
+
+TEST(Report, LandscapeTextContainsHeadlines) {
+  const std::string text = render_landscape_text(sample_stats());
+  EXPECT_NE(text.find("proxy contracts:     54 (54.0%)"), std::string::npos);
+  EXPECT_NE(text.find("hidden proxies:      20"), std::string::npos);
+  EXPECT_NE(text.find("EIP-1167=48"), std::string::npos);
+  EXPECT_NE(text.find("storage collisions:  2 (1 with verified exploit)"),
+            std::string::npos);
+}
+
+TEST(Report, CollisionsCsvHasAllYears) {
+  const std::string csv = render_collisions_csv(sample_stats());
+  EXPECT_NE(csv.find("year,function_collisions,storage_collisions"),
+            std::string::npos);
+  EXPECT_NE(csv.find("2021,3,0"), std::string::npos);
+  EXPECT_NE(csv.find("2022,2,2"), std::string::npos);
+  EXPECT_NE(csv.find("2015,0,0"), std::string::npos);
+  // 1 header + 9 years
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 10);
+}
+
+TEST(Report, StandardsCsvRatios) {
+  const std::string csv = render_standards_csv(sample_stats());
+  EXPECT_NE(csv.find("EIP-1167,48,88.89"), std::string::npos);
+  EXPECT_NE(csv.find("other,6,11.11"), std::string::npos);
+}
+
+TEST(Report, UpgradesCsv) {
+  const std::string csv = render_upgrades_csv(sample_stats());
+  EXPECT_NE(csv.find("0,50"), std::string::npos);
+  EXPECT_NE(csv.find("2,4"), std::string::npos);
+}
+
+TEST(Report, ContractsCsvRoundTripsSweep) {
+  datagen::PopulationSpec spec;
+  spec.total_contracts = 150;
+  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  const std::string csv = render_contracts_csv(reports);
+  // one header + one line per report
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(reports.size()) + 1);
+  EXPECT_NE(csv.find(reports[0].address.to_hex()), std::string::npos);
+}
+
+TEST(SourcePropagation, CloneInheritsVerifiedSourceForCollisionMode) {
+  // One wyvern-style proxy is verified; an identical clone is not. With
+  // propagation ON both report the (source-visible) collision; the clone's
+  // own availability flag stays false.
+  chain::Blockchain chain;
+  sourcemeta::SourceRepository sources;
+  const evm::Address user = evm::Address::from_label("prop.user");
+
+  const std::vector<datagen::FunctionSpec> shared = {
+      {.prototype = "proxyType()", .body = BodyKind::kReturnConstant,
+       .aux = U256{2}},
+      {.prototype = "implementation()",
+       .body = BodyKind::kReturnStorageAddress, .slot = U256{2}},
+  };
+  const evm::Address logic = chain.deploy_runtime(
+      user, ContractFactory::plain_contract(shared));
+  const evm::Address verified =
+      chain.deploy_runtime(user, ContractFactory::slot_proxy(U256{2}, shared));
+  const evm::Address clone =
+      chain.deploy_runtime(user, ContractFactory::slot_proxy(U256{2}, shared));
+  chain.set_storage(verified, U256{2}, logic.to_word());
+  chain.set_storage(clone, U256{2}, logic.to_word());
+
+  sourcemeta::SourceRecord rec;
+  rec.contract_name = "OwnableDelegateProxy";
+  rec.fallback_delegates = true;
+  rec.functions = {{.prototype = "proxyType()"},
+                   {.prototype = "implementation()"}};
+  sources.publish(verified, rec);
+  sources.publish(logic, rec);
+
+  std::vector<SweepInput> inputs = {
+      {verified, 2021, true, false},
+      {clone, 2022, false, false},
+      {logic, 2021, true, false},
+  };
+  AnalysisPipeline pipeline(chain, &sources);
+  const auto reports = pipeline.run(inputs);
+  EXPECT_TRUE(reports[0].function_collision);
+  EXPECT_TRUE(reports[1].function_collision);  // via the donor's source
+  EXPECT_FALSE(reports[1].has_source);
+}
+
+}  // namespace

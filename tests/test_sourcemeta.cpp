@@ -1,0 +1,130 @@
+// Solidity storage-layout packing rules and the source repository.
+#include <gtest/gtest.h>
+
+#include "crypto/eth.h"
+#include "evm/types.h"
+#include "sourcemeta/source.h"
+
+namespace {
+
+using namespace proxion::sourcemeta;
+using proxion::evm::Address;
+
+TEST(TypeWidth, ElementaryTypes) {
+  EXPECT_EQ(type_width("bool"), 1);
+  EXPECT_EQ(type_width("address"), 20);
+  EXPECT_EQ(type_width("address payable"), 20);
+  EXPECT_EQ(type_width("uint8"), 1);
+  EXPECT_EQ(type_width("uint16"), 2);
+  EXPECT_EQ(type_width("uint128"), 16);
+  EXPECT_EQ(type_width("uint256"), 32);
+  EXPECT_EQ(type_width("uint"), 32);
+  EXPECT_EQ(type_width("int64"), 8);
+  EXPECT_EQ(type_width("int"), 32);
+  EXPECT_EQ(type_width("bytes1"), 1);
+  EXPECT_EQ(type_width("bytes32"), 32);
+  EXPECT_EQ(type_width("mapping(address=>uint256)"), 32);
+  EXPECT_EQ(type_width("string"), 32);
+}
+
+TEST(LayoutStorage, PacksSmallVariablesIntoOneSlot) {
+  // Listing 2's logic contract: two bools share slot 0.
+  std::vector<VariableDecl> vars = {
+      {.name = "initialized", .type = "bool"},
+      {.name = "initializing", .type = "bool"},
+  };
+  layout_storage(vars);
+  EXPECT_EQ(vars[0].slot, 0u);
+  EXPECT_EQ(vars[0].offset, 0);
+  EXPECT_EQ(vars[1].slot, 0u);
+  EXPECT_EQ(vars[1].offset, 1);
+}
+
+TEST(LayoutStorage, AddressPlusAddressSplits) {
+  // 20 + 20 > 32: the second address starts a new slot (Listing 2's proxy).
+  std::vector<VariableDecl> vars = {
+      {.name = "owner", .type = "address"},
+      {.name = "logic", .type = "address"},
+  };
+  layout_storage(vars);
+  EXPECT_EQ(vars[0].slot, 0u);
+  EXPECT_EQ(vars[1].slot, 1u);
+}
+
+TEST(LayoutStorage, AddressPlusBoolPacks) {
+  std::vector<VariableDecl> vars = {
+      {.name = "owner", .type = "address"},
+      {.name = "paused", .type = "bool"},
+      {.name = "big", .type = "uint256"},
+  };
+  layout_storage(vars);
+  EXPECT_EQ(vars[0].slot, 0u);
+  EXPECT_EQ(vars[1].slot, 0u);
+  EXPECT_EQ(vars[1].offset, 20);
+  EXPECT_EQ(vars[2].slot, 1u);  // uint256 can't fit the 11 remaining bytes
+}
+
+TEST(LayoutStorage, MappingsAlwaysTakeAFreshSlot) {
+  std::vector<VariableDecl> vars = {
+      {.name = "flag", .type = "bool"},
+      {.name = "balances", .type = "mapping(address=>uint256)"},
+      {.name = "after", .type = "bool"},
+  };
+  layout_storage(vars);
+  EXPECT_EQ(vars[0].slot, 0u);
+  EXPECT_EQ(vars[1].slot, 1u);
+  EXPECT_EQ(vars[2].slot, 2u);
+}
+
+TEST(LayoutStorage, EmptyList) {
+  std::vector<VariableDecl> vars;
+  layout_storage(vars);
+  EXPECT_TRUE(vars.empty());
+}
+
+TEST(SourceRecord, SelectorsSortedUniquePublicOnly) {
+  SourceRecord rec;
+  rec.functions = {{.prototype = "b()"},
+                   {.prototype = "a()"},
+                   {.prototype = "a()"},
+                   {.prototype = "hidden()", .is_public = false}};
+  const auto selectors = rec.selectors();
+  EXPECT_EQ(selectors.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(selectors.begin(), selectors.end()));
+}
+
+TEST(SourceRepository, PublishLookup) {
+  SourceRepository repo;
+  const Address a = Address::from_label("verified");
+  EXPECT_EQ(repo.lookup(a), nullptr);
+  EXPECT_FALSE(repo.has_source(a));
+
+  SourceRecord rec;
+  rec.contract_name = "Verified";
+  repo.publish(a, rec);
+  ASSERT_NE(repo.lookup(a), nullptr);
+  EXPECT_EQ(repo.lookup(a)->contract_name, "Verified");
+  EXPECT_TRUE(repo.has_source(a));
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(SourceRepository, CodeHashPropagation) {
+  SourceRepository repo;
+  const Address verified = Address::from_label("verified");
+  const Address clone = Address::from_label("clone");
+  SourceRecord rec;
+  rec.contract_name = "Shared";
+  repo.publish(verified, rec);
+
+  const auto hash = proxion::crypto::keccak256("some bytecode");
+  repo.index_code_hash(verified, hash);
+  ASSERT_NE(repo.lookup_by_code_hash(hash), nullptr);
+  EXPECT_EQ(repo.lookup_by_code_hash(hash)->contract_name, "Shared");
+  EXPECT_EQ(repo.lookup(clone), nullptr);  // direct lookup still misses
+  // Unverified address indexing is a no-op.
+  repo.index_code_hash(clone, proxion::crypto::keccak256("other"));
+  EXPECT_EQ(repo.lookup_by_code_hash(proxion::crypto::keccak256("other")),
+            nullptr);
+}
+
+}  // namespace

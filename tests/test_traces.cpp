@@ -1,0 +1,203 @@
+// The trace-observer contract that Proxion's detectors build on: event
+// ordering, depths, stack snapshots, SLOAD/SSTORE attribution across
+// delegatecall context switches, and halt notifications.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/assembler.h"
+#include "datagen/contract_factory.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+
+namespace {
+
+using namespace proxion::evm;
+using proxion::datagen::Assembler;
+using proxion::datagen::ContractFactory;
+
+struct Event {
+  enum class Kind { kInstruction, kCall, kHalt, kSload, kSstore } kind;
+  int depth = 0;
+  std::uint8_t opcode = 0;
+  Address address;
+  U256 slot, value;
+  CallKind call_kind = CallKind::kCall;
+  std::size_t stack_depth = 0;
+};
+
+class Recorder final : public TraceObserver {
+ public:
+  void on_instruction(int depth, const Address& addr, std::uint32_t /*pc*/,
+                      std::uint8_t opcode,
+                      std::span<const U256> stack) override {
+    events.push_back({Event::Kind::kInstruction, depth, opcode, addr, {}, {},
+                      CallKind::kCall, stack.size()});
+  }
+  void on_call(CallKind kind, int depth, const Address& /*from*/,
+               const Address& to, BytesView /*calldata*/) override {
+    events.push_back(
+        {Event::Kind::kCall, depth, 0, to, {}, {}, kind, 0});
+  }
+  void on_halt(int depth, HaltReason /*reason*/) override {
+    events.push_back({Event::Kind::kHalt, depth, 0, {}, {}, {},
+                      CallKind::kCall, 0});
+  }
+  void on_sload(int depth, const Address& addr, const U256& slot,
+                const U256& value) override {
+    events.push_back({Event::Kind::kSload, depth, 0, addr, slot, value,
+                      CallKind::kCall, 0});
+  }
+  void on_sstore(int depth, const Address& addr, const U256& slot,
+                 const U256& value) override {
+    events.push_back({Event::Kind::kSstore, depth, 0, addr, slot, value,
+                      CallKind::kCall, 0});
+  }
+
+  std::vector<Event> events;
+
+  std::vector<Event> of_kind(Event::Kind kind) const {
+    std::vector<Event> out;
+    for (const auto& e : events) {
+      if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  ExecResult run(const Address& target, Bytes calldata = {}) {
+    Interpreter interp(host_);
+    interp.set_observer(&recorder_);
+    CallParams params;
+    params.code_address = target;
+    params.storage_address = target;
+    params.caller = user_;
+    params.origin = user_;
+    params.calldata = std::move(calldata);
+    return interp.execute(params);
+  }
+
+  MemoryHost host_;
+  Recorder recorder_;
+  Address user_ = Address::from_label("trace.user");
+};
+
+TEST_F(TraceTest, InstructionStreamMatchesProgramOrder) {
+  const Address a = Address::from_label("t1");
+  // PUSH1 1; PUSH1 2; ADD; STOP
+  host_.set_code(a, proxion::crypto::from_hex("600160020100"));
+  run(a);
+  const auto ins = recorder_.of_kind(Event::Kind::kInstruction);
+  ASSERT_EQ(ins.size(), 4u);
+  EXPECT_EQ(ins[0].opcode, 0x60);
+  EXPECT_EQ(ins[1].opcode, 0x60);
+  EXPECT_EQ(ins[2].opcode, 0x01);
+  EXPECT_EQ(ins[3].opcode, 0x00);
+  // Stack snapshot taken BEFORE each instruction executes.
+  EXPECT_EQ(ins[0].stack_depth, 0u);
+  EXPECT_EQ(ins[2].stack_depth, 2u);
+  EXPECT_EQ(ins[3].stack_depth, 1u);
+}
+
+TEST_F(TraceTest, TopLevelCallAndHaltReported) {
+  const Address a = Address::from_label("t2");
+  host_.set_code(a, proxion::crypto::from_hex("00"));
+  run(a);
+  const auto calls = recorder_.of_kind(Event::Kind::kCall);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].depth, 0);
+  EXPECT_EQ(calls[0].address, a);
+  const auto halts = recorder_.of_kind(Event::Kind::kHalt);
+  ASSERT_EQ(halts.size(), 1u);
+}
+
+TEST_F(TraceTest, DelegatecallDepthAndStorageAttribution) {
+  // proxy (slot 0) -> logic writes slot 9 with CALLER: the SSTORE event must
+  // attribute the write to the PROXY's storage at depth 1.
+  const Address logic = Address::from_label("t3.logic");
+  host_.set_code(logic, ContractFactory::plain_contract(
+                            {{.prototype = "f()",
+                              .body = proxion::datagen::BodyKind::kStoreCaller,
+                              .slot = U256{9}}}));
+  const Address proxy = Address::from_label("t3.proxy");
+  host_.set_code(proxy, ContractFactory::slot_proxy(U256{0}));
+  host_.set_storage(proxy, U256{0}, logic.to_word());
+
+  Bytes calldata(4, 0);
+  const auto sel = proxion::crypto::selector_of("f()");
+  std::copy(sel.begin(), sel.end(), calldata.begin());
+  run(proxy, calldata);
+
+  const auto calls = recorder_.of_kind(Event::Kind::kCall);
+  ASSERT_EQ(calls.size(), 2u);  // top-level + the delegatecall
+  EXPECT_EQ(calls[1].call_kind, CallKind::kDelegateCall);
+  EXPECT_EQ(calls[1].depth, 1);
+  EXPECT_EQ(calls[1].address, logic);
+
+  const auto sloads = recorder_.of_kind(Event::Kind::kSload);
+  ASSERT_GE(sloads.size(), 1u);
+  EXPECT_EQ(sloads[0].address, proxy);  // impl slot read in proxy context
+  EXPECT_EQ(sloads[0].slot, U256{0});
+
+  const auto sstores = recorder_.of_kind(Event::Kind::kSstore);
+  ASSERT_EQ(sstores.size(), 1u);
+  EXPECT_EQ(sstores[0].depth, 1);
+  EXPECT_EQ(sstores[0].address, proxy);  // delegate context == proxy storage
+  EXPECT_EQ(sstores[0].slot, U256{9});
+  EXPECT_EQ(sstores[0].value, user_.to_word());
+}
+
+TEST_F(TraceTest, SloadReportsValueReturnedToGuest) {
+  const Address a = Address::from_label("t4");
+  Assembler asm_;
+  asm_.push(U256{7}, 1).op(Opcode::SLOAD).op(Opcode::POP).op(Opcode::STOP);
+  host_.set_code(a, asm_.assemble());
+  host_.set_storage(a, U256{7}, U256{0xfeed});
+  run(a);
+  const auto sloads = recorder_.of_kind(Event::Kind::kSload);
+  ASSERT_EQ(sloads.size(), 1u);
+  EXPECT_EQ(sloads[0].value, U256{0xfeed});
+}
+
+TEST_F(TraceTest, NestedCallsReportIncreasingDepths) {
+  // a -> CALL b -> CALL c; depths 1 and 2.
+  const Address c = Address::from_label("t5.c");
+  host_.set_code(c, proxion::crypto::from_hex("00"));
+  const Address b = Address::from_label("t5.b");
+  Assembler basm;
+  basm.push(U256{0}, 1).push(U256{0}, 1).push(U256{0}, 1).push(U256{0}, 1)
+      .push(U256{0}, 1);
+  basm.push_address(c);
+  basm.op(Opcode::GAS).op(Opcode::CALL).op(Opcode::POP).op(Opcode::STOP);
+  host_.set_code(b, basm.assemble());
+  const Address a = Address::from_label("t5.a");
+  Assembler aasm;
+  aasm.push(U256{0}, 1).push(U256{0}, 1).push(U256{0}, 1).push(U256{0}, 1)
+      .push(U256{0}, 1);
+  aasm.push_address(b);
+  aasm.op(Opcode::GAS).op(Opcode::CALL).op(Opcode::POP).op(Opcode::STOP);
+  host_.set_code(a, aasm.assemble());
+
+  run(a);
+  const auto calls = recorder_.of_kind(Event::Kind::kCall);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].depth, 0);
+  EXPECT_EQ(calls[1].depth, 1);
+  EXPECT_EQ(calls[1].address, b);
+  EXPECT_EQ(calls[2].depth, 2);
+  EXPECT_EQ(calls[2].address, c);
+}
+
+TEST_F(TraceTest, NoObserverNoCrash) {
+  const Address a = Address::from_label("t6");
+  host_.set_code(a, proxion::crypto::from_hex("600160020100"));
+  Interpreter interp(host_);  // no observer installed
+  CallParams params;
+  params.code_address = a;
+  params.storage_address = a;
+  EXPECT_EQ(interp.execute(params).halt, HaltReason::kStop);
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// U256 arithmetic: EVM semantics (wrapping, div-by-zero -> 0, signed ops,
+// shifts, SIGNEXTEND/BYTE) including property-style parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "evm/types.h"
+
+namespace {
+
+using proxion::evm::Address;
+using proxion::evm::U256;
+
+const U256 kMax = ~U256{};  // 2^256 - 1
+
+TEST(U256, BasicConstruction) {
+  EXPECT_TRUE(U256{}.is_zero());
+  EXPECT_EQ(U256{7}.low64(), 7u);
+  EXPECT_TRUE(U256{7}.fits_u64());
+  EXPECT_FALSE((U256{1} << U256{64}).fits_u64());
+}
+
+TEST(U256, HexRoundTrip) {
+  const U256 v = U256::from_hex("0xdeadbeefcafebabe1122334455667788");
+  EXPECT_EQ(v.to_hex(), "0xdeadbeefcafebabe1122334455667788");
+  EXPECT_EQ(U256{}.to_hex(), "0x0");
+  EXPECT_EQ(U256{255}.to_hex(), "0xff");
+}
+
+TEST(U256, BeBytesRoundTrip) {
+  const U256 v = U256::from_hex(
+      "0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+}
+
+TEST(U256, FromBeSliceShortInput) {
+  const std::uint8_t raw[2] = {0x12, 0x34};
+  EXPECT_EQ(U256::from_be_slice(std::span(raw, 2)), U256{0x1234});
+}
+
+TEST(U256, AdditionWraps) {
+  EXPECT_EQ(kMax + U256{1}, U256{});
+  EXPECT_EQ(kMax + kMax, kMax - U256{1});
+}
+
+TEST(U256, SubtractionWraps) {
+  EXPECT_EQ(U256{} - U256{1}, kMax);
+  EXPECT_EQ(U256{5} - U256{3}, U256{2});
+}
+
+TEST(U256, MultiplicationCarriesAcrossLimbs) {
+  const U256 a = U256{1} << U256{64};
+  EXPECT_EQ(a * a, U256{1} << U256{128});
+  EXPECT_EQ((a * a) * (a * a), U256{});  // 2^256 wraps to zero
+  EXPECT_EQ(U256{0xffffffffffffffffull} * U256{2},
+            (U256{1} << U256{65}) - U256{2});
+}
+
+TEST(U256, DivisionAndModulo) {
+  EXPECT_EQ(U256{100} / U256{7}, U256{14});
+  EXPECT_EQ(U256{100} % U256{7}, U256{2});
+  // EVM rule: division by zero yields zero, not a trap.
+  EXPECT_EQ(U256{100} / U256{}, U256{});
+  EXPECT_EQ(U256{100} % U256{}, U256{});
+  const U256 big = U256::from_hex(
+      "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(big / U256{1}, big);
+  EXPECT_EQ(big / big, U256{1});
+  EXPECT_EQ(big % big, U256{});
+}
+
+TEST(U256, DivisionMultiLimb) {
+  const U256 n = (U256{1} << U256{200}) + U256{12345};
+  const U256 d = (U256{1} << U256{100}) + U256{7};
+  const U256 q = n / d;
+  const U256 r = n % d;
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_TRUE(r < d);
+}
+
+TEST(U256, ComparisonAcrossLimbs) {
+  const U256 high = U256{1} << U256{192};
+  const U256 low = kMax >> U256{64};
+  EXPECT_TRUE(low < high);
+  EXPECT_TRUE(high > low);
+  EXPECT_EQ(high <=> high, std::strong_ordering::equal);
+}
+
+TEST(U256, ShiftEdgeCases) {
+  EXPECT_EQ(U256{1} << U256{255}, U256::from_hex(
+      "0x8000000000000000000000000000000000000000000000000000000000000000"));
+  EXPECT_EQ(U256{1} << U256{256}, U256{});  // shift >= 256 -> 0
+  EXPECT_EQ(kMax >> U256{256}, U256{});
+  EXPECT_EQ((U256{1} << U256{255}) >> U256{255}, U256{1});
+  EXPECT_EQ(U256{0xff} << U256{0}, U256{0xff});
+}
+
+TEST(U256, SignedDivision) {
+  const U256 minus_ten = U256{} - U256{10};
+  EXPECT_EQ(minus_ten.sdiv(U256{3}), U256{} - U256{3});
+  EXPECT_EQ(minus_ten.sdiv(U256{} - U256{3}), U256{3});
+  EXPECT_EQ(U256{10}.sdiv(U256{} - U256{3}), U256{} - U256{3});
+  EXPECT_EQ(minus_ten.sdiv(U256{}), U256{});
+}
+
+TEST(U256, SignedModuloTakesDividendSign) {
+  const U256 minus_ten = U256{} - U256{10};
+  EXPECT_EQ(minus_ten.smod(U256{3}), U256{} - U256{1});
+  EXPECT_EQ(U256{10}.smod(U256{} - U256{3}), U256{1});
+}
+
+TEST(U256, SignedComparison) {
+  const U256 minus_one = kMax;
+  EXPECT_TRUE(minus_one.slt(U256{0}));
+  EXPECT_TRUE(U256{0}.sgt(minus_one));
+  EXPECT_FALSE(U256{1}.slt(U256{0}));
+  EXPECT_TRUE((U256{} - U256{5}).slt(U256{} - U256{3}));
+}
+
+TEST(U256, ArithmeticShiftRight) {
+  const U256 minus_eight = U256{} - U256{8};
+  EXPECT_EQ(minus_eight.sar(U256{1}), U256{} - U256{4});
+  EXPECT_EQ(minus_eight.sar(U256{300}), kMax);  // sign fill saturates
+  EXPECT_EQ(U256{8}.sar(U256{1}), U256{4});
+  EXPECT_EQ(U256{8}.sar(U256{300}), U256{});
+}
+
+TEST(U256, Exponentiation) {
+  EXPECT_EQ(U256{2}.exp(U256{10}), U256{1024});
+  EXPECT_EQ(U256{3}.exp(U256{0}), U256{1});
+  EXPECT_EQ(U256{0}.exp(U256{0}), U256{1});  // EVM defines 0^0 = 1
+  EXPECT_EQ(U256{2}.exp(U256{256}), U256{});  // wraps to zero
+  EXPECT_EQ(U256{10}.exp(U256{18}), U256{1'000'000'000'000'000'000ull});
+}
+
+TEST(U256, AddmodMulmod) {
+  EXPECT_EQ(U256::addmod(U256{10}, U256{10}, U256{8}), U256{4});
+  EXPECT_EQ(U256::mulmod(U256{10}, U256{10}, U256{8}), U256{4});
+  EXPECT_EQ(U256::addmod(U256{1}, U256{2}, U256{}), U256{});
+  // The signature case: intermediate sum exceeding 2^256 must not wrap.
+  EXPECT_EQ(U256::addmod(kMax, kMax, U256{12}), (kMax % U256{12}) * U256{2} % U256{12});
+  EXPECT_EQ(U256::mulmod(kMax, kMax, kMax), U256{});
+  EXPECT_EQ(U256::mulmod(kMax, U256{2}, kMax), U256{});
+}
+
+TEST(U256, SignExtend) {
+  // Extend byte 0 of 0xff -> -1.
+  EXPECT_EQ(U256{0xff}.signextend(U256{0}), kMax);
+  EXPECT_EQ(U256{0x7f}.signextend(U256{0}), U256{0x7f});
+  EXPECT_EQ(U256{0xff80}.signextend(U256{1}),
+            kMax - U256{0x7f});  // 0xff...ff80
+  EXPECT_EQ(U256{0x1234}.signextend(U256{31}), U256{0x1234});  // no-op
+  EXPECT_EQ(U256{0x1234}.signextend(U256{100}), U256{0x1234});
+}
+
+TEST(U256, ByteExtraction) {
+  const U256 v = U256::from_hex(
+      "0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  EXPECT_EQ(v.byte(U256{0}), 0x01);
+  EXPECT_EQ(v.byte(U256{31}), 0x20);
+  EXPECT_EQ(v.byte(U256{32}), 0x00);  // out of range -> 0
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256{}.bit_length(), 0);
+  EXPECT_EQ(U256{1}.bit_length(), 1);
+  EXPECT_EQ(U256{0xff}.bit_length(), 8);
+  EXPECT_EQ((U256{1} << U256{200}).bit_length(), 201);
+  EXPECT_EQ(kMax.bit_length(), 256);
+}
+
+// ---- Property sweeps ------------------------------------------------------
+
+class U256PropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  U256 random_value(std::mt19937_64& rng) {
+    // Mix of small, medium, and full-width values.
+    switch (rng() % 3) {
+      case 0: return U256{rng() % 1000};
+      case 1: return U256{rng()};
+      default: return U256{rng(), rng(), rng(), rng()};
+    }
+  }
+};
+
+TEST_P(U256PropertyTest, AdditionCommutesAndSubtractionInverts) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_value(rng);
+    const U256 b = random_value(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, U256{});
+  }
+}
+
+TEST_P(U256PropertyTest, DivModIdentity) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_value(rng);
+    const U256 b = random_value(rng);
+    if (b.is_zero()) continue;
+    EXPECT_EQ((a / b) * b + (a % b), a);
+    EXPECT_TRUE(a % b < b);
+  }
+}
+
+TEST_P(U256PropertyTest, ShiftsInvertBelowWordSize) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_value(rng);
+    const std::uint64_t s = rng() % 128;
+    EXPECT_EQ(((a << U256{s}) >> U256{s}) & (kMax >> U256{s + 128}),
+              a & (kMax >> U256{s + 128}));
+  }
+}
+
+TEST_P(U256PropertyTest, MulmodMatchesSmallModulusArithmetic) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng() % 100000;
+    const std::uint64_t b = rng() % 100000;
+    const std::uint64_t m = 1 + rng() % 100000;
+    EXPECT_EQ(U256::mulmod(U256{a}, U256{b}, U256{m}),
+              U256{(a * b) % m});
+  }
+}
+
+TEST_P(U256PropertyTest, BitwiseDeMorgan) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_value(rng);
+    const U256 b = random_value(rng);
+    EXPECT_EQ(~(a & b), ~a | ~b);
+    EXPECT_EQ(~(a | b), ~a & ~b);
+    EXPECT_EQ(a ^ b, (a | b) & ~(a & b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest,
+                         ::testing::Values(1u, 42u, 20240920u, 0xdeadbeefu));
+
+TEST(AddressTest, WordRoundTrip) {
+  const Address a = Address::from_label("round-trip");
+  EXPECT_EQ(Address::from_word(a.to_word()), a);
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_TRUE(Address{}.is_zero());
+}
+
+TEST(AddressTest, HexRoundTrip) {
+  const Address a = Address::from_hex(
+      "0xdAC17F958D2ee523a2206206994597C13D831ec7");  // USDT from Listing 1
+  EXPECT_EQ(a.to_hex(), "0xdac17f958d2ee523a2206206994597c13d831ec7");
+}
+
+TEST(AddressTest, FromWordTruncatesHighBits) {
+  const proxion::evm::U256 word =
+      (U256{0xff} << U256{200}) | U256{0x1234};
+  const Address a = Address::from_word(word);
+  EXPECT_EQ(a.to_word(), U256{0x1234});
+}
+
+}  // namespace

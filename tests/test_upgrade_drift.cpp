@@ -1,0 +1,141 @@
+// Upgrade-induced storage drift (§2.3): layout changes between consecutive
+// logic versions of one proxy.
+#include <gtest/gtest.h>
+
+#include "chain/archive_node.h"
+#include "chain/blockchain.h"
+#include "core/logic_finder.h"
+#include "core/proxy_detector.h"
+#include "core/upgrade_drift.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::core;
+using chain::Blockchain;
+using datagen::BodyKind;
+using datagen::ContractFactory;
+using evm::Bytes;
+using evm::U256;
+
+class DriftTest : public ::testing::Test {
+ protected:
+  /// Deploys a slot-9 proxy and walks it through the given logic versions.
+  LogicHistory upgrade_through(const std::vector<Bytes>& versions) {
+    proxy_ = chain_.deploy_runtime(user_, ContractFactory::slot_proxy(U256{9}));
+    std::uint64_t block = 100;
+    for (const Bytes& code : versions) {
+      chain_.mine_until(block);
+      const Address impl = chain_.deploy_runtime(user_, code);
+      chain_.set_storage(proxy_, U256{9}, impl.to_word());
+      block += 1'000;
+    }
+    chain_.mine_until(block);
+
+    ProxyDetector detector(chain_);
+    chain::ArchiveNode node(chain_);
+    LogicFinder finder(node);
+    return finder.find(proxy_, detector.analyze(proxy_));
+  }
+
+  Blockchain chain_;
+  Address user_ = Address::from_label("drift.user");
+  Address proxy_;
+};
+
+TEST_F(DriftTest, TypeChangeAcrossUpgradeDetected) {
+  // v1 stores a caller address at slot 0; v2 reads slot 0 as a bool flag.
+  const Bytes v1 = ContractFactory::plain_contract(
+      {{.prototype = "claim()", .body = BodyKind::kStoreCaller,
+        .slot = U256{0}}});
+  const Bytes v2 = ContractFactory::plain_contract(
+      {{.prototype = "enabled()", .body = BodyKind::kReturnStorageBool,
+        .slot = U256{0}}});
+  const LogicHistory history = upgrade_through({v1, v2});
+  ASSERT_EQ(history.logic_addresses.size(), 2u);
+
+  UpgradeDriftDetector detector(chain_);
+  const auto result = detector.analyze(proxy_, history);
+  ASSERT_TRUE(result.has_drift());
+  const DriftFinding& f = result.findings[0];
+  EXPECT_EQ(f.slot, U256{0});
+  EXPECT_EQ(f.old_width, 20);
+  EXPECT_EQ(f.new_width, 1);
+  EXPECT_TRUE(f.old_version_wrote);  // live data reinterpreted
+  EXPECT_EQ(f.from_version, 0u);
+  EXPECT_EQ(f.to_version, 1u);
+}
+
+TEST_F(DriftTest, CompatibleUpgradeIsClean) {
+  // Both versions treat slot 0 as an address; v2 adds a new slot.
+  const Bytes v1 = ContractFactory::plain_contract(
+      {{.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+        .slot = U256{0}}});
+  const Bytes v2 = ContractFactory::plain_contract(
+      {{.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+        .slot = U256{0}},
+       {.prototype = "count()", .body = BodyKind::kReturnStorageWord,
+        .slot = U256{1}}});
+  const LogicHistory history = upgrade_through({v1, v2});
+  UpgradeDriftDetector detector(chain_);
+  EXPECT_FALSE(detector.analyze(proxy_, history).has_drift());
+}
+
+TEST_F(DriftTest, AbandonedSlotIsNotDrift) {
+  // v2 stops using v1's slot entirely: stale data, but no reinterpretation.
+  const Bytes v1 = ContractFactory::plain_contract(
+      {{.prototype = "claim()", .body = BodyKind::kStoreCaller,
+        .slot = U256{0}}});
+  const Bytes v2 = ContractFactory::plain_contract(
+      {{.prototype = "count()", .body = BodyKind::kReturnStorageWord,
+        .slot = U256{5}}});
+  const LogicHistory history = upgrade_through({v1, v2});
+  UpgradeDriftDetector detector(chain_);
+  EXPECT_FALSE(detector.analyze(proxy_, history).has_drift());
+}
+
+TEST_F(DriftTest, PackedReorderingDetected) {
+  // v1: bool at byte 0 of slot 2. v2: address at bytes [0,20) of slot 2 —
+  // the classic "inserted a variable above the flags" mistake.
+  const Bytes v1 = ContractFactory::plain_contract(
+      {{.prototype = "paused()", .body = BodyKind::kReturnStorageBool,
+        .slot = U256{2}},
+       {.prototype = "setPaused(uint256)", .body = BodyKind::kStoreArgWord,
+        .slot = U256{2}}});
+  const Bytes v2 = ContractFactory::plain_contract(
+      {{.prototype = "treasury()", .body = BodyKind::kReturnStorageAddress,
+        .slot = U256{2}}});
+  const LogicHistory history = upgrade_through({v1, v2});
+  UpgradeDriftDetector detector(chain_);
+  const auto result = detector.analyze(proxy_, history);
+  ASSERT_TRUE(result.has_drift());
+}
+
+TEST_F(DriftTest, SingleVersionHasNoDrift) {
+  const Bytes v1 = ContractFactory::token_contract(1);
+  const LogicHistory history = upgrade_through({v1});
+  UpgradeDriftDetector detector(chain_);
+  EXPECT_FALSE(detector.analyze(proxy_, history).has_drift());
+}
+
+TEST_F(DriftTest, ThreeVersionChainReportsEachTransition) {
+  const Bytes v1 = ContractFactory::plain_contract(
+      {{.prototype = "claim()", .body = BodyKind::kStoreCaller,
+        .slot = U256{0}}});
+  const Bytes v2 = ContractFactory::plain_contract(
+      {{.prototype = "enabled()", .body = BodyKind::kReturnStorageBool,
+        .slot = U256{0}}});
+  const Bytes v3 = ContractFactory::plain_contract(
+      {{.prototype = "total()", .body = BodyKind::kReturnStorageWord,
+        .slot = U256{0}}});
+  const LogicHistory history = upgrade_through({v1, v2, v3});
+  UpgradeDriftDetector detector(chain_);
+  const auto result = detector.analyze(proxy_, history);
+  // v1->v2 (20 vs 1) and v2->v3 (1 vs 32) both drift.
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].to_version, 1u);
+  EXPECT_EQ(result.findings[1].to_version, 2u);
+}
+
+}  // namespace
