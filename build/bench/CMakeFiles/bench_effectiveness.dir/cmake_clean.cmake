@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effectiveness.dir/bench_effectiveness.cpp.o"
+  "CMakeFiles/bench_effectiveness.dir/bench_effectiveness.cpp.o.d"
+  "bench_effectiveness"
+  "bench_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_alive_contracts.dir/bench_fig2_alive_contracts.cpp.o"
+  "CMakeFiles/bench_fig2_alive_contracts.dir/bench_fig2_alive_contracts.cpp.o.d"
+  "bench_fig2_alive_contracts"
+  "bench_fig2_alive_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_alive_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_upgrades.dir/bench_fig6_upgrades.cpp.o"
+  "CMakeFiles/bench_fig6_upgrades.dir/bench_fig6_upgrades.cpp.o.d"
+  "bench_fig6_upgrades"
+  "bench_fig6_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

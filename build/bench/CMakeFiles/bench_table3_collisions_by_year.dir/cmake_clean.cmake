@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_collisions_by_year.dir/bench_table3_collisions_by_year.cpp.o"
+  "CMakeFiles/bench_table3_collisions_by_year.dir/bench_table3_collisions_by_year.cpp.o.d"
+  "bench_table3_collisions_by_year"
+  "bench_table3_collisions_by_year.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_collisions_by_year.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

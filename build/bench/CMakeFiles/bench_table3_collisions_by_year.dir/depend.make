@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_collisions_by_year.
+# This may be replaced when dependencies are built.

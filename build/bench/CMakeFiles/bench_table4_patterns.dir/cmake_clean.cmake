@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_patterns.dir/bench_table4_patterns.cpp.o"
+  "CMakeFiles/bench_table4_patterns.dir/bench_table4_patterns.cpp.o.d"
+  "bench_table4_patterns"
+  "bench_table4_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_bytecode.dir/analyze_bytecode.cpp.o"
+  "CMakeFiles/analyze_bytecode.dir/analyze_bytecode.cpp.o.d"
+  "analyze_bytecode"
+  "analyze_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

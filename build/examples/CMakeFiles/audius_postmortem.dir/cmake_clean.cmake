@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audius_postmortem.dir/audius_postmortem.cpp.o"
+  "CMakeFiles/audius_postmortem.dir/audius_postmortem.cpp.o.d"
+  "audius_postmortem"
+  "audius_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audius_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_proxy_hunt.dir/hidden_proxy_hunt.cpp.o"
+  "CMakeFiles/hidden_proxy_hunt.dir/hidden_proxy_hunt.cpp.o.d"
+  "hidden_proxy_hunt"
+  "hidden_proxy_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_proxy_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_hunt.dir/honeypot_hunt.cpp.o"
+  "CMakeFiles/honeypot_hunt.dir/honeypot_hunt.cpp.o.d"
+  "honeypot_hunt"
+  "honeypot_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

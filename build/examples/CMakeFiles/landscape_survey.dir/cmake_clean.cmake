@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_survey.dir/landscape_survey.cpp.o"
+  "CMakeFiles/landscape_survey.dir/landscape_survey.cpp.o.d"
+  "landscape_survey"
+  "landscape_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_timeline.dir/upgrade_timeline.cpp.o"
+  "CMakeFiles/upgrade_timeline.dir/upgrade_timeline.cpp.o.d"
+  "upgrade_timeline"
+  "upgrade_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

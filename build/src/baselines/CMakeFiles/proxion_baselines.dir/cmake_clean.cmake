@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_baselines.dir/crush.cpp.o"
+  "CMakeFiles/proxion_baselines.dir/crush.cpp.o.d"
+  "CMakeFiles/proxion_baselines.dir/salehi.cpp.o"
+  "CMakeFiles/proxion_baselines.dir/salehi.cpp.o.d"
+  "CMakeFiles/proxion_baselines.dir/uschunt.cpp.o"
+  "CMakeFiles/proxion_baselines.dir/uschunt.cpp.o.d"
+  "libproxion_baselines.a"
+  "libproxion_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/proxion_chain.dir/blockchain.cpp.o.d"
+  "libproxion_chain.a"
+  "libproxion_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

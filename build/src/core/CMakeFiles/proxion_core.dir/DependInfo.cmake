@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diamond_probe.cpp" "src/core/CMakeFiles/proxion_core.dir/diamond_probe.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/diamond_probe.cpp.o.d"
+  "/root/repo/src/core/function_collision.cpp" "src/core/CMakeFiles/proxion_core.dir/function_collision.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/function_collision.cpp.o.d"
+  "/root/repo/src/core/logic_finder.cpp" "src/core/CMakeFiles/proxion_core.dir/logic_finder.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/logic_finder.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/proxion_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/proxy_detector.cpp" "src/core/CMakeFiles/proxion_core.dir/proxy_detector.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/proxy_detector.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/proxion_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/selector_extractor.cpp" "src/core/CMakeFiles/proxion_core.dir/selector_extractor.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/selector_extractor.cpp.o.d"
+  "/root/repo/src/core/selector_grinder.cpp" "src/core/CMakeFiles/proxion_core.dir/selector_grinder.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/selector_grinder.cpp.o.d"
+  "/root/repo/src/core/storage_collision.cpp" "src/core/CMakeFiles/proxion_core.dir/storage_collision.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/storage_collision.cpp.o.d"
+  "/root/repo/src/core/storage_profile.cpp" "src/core/CMakeFiles/proxion_core.dir/storage_profile.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/storage_profile.cpp.o.d"
+  "/root/repo/src/core/upgrade_drift.cpp" "src/core/CMakeFiles/proxion_core.dir/upgrade_drift.cpp.o" "gcc" "src/core/CMakeFiles/proxion_core.dir/upgrade_drift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evm/CMakeFiles/proxion_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/proxion_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sourcemeta/CMakeFiles/proxion_sourcemeta.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/proxion_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_core.dir/diamond_probe.cpp.o"
+  "CMakeFiles/proxion_core.dir/diamond_probe.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/function_collision.cpp.o"
+  "CMakeFiles/proxion_core.dir/function_collision.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/logic_finder.cpp.o"
+  "CMakeFiles/proxion_core.dir/logic_finder.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/pipeline.cpp.o"
+  "CMakeFiles/proxion_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/proxy_detector.cpp.o"
+  "CMakeFiles/proxion_core.dir/proxy_detector.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/report.cpp.o"
+  "CMakeFiles/proxion_core.dir/report.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/selector_extractor.cpp.o"
+  "CMakeFiles/proxion_core.dir/selector_extractor.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/selector_grinder.cpp.o"
+  "CMakeFiles/proxion_core.dir/selector_grinder.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/storage_collision.cpp.o"
+  "CMakeFiles/proxion_core.dir/storage_collision.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/storage_profile.cpp.o"
+  "CMakeFiles/proxion_core.dir/storage_profile.cpp.o.d"
+  "CMakeFiles/proxion_core.dir/upgrade_drift.cpp.o"
+  "CMakeFiles/proxion_core.dir/upgrade_drift.cpp.o.d"
+  "libproxion_core.a"
+  "libproxion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_crypto.dir/eth.cpp.o"
+  "CMakeFiles/proxion_crypto.dir/eth.cpp.o.d"
+  "CMakeFiles/proxion_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/proxion_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/proxion_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/proxion_crypto.dir/sha256.cpp.o.d"
+  "libproxion_crypto.a"
+  "libproxion_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

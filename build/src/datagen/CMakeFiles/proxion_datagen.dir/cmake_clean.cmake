@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_datagen.dir/assembler.cpp.o"
+  "CMakeFiles/proxion_datagen.dir/assembler.cpp.o.d"
+  "CMakeFiles/proxion_datagen.dir/contract_factory.cpp.o"
+  "CMakeFiles/proxion_datagen.dir/contract_factory.cpp.o.d"
+  "CMakeFiles/proxion_datagen.dir/population.cpp.o"
+  "CMakeFiles/proxion_datagen.dir/population.cpp.o.d"
+  "libproxion_datagen.a"
+  "libproxion_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

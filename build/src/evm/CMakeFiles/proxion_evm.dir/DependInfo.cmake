@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/disassembler.cpp" "src/evm/CMakeFiles/proxion_evm.dir/disassembler.cpp.o" "gcc" "src/evm/CMakeFiles/proxion_evm.dir/disassembler.cpp.o.d"
+  "/root/repo/src/evm/interpreter.cpp" "src/evm/CMakeFiles/proxion_evm.dir/interpreter.cpp.o" "gcc" "src/evm/CMakeFiles/proxion_evm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/evm/opcodes.cpp" "src/evm/CMakeFiles/proxion_evm.dir/opcodes.cpp.o" "gcc" "src/evm/CMakeFiles/proxion_evm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/evm/precompiles.cpp" "src/evm/CMakeFiles/proxion_evm.dir/precompiles.cpp.o" "gcc" "src/evm/CMakeFiles/proxion_evm.dir/precompiles.cpp.o.d"
+  "/root/repo/src/evm/types.cpp" "src/evm/CMakeFiles/proxion_evm.dir/types.cpp.o" "gcc" "src/evm/CMakeFiles/proxion_evm.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/proxion_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_evm.dir/disassembler.cpp.o"
+  "CMakeFiles/proxion_evm.dir/disassembler.cpp.o.d"
+  "CMakeFiles/proxion_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/proxion_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/proxion_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/proxion_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/proxion_evm.dir/precompiles.cpp.o"
+  "CMakeFiles/proxion_evm.dir/precompiles.cpp.o.d"
+  "CMakeFiles/proxion_evm.dir/types.cpp.o"
+  "CMakeFiles/proxion_evm.dir/types.cpp.o.d"
+  "libproxion_evm.a"
+  "libproxion_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

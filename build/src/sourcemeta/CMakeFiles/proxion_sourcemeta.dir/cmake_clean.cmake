@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxion_sourcemeta.dir/source.cpp.o"
+  "CMakeFiles/proxion_sourcemeta.dir/source.cpp.o.d"
+  "libproxion_sourcemeta.a"
+  "libproxion_sourcemeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxion_sourcemeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

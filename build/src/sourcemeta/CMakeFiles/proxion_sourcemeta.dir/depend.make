@@ -1,0 +1,2 @@
+# Empty dependencies file for proxion_sourcemeta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archetype_matrix.dir/test_archetype_matrix.cpp.o"
+  "CMakeFiles/test_archetype_matrix.dir/test_archetype_matrix.cpp.o.d"
+  "test_archetype_matrix"
+  "test_archetype_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archetype_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

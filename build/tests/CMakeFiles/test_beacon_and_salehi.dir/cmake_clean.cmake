@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beacon_and_salehi.dir/test_beacon_and_salehi.cpp.o"
+  "CMakeFiles/test_beacon_and_salehi.dir/test_beacon_and_salehi.cpp.o.d"
+  "test_beacon_and_salehi"
+  "test_beacon_and_salehi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beacon_and_salehi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

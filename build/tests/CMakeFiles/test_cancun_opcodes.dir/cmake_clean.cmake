@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cancun_opcodes.dir/test_cancun_opcodes.cpp.o"
+  "CMakeFiles/test_cancun_opcodes.dir/test_cancun_opcodes.cpp.o.d"
+  "test_cancun_opcodes"
+  "test_cancun_opcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cancun_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diamond_probe.dir/test_diamond_probe.cpp.o"
+  "CMakeFiles/test_diamond_probe.dir/test_diamond_probe.cpp.o.d"
+  "test_diamond_probe"
+  "test_diamond_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diamond_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

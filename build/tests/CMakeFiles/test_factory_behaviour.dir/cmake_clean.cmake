@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factory_behaviour.dir/test_factory_behaviour.cpp.o"
+  "CMakeFiles/test_factory_behaviour.dir/test_factory_behaviour.cpp.o.d"
+  "test_factory_behaviour"
+  "test_factory_behaviour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factory_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gas_accounting.dir/test_gas_accounting.cpp.o"
+  "CMakeFiles/test_gas_accounting.dir/test_gas_accounting.cpp.o.d"
+  "test_gas_accounting"
+  "test_gas_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gas_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

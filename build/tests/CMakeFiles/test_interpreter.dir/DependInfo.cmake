@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_interpreter.cpp" "tests/CMakeFiles/test_interpreter.dir/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/test_interpreter.dir/test_interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/proxion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/proxion_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/proxion_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/proxion_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sourcemeta/CMakeFiles/proxion_sourcemeta.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/proxion_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/proxion_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

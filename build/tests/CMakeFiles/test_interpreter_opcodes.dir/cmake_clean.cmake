@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter_opcodes.dir/test_interpreter_opcodes.cpp.o"
+  "CMakeFiles/test_interpreter_opcodes.dir/test_interpreter_opcodes.cpp.o.d"
+  "test_interpreter_opcodes"
+  "test_interpreter_opcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic_finder.dir/test_logic_finder.cpp.o"
+  "CMakeFiles/test_logic_finder.dir/test_logic_finder.cpp.o.d"
+  "test_logic_finder"
+  "test_logic_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

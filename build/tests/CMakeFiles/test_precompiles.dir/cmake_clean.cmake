@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precompiles.dir/test_precompiles.cpp.o"
+  "CMakeFiles/test_precompiles.dir/test_precompiles.cpp.o.d"
+  "test_precompiles"
+  "test_precompiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precompiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

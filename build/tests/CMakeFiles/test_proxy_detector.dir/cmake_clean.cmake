@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_detector.dir/test_proxy_detector.cpp.o"
+  "CMakeFiles/test_proxy_detector.dir/test_proxy_detector.cpp.o.d"
+  "test_proxy_detector"
+  "test_proxy_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selector_extractor.dir/test_selector_extractor.cpp.o"
+  "CMakeFiles/test_selector_extractor.dir/test_selector_extractor.cpp.o.d"
+  "test_selector_extractor"
+  "test_selector_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selector_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

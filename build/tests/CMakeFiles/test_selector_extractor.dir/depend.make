@@ -1,0 +1,2 @@
+# Empty dependencies file for test_selector_extractor.
+# This may be replaced when dependencies are built.

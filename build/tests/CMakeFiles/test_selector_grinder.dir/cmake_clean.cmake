@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selector_grinder.dir/test_selector_grinder.cpp.o"
+  "CMakeFiles/test_selector_grinder.dir/test_selector_grinder.cpp.o.d"
+  "test_selector_grinder"
+  "test_selector_grinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selector_grinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

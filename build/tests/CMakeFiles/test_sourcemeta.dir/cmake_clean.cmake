@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sourcemeta.dir/test_sourcemeta.cpp.o"
+  "CMakeFiles/test_sourcemeta.dir/test_sourcemeta.cpp.o.d"
+  "test_sourcemeta"
+  "test_sourcemeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sourcemeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

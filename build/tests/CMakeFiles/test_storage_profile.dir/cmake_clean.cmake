@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_profile.dir/test_storage_profile.cpp.o"
+  "CMakeFiles/test_storage_profile.dir/test_storage_profile.cpp.o.d"
+  "test_storage_profile"
+  "test_storage_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upgrade_drift.dir/test_upgrade_drift.cpp.o"
+  "CMakeFiles/test_upgrade_drift.dir/test_upgrade_drift.cpp.o.d"
+  "test_upgrade_drift"
+  "test_upgrade_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upgrade_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
