@@ -7,18 +7,23 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "chain/archive_node.h"
+#include "core/analysis_cache.h"
 #include "core/function_collision.h"
 #include "core/logic_finder.h"
 #include "core/proxy_detector.h"
 #include "core/selector_extractor.h"
 #include "core/selector_grinder.h"
 #include "core/storage_collision.h"
+#include "core/storage_profile.h"
 #include "crypto/keccak.h"
 #include "datagen/contract_factory.h"
 #include "evm/disassembler.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -187,6 +192,72 @@ void BM_SelectorGrind_HashRate(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorGrind_HashRate);
 
+void BM_Artifacts_Recompute(benchmark::State& state) {
+  // What every stage of the seed pipeline paid per contract: disassemble,
+  // extract selectors, profile storage — from scratch each time.
+  const Bytes code = ContractFactory::token_contract(1);
+  for (auto _ : state) {
+    evm::Disassembly dis(code);
+    benchmark::DoNotOptimize(core::extract_selectors(dis).size());
+    benchmark::DoNotOptimize(core::profile_storage(dis).accesses.size());
+  }
+}
+BENCHMARK(BM_Artifacts_Recompute);
+
+void BM_Artifacts_WarmCacheLookup(benchmark::State& state) {
+  // The same three artifacts served from the code-hash-keyed cache.
+  const Bytes code = ContractFactory::token_contract(1);
+  const crypto::Hash256 hash = evm::code_hash(code);
+  core::AnalysisCache cache;
+  cache.storage_profile(hash, code);  // warm all three artifacts
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.disassembly(hash, code).get());
+    benchmark::DoNotOptimize(cache.selectors(hash, code)->size());
+    benchmark::DoNotOptimize(cache.storage_profile(hash, code).get());
+  }
+}
+BENCHMARK(BM_Artifacts_WarmCacheLookup);
+
+constexpr std::size_t kParallelItems = 256;
+
+void parallel_work_item(std::size_t i) {
+  // A few microseconds of keccak per item, roughly one small-blob hash.
+  std::vector<std::uint8_t> data(64, static_cast<std::uint8_t>(i));
+  benchmark::DoNotOptimize(crypto::keccak256(data));
+}
+
+void BM_ParallelFor_SpawnJoinThreads(benchmark::State& state) {
+  // The seed pipeline's pattern: spawn N std::threads over static shard
+  // ranges, join, repeat for the next phase.
+  const unsigned workers = 4;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      threads.emplace_back([t] {
+        for (std::size_t i = t; i < kParallelItems; i += 4) {
+          parallel_work_item(i);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kParallelItems);
+}
+BENCHMARK(BM_ParallelFor_SpawnJoinThreads);
+
+void BM_ParallelFor_PersistentPool(benchmark::State& state) {
+  // Same work on the persistent work-stealing executor: no thread churn.
+  util::ThreadPool pool(4);
+  for (auto _ : state) {
+    pool.parallel_for(kParallelItems, parallel_work_item);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kParallelItems);
+}
+BENCHMARK(BM_ParallelFor_PersistentPool);
+
 void BM_Algorithm1_BinarySearch(benchmark::State& state) {
   auto& w = world();
   core::ProxyDetector pd(w.chain);
@@ -264,6 +335,70 @@ void macro_section() {
     row("speedup", fmt(ms_no_dedup / std::max(ms_dedup, 0.001), "x"));
     (void)reports;
     (void)reports2;
+  }
+
+  // Cold vs warm analysis cache: the same pipeline swept twice. The second
+  // sweep serves every disassembly/selector/profile artifact, every proxy
+  // verdict, and every proxy/logic pair outcome from the persistent caches.
+  {
+    core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto cold = pipeline.run(pop.sweep_inputs());
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto cold_stats = pipeline.summarize(cold);
+
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto warm = pipeline.run(pop.sweep_inputs());
+    const auto t3 = std::chrono::steady_clock::now();
+    const auto warm_stats = pipeline.summarize(warm);
+
+    const double cold_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double warm_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    const double n = static_cast<double>(cold.size());
+
+    heading("analysis cache: cold vs warm sweep (same pipeline, run twice)");
+    row("cold sweep", fmt(cold_ms, " ms"));
+    row("cold throughput", fmt(n / (cold_ms / 1000.0), " contracts/s"));
+    row("warm sweep", fmt(warm_ms, " ms"));
+    row("warm throughput", fmt(n / (warm_ms / 1000.0), " contracts/s"));
+    row("warm speedup", fmt(cold_ms / std::max(warm_ms, 0.001), "x"));
+    row("cache entries (distinct code hashes)",
+        std::to_string(warm_stats.cache.entries));
+    row("artifact hits / misses",
+        std::to_string(warm_stats.cache.hits()) + " / " +
+            std::to_string(warm_stats.cache.misses()));
+    row("pair cache hits / misses / waits",
+        std::to_string(warm_stats.pair_cache_hits) + " / " +
+            std::to_string(warm_stats.pair_cache_misses) + " / " +
+            std::to_string(warm_stats.pair_cache_waits));
+    row("phase times cold (fetch/proxy/pairs)",
+        fmt(cold_stats.phase_fetch_ms) + " / " +
+            fmt(cold_stats.phase_proxy_ms) + " / " +
+            fmt(cold_stats.phase_pairs_ms, " ms"));
+    row("phase times warm (fetch/proxy/pairs)",
+        fmt(warm_stats.phase_fetch_ms) + " / " +
+            fmt(warm_stats.phase_proxy_ms) + " / " +
+            fmt(warm_stats.phase_pairs_ms, " ms"));
+
+    // Determinism spot-checks: warm == cold, and cache ON == cache OFF.
+    bool warm_identical = warm.size() == cold.size();
+    for (std::size_t i = 0; warm_identical && i < warm.size(); ++i) {
+      warm_identical = warm[i] == cold[i];
+    }
+    core::PipelineConfig no_cache;
+    no_cache.use_analysis_cache = false;
+    core::AnalysisPipeline uncached(*pop.chain, &pop.sources, no_cache);
+    const auto baseline = uncached.run(pop.sweep_inputs());
+    bool cache_identical = baseline.size() == cold.size();
+    for (std::size_t i = 0; cache_identical && i < baseline.size(); ++i) {
+      cache_identical = baseline[i] == cold[i];
+    }
+    row("warm results bit-identical to cold", warm_identical ? "yes" : "NO");
+    row("cache ON bit-identical to cache OFF",
+        cache_identical ? "yes" : "NO");
   }
 }
 

@@ -1,0 +1,85 @@
+#include "core/analysis_cache.h"
+
+#include "core/selector_extractor.h"
+
+namespace proxion::core {
+
+AnalysisCache::AnalysisCache(unsigned shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<AnalysisCache::Entry> AnalysisCache::entry_for(
+    const crypto::Hash256& code_hash) {
+  Shard& s = *shards_[HashKey{}(code_hash) % shards_.size()];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto [it, inserted] = s.map.try_emplace(code_hash);
+  if (inserted) {
+    it->second = std::make_shared<Entry>();
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+const std::shared_ptr<const evm::Disassembly>& AnalysisCache::ensure_disassembly(
+    Entry& entry, evm::BytesView code) {
+  if (entry.dis) {
+    disassembly_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    disassembly_misses_.fetch_add(1, std::memory_order_relaxed);
+    entry.dis = std::make_shared<const evm::Disassembly>(code);
+  }
+  return entry.dis;
+}
+
+std::shared_ptr<const evm::Disassembly> AnalysisCache::disassembly(
+    const crypto::Hash256& code_hash, evm::BytesView code) {
+  const std::shared_ptr<Entry> entry = entry_for(code_hash);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  return ensure_disassembly(*entry, code);
+}
+
+std::shared_ptr<const std::vector<std::uint32_t>> AnalysisCache::selectors(
+    const crypto::Hash256& code_hash, evm::BytesView code) {
+  const std::shared_ptr<Entry> entry = entry_for(code_hash);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  if (entry->selectors) {
+    selector_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    selector_misses_.fetch_add(1, std::memory_order_relaxed);
+    entry->selectors = std::make_shared<const std::vector<std::uint32_t>>(
+        extract_selectors(*ensure_disassembly(*entry, code)));
+  }
+  return entry->selectors;
+}
+
+std::shared_ptr<const StorageProfile> AnalysisCache::storage_profile(
+    const crypto::Hash256& code_hash, evm::BytesView code) {
+  const std::shared_ptr<Entry> entry = entry_for(code_hash);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  if (entry->profile) {
+    profile_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    profile_misses_.fetch_add(1, std::memory_order_relaxed);
+    entry->profile = std::make_shared<const StorageProfile>(
+        profile_storage(*ensure_disassembly(*entry, code)));
+  }
+  return entry->profile;
+}
+
+AnalysisCacheStats AnalysisCache::stats() const {
+  AnalysisCacheStats s;
+  s.disassembly_hits = disassembly_hits_.load(std::memory_order_relaxed);
+  s.disassembly_misses = disassembly_misses_.load(std::memory_order_relaxed);
+  s.selector_hits = selector_hits_.load(std::memory_order_relaxed);
+  s.selector_misses = selector_misses_.load(std::memory_order_relaxed);
+  s.profile_hits = profile_hits_.load(std::memory_order_relaxed);
+  s.profile_misses = profile_misses_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace proxion::core

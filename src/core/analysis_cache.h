@@ -1,0 +1,215 @@
+// Code-hash-keyed memoization for the sweep pipeline (the amortization layer
+// behind §6.1's throughput claim). Every downstream stage of the pipeline
+// used to recompute the same per-bytecode artifacts — the linear-sweep
+// disassembly, the dispatcher-pattern selector list, and the CRUSH-style
+// storage profile — once per stage and once per proxy/logic pair, even
+// though all three are pure functions of the code blob. This cache computes
+// each artifact at most once per distinct code hash and shares it across
+// stages, contracts, and pipeline runs.
+//
+// Concurrency: the entry table is sharded N ways (lock striping on the code
+// hash) so the sweep's workers rarely contend; each entry then carries its
+// own mutex, so two workers racing on the *same* blob serialize only with
+// each other and the loser reuses the winner's artifact instead of
+// recomputing it. Entries are never evicted — determinism with the cache on
+// vs off is part of the contract (tested).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/storage_profile.h"
+#include "crypto/keccak.h"
+#include "evm/disassembler.h"
+
+namespace proxion::core {
+
+struct AnalysisCacheStats {
+  std::uint64_t disassembly_hits = 0;
+  std::uint64_t disassembly_misses = 0;
+  std::uint64_t selector_hits = 0;
+  std::uint64_t selector_misses = 0;
+  std::uint64_t profile_hits = 0;
+  std::uint64_t profile_misses = 0;
+  std::uint64_t entries = 0;  // distinct code hashes ever seen
+
+  std::uint64_t hits() const noexcept {
+    return disassembly_hits + selector_hits + profile_hits;
+  }
+  std::uint64_t misses() const noexcept {
+    return disassembly_misses + selector_misses + profile_misses;
+  }
+};
+
+class AnalysisCache {
+ public:
+  /// `shards` is clamped to at least 1; a power of two keeps the stripe
+  /// selection a cheap mask but any count works.
+  explicit AnalysisCache(unsigned shards = 16);
+
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  /// The linear-sweep disassembly of `code` (keyed by `code_hash`, which the
+  /// caller must have computed from the same bytes). Computed once per hash.
+  std::shared_ptr<const evm::Disassembly> disassembly(
+      const crypto::Hash256& code_hash, evm::BytesView code);
+
+  /// The sorted, deduped dispatcher-selector list (§5.1 extraction).
+  /// Computes (and caches) the disassembly as a byproduct when absent.
+  std::shared_ptr<const std::vector<std::uint32_t>> selectors(
+      const crypto::Hash256& code_hash, evm::BytesView code);
+
+  /// The CRUSH-style storage profile (§5.2). Also computed off the cached
+  /// disassembly.
+  std::shared_ptr<const StorageProfile> storage_profile(
+      const crypto::Hash256& code_hash, evm::BytesView code);
+
+  AnalysisCacheStats stats() const;
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::shared_ptr<const evm::Disassembly> dis;
+    std::shared_ptr<const std::vector<std::uint32_t>> selectors;
+    std::shared_ptr<const StorageProfile> profile;
+  };
+  struct HashKey {
+    std::size_t operator()(const crypto::Hash256& h) const noexcept {
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < sizeof(out); ++i) out = (out << 8) | h[i];
+      return out;
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<crypto::Hash256, std::shared_ptr<Entry>, HashKey> map;
+  };
+
+  std::shared_ptr<Entry> entry_for(const crypto::Hash256& code_hash);
+  /// Computes the disassembly if absent; caller holds `entry.mu`.
+  const std::shared_ptr<const evm::Disassembly>& ensure_disassembly(
+      Entry& entry, evm::BytesView code);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> disassembly_hits_{0};
+  std::atomic<std::uint64_t> disassembly_misses_{0};
+  std::atomic<std::uint64_t> selector_hits_{0};
+  std::atomic<std::uint64_t> selector_misses_{0};
+  std::atomic<std::uint64_t> profile_hits_{0};
+  std::atomic<std::uint64_t> profile_misses_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+/// Striped "compute at most once per key" map, used for the pipeline's
+/// proxy/logic pair outcomes (and its per-run logic-blob table). Unlike a
+/// plain guarded map, an entry being computed leaves an in-flight marker:
+/// a second thread asking for the same key *waits* for the first result
+/// instead of redundantly running the (expensive) computation — the seed's
+/// Phase B let both threads miss and both run the collision detectors.
+template <typename Key, typename Value, typename Hasher = std::hash<Key>>
+class StripedOnceMap {
+ public:
+  explicit StripedOnceMap(unsigned shards = 16) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  StripedOnceMap(const StripedOnceMap&) = delete;
+  StripedOnceMap& operator=(const StripedOnceMap&) = delete;
+
+  /// Returns the value for `key`, running `fn` exactly once across all
+  /// threads for a given key. Concurrent callers on an in-flight key block
+  /// until the computing thread publishes. If `fn` throws, the marker is
+  /// cleared (waiters see the failure and one of them retries the compute
+  /// on its next call) and the exception propagates to the computing caller.
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& fn) {
+    Shard& s = *shards_[Hasher{}(key) % shards_.size()];
+    Slot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(s.mu);
+      auto [it, inserted] = s.map.try_emplace(key);
+      slot = &it->second;  // element references survive rehash
+      if (!inserted) {
+        if (slot->state == State::kComputing) {
+          waits_.fetch_add(1, std::memory_order_relaxed);
+          s.cv.wait(lk, [&] { return slot->state != State::kComputing; });
+        }
+        if (slot->state == State::kReady) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return slot->value;
+        }
+        // kFailed: the previous computation threw; take over the marker.
+      }
+      slot->state = State::kComputing;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      Value v = fn();
+      std::lock_guard<std::mutex> lk(s.mu);
+      slot->value = std::move(v);
+      slot->state = State::kReady;
+      s.cv.notify_all();
+      return slot->value;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(s.mu);
+        slot->state = State::kFailed;
+      }
+      s.cv.notify_all();
+      throw;
+    }
+  }
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Number of times a caller blocked on another thread's in-flight compute.
+  std::uint64_t waits() const noexcept {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      n += s->map.size();
+    }
+    return n;
+  }
+
+ private:
+  enum class State : std::uint8_t { kComputing, kReady, kFailed };
+  struct Slot {
+    State state = State::kComputing;
+    Value value{};
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<Key, Slot, Hasher> map;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> waits_{0};
+};
+
+}  // namespace proxion::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chain/blockchain.h"
+#include "core/analysis_cache.h"
 #include "core/proxy_detector.h"
 
 namespace proxion::core {
@@ -28,13 +29,18 @@ struct DiamondReport {
   std::vector<std::uint32_t> routed_selectors;
   /// Facet addresses observed as DELEGATECALL targets.
   std::vector<Address> facets;
+
+  friend bool operator==(const DiamondReport&, const DiamondReport&) = default;
 };
 
 class DiamondProber {
  public:
+  /// `cache` may be null; with a cache the selector harvest reuses the
+  /// pipeline's memoized disassembly instead of re-sweeping the bytecode.
   explicit DiamondProber(chain::Blockchain& chain,
-                         DiamondProbeConfig config = {})
-      : chain_(chain), config_(config) {}
+                         DiamondProbeConfig config = {},
+                         AnalysisCache* cache = nullptr)
+      : chain_(chain), config_(config), cache_(cache) {}
 
   /// Re-examines a contract that the plain detector called "not a proxy"
   /// despite a DELEGATECALL opcode: probes with selector hints harvested
@@ -48,6 +54,7 @@ class DiamondProber {
  private:
   chain::Blockchain& chain_;
   DiamondProbeConfig config_;
+  AnalysisCache* cache_;
 };
 
 }  // namespace proxion::core

@@ -22,6 +22,8 @@ struct LogicHistory {
   std::uint64_t upgrade_events = 0;
   /// getStorageAt calls this search consumed (§6.1 reports ~26 per proxy).
   std::uint64_t api_calls = 0;
+
+  friend bool operator==(const LogicHistory&, const LogicHistory&) = default;
 };
 
 class LogicFinder {

@@ -1,7 +1,6 @@
 #include "core/pipeline.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "crypto/keccak.h"
@@ -20,23 +19,9 @@ unsigned thread_count(unsigned configured) {
   return hw == 0 ? 4 : hw;
 }
 
-/// Runs `fn(i)` for i in [0, n) across `threads` workers (static sharding).
-template <typename Fn>
-void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
-  if (n == 0) return;
-  const unsigned workers = std::min<std::size_t>(threads, n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      for (std::size_t i = w; i < n; i += workers) fn(i);
-    });
-  }
-  for (auto& t : pool) t.join();
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 }  // namespace
@@ -44,29 +29,80 @@ void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
 AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
                                    const sourcemeta::SourceRepository* sources,
                                    PipelineConfig config)
-    : chain_(chain), node_(chain), sources_(sources), config_(config) {}
+    : chain_(chain), node_(chain), sources_(sources), config_(config) {
+  const unsigned shards = config_.cache_shards == 0 ? 1 : config_.cache_shards;
+  if (config_.use_analysis_cache) {
+    cache_ = std::make_unique<AnalysisCache>(shards);
+    if (config_.dedup_by_code_hash) {
+      verdict_cache_ =
+          std::make_unique<StripedOnceMap<std::string, ProxyReport>>(shards);
+    }
+  }
+  pair_cache_ =
+      std::make_unique<StripedOnceMap<std::string, PairOutcome>>(shards);
+  if (config_.use_analysis_cache) {
+    blob_cache_ = std::make_unique<CodeBlobMap>(shards);
+  }
+}
+
+AnalysisPipeline::~AnalysisPipeline() = default;
+
+util::ThreadPool& AnalysisPipeline::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(thread_count(config_.threads));
+  }
+  return *pool_;
+}
 
 std::vector<ContractAnalysis> AnalysisPipeline::run(
     const std::vector<SweepInput>& inputs) {
   const auto t_start = std::chrono::steady_clock::now();
-  const unsigned threads = thread_count(config_.threads);
+  util::ThreadPool& workers = pool();
+
+  // Without the cross-run cache the pair memo must not outlive this run —
+  // the seed semantics (and the cache-off ablation) recompute per sweep.
+  if (!config_.use_analysis_cache) {
+    pair_cache_ = std::make_unique<StripedOnceMap<std::string, PairOutcome>>(
+        config_.cache_shards == 0 ? 1 : config_.cache_shards);
+  }
+  const std::uint64_t pair_hits0 = pair_cache_->hits();
+  const std::uint64_t pair_misses0 = pair_cache_->misses();
+  const std::uint64_t pair_waits0 = pair_cache_->waits();
 
   std::vector<ContractAnalysis> out(inputs.size());
-  std::vector<evm::Bytes> codes(inputs.size());
-  std::vector<std::string> hash_keys(inputs.size());
 
   // ---- fetch code and hash it ------------------------------------------
-  parallel_for(inputs.size(), threads, [&](std::size_t i) {
-    codes[i] = chain_.get_code(inputs[i].address);
-    hash_keys[i] = hash_key(evm::code_hash(codes[i]));
+  // Each distinct address is fetched and keccak'd exactly once — per run
+  // when the analysis cache is off (seed semantics), ever when it is on
+  // (deployed code is immutable, so a warm sweep skips this phase's work).
+  CodeBlobMap run_local_blobs(config_.cache_shards == 0 ? 1
+                                                        : config_.cache_shards);
+  CodeBlobMap& blob_map = blob_cache_ ? *blob_cache_ : run_local_blobs;
+  auto fetch_blob = [&](const Address& address) {
+    return blob_map.get_or_compute(address, [&] {
+      auto b = std::make_shared<CodeBlob>();
+      b->code = chain_.get_code(address);
+      b->hash = evm::code_hash(b->code);
+      b->key = hash_key(b->hash);
+      return std::shared_ptr<const CodeBlob>(std::move(b));
+    });
+  };
+
+  std::vector<std::shared_ptr<const CodeBlob>> blobs(inputs.size());
+  workers.parallel_for(inputs.size(), [&](std::size_t i) {
+    blobs[i] = fetch_blob(inputs[i].address);
   });
+  auto key_of = [&](std::size_t i) -> const std::string& {
+    return blobs[i]->key;
+  };
+  const auto t_fetch = std::chrono::steady_clock::now();
 
   // ---- §7.1 source propagation: first verified address per code hash ----
   std::unordered_map<std::string, Address> source_donor;
   if (config_.propagate_source_by_code_hash && sources_ != nullptr) {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       if (sources_->has_source(inputs[i].address)) {
-        source_donor.emplace(hash_keys[i], inputs[i].address);
+        source_donor.emplace(key_of(i), inputs[i].address);
       }
     }
   }
@@ -87,48 +123,51 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
       unique_indices.push_back(i);
       continue;
     }
-    if (representative.emplace(hash_keys[i], i).second) {
+    if (representative.emplace(key_of(i), i).second) {
       unique_indices.push_back(i);
     }
   }
 
   // ---- Phase A: proxy detection per unique blob (parallel) ---------------
   std::vector<ProxyReport> unique_reports(unique_indices.size());
-  parallel_for(unique_indices.size(), threads, [&](std::size_t u) {
+  workers.parallel_for(unique_indices.size(), [&](std::size_t u) {
     const std::size_t i = unique_indices[u];
-    ProxyDetector detector(chain_);
-    unique_reports[u] = detector.analyze_code(inputs[i].address, codes[i]);
+    auto analyze = [&] {
+      ProxyDetector detector(chain_, {}, cache_.get());
+      return detector.analyze_code(inputs[i].address, blobs[i]->code,
+                                   blobs[i]->hash);
+    };
+    unique_reports[u] = verdict_cache_
+                            ? verdict_cache_->get_or_compute(key_of(i),
+                                                             analyze)
+                            : analyze();
   });
   std::unordered_map<std::string, const ProxyReport*> verdicts;
   verdicts.reserve(unique_indices.size());
   for (std::size_t u = 0; u < unique_indices.size(); ++u) {
-    verdicts.emplace(hash_keys[unique_indices[u]], &unique_reports[u]);
+    verdicts.emplace(key_of(unique_indices[u]), &unique_reports[u]);
   }
+  const auto t_proxy = std::chrono::steady_clock::now();
 
   // ---- Phase B: per-contract results (parallel) ---------------------------
-  std::mutex pair_cache_mutex;
-  struct PairOutcome {
-    bool function_collision = false;
-    bool storage_collision = false;
-    bool storage_exploitable = false;
-  };
-  std::unordered_map<std::string, PairOutcome> pair_cache;
-
-  parallel_for(inputs.size(), threads, [&](std::size_t i) {
+  // Logic blobs go through the same once-map as the sweep inputs: each
+  // distinct logic address is fetched and hashed at most once, however many
+  // proxies delegate to it (the seed re-hashed per pair).
+  workers.parallel_for(inputs.size(), [&](std::size_t i) {
     ContractAnalysis& a = out[i];
     a.address = inputs[i].address;
     a.year = inputs[i].year;
     a.has_source = inputs[i].has_source;
     a.has_tx = inputs[i].has_tx;
-    a.proxy = *verdicts.at(hash_keys[i]);
+    a.proxy = *verdicts.at(key_of(i));
     a.deduplicated =
         config_.dedup_by_code_hash &&
-        representative.at(hash_keys[i]) != i;
+        representative.at(key_of(i)) != i;
 
     if (!a.proxy.is_proxy()) {
       if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
           a.proxy.verdict == ProxyVerdict::kNotProxy) {
-        DiamondProber prober(chain_);
+        DiamondProber prober(chain_, {}, cache_.get());
         a.diamond = prober.probe(a.address, a.proxy);
       }
       return;
@@ -151,45 +190,34 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
 
     if (!config_.detect_collisions) return;
     for (const Address& logic : a.logic_history.logic_addresses) {
-      const evm::Bytes logic_code = chain_.get_code(logic);
-      if (logic_code.empty()) continue;
+      const std::shared_ptr<const CodeBlob> blob = fetch_blob(logic);
+      if (blob->code.empty()) continue;
       a.logic_has_source =
           a.logic_has_source ||
           (sources_ != nullptr && sources_->has_source(logic));
 
-      const std::string key =
-          hash_keys[i] + hash_key(evm::code_hash(logic_code));
-      {
-        std::lock_guard<std::mutex> lock(pair_cache_mutex);
-        const auto it = pair_cache.find(key);
-        if (it != pair_cache.end()) {
-          a.function_collision |= it->second.function_collision;
-          a.storage_collision |= it->second.storage_collision;
-          a.storage_collision_exploitable |= it->second.storage_exploitable;
-          continue;
-        }
-      }
-
-      PairOutcome outcome;
-      FunctionCollisionDetector fn_detector(sources_);
-      // Source-mode lookups go through same-bytecode donors (§7.1): a clone
-      // of a verified contract is analyzed as if verified itself.
-      const Address proxy_lookup = with_source_donor(hash_keys[i], a.address);
-      const Address logic_lookup = with_source_donor(
-          hash_key(evm::code_hash(logic_code)), logic);
-      outcome.function_collision =
-          fn_detector.detect(proxy_lookup, codes[i], logic_lookup, logic_code)
-              .has_collision();
-      StorageCollisionDetector st_detector(chain_);
-      const StorageCollisionResult st =
-          st_detector.detect(a.address, codes[i], logic, logic_code);
-      outcome.storage_collision = st.has_collision();
-      outcome.storage_exploitable = st.has_verified_exploit();
-
-      {
-        std::lock_guard<std::mutex> lock(pair_cache_mutex);
-        pair_cache.emplace(key, outcome);
-      }
+      const PairOutcome outcome = pair_cache_->get_or_compute(
+          key_of(i) + blob->key, [&] {
+            PairOutcome o;
+            FunctionCollisionDetector fn_detector(sources_, cache_.get());
+            // Source-mode lookups go through same-bytecode donors (§7.1): a
+            // clone of a verified contract is analyzed as if verified itself.
+            const Address proxy_lookup =
+                with_source_donor(key_of(i), a.address);
+            const Address logic_lookup = with_source_donor(blob->key, logic);
+            o.function_collision =
+                fn_detector
+                    .detect(proxy_lookup, blobs[i]->code, &blobs[i]->hash,
+                            logic_lookup, blob->code, &blob->hash)
+                    .has_collision();
+            StorageCollisionDetector st_detector(chain_, {}, cache_.get());
+            const StorageCollisionResult st = st_detector.detect(
+                a.address, blobs[i]->code, &blobs[i]->hash, logic, blob->code,
+                &blob->hash);
+            o.storage_collision = st.has_collision();
+            o.storage_exploitable = st.has_verified_exploit();
+            return o;
+          });
       a.function_collision |= outcome.function_collision;
       a.storage_collision |= outcome.storage_collision;
       a.storage_collision_exploitable |= outcome.storage_exploitable;
@@ -197,8 +225,13 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   });
 
   const auto t_end = std::chrono::steady_clock::now();
-  last_run_ms_ = std::chrono::duration<double, std::milli>(t_end - t_start)
-                     .count();
+  last_run_ms_ = ms_between(t_start, t_end);
+  last_fetch_ms_ = ms_between(t_start, t_fetch);
+  last_proxy_ms_ = ms_between(t_fetch, t_proxy);
+  last_pairs_ms_ = ms_between(t_proxy, t_end);
+  last_pair_hits_ = pair_cache_->hits() - pair_hits0;
+  last_pair_misses_ = pair_cache_->misses() - pair_misses0;
+  last_pair_waits_ = pair_cache_->waits() - pair_waits0;
   return out;
 }
 
@@ -206,7 +239,6 @@ LandscapeStats AnalysisPipeline::summarize(
     const std::vector<ContractAnalysis>& reports) const {
   LandscapeStats stats;
   stats.total_contracts = reports.size();
-  std::unordered_map<std::string, bool> seen_hash;
 
   for (const ContractAnalysis& a : reports) {
     if (a.proxy.verdict == ProxyVerdict::kEmulationError) {
@@ -240,6 +272,13 @@ LandscapeStats AnalysisPipeline::summarize(
   if (!reports.empty()) {
     stats.ms_per_contract = last_run_ms_ / static_cast<double>(reports.size());
   }
+  stats.phase_fetch_ms = last_fetch_ms_;
+  stats.phase_proxy_ms = last_proxy_ms_;
+  stats.phase_pairs_ms = last_pairs_ms_;
+  if (cache_) stats.cache = cache_->stats();
+  stats.pair_cache_hits = last_pair_hits_;
+  stats.pair_cache_misses = last_pair_misses_;
+  stats.pair_cache_waits = last_pair_waits_;
   return stats;
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -14,12 +15,14 @@
 
 #include "chain/archive_node.h"
 #include "chain/blockchain.h"
+#include "core/analysis_cache.h"
 #include "core/diamond_probe.h"
 #include "core/function_collision.h"
 #include "core/logic_finder.h"
 #include "core/proxy_detector.h"
 #include "core/storage_collision.h"
 #include "sourcemeta/source.h"
+#include "util/thread_pool.h"
 
 namespace proxion::core {
 
@@ -49,10 +52,15 @@ struct ContractAnalysis {
   bool storage_collision = false;
   bool storage_collision_exploitable = false;
   bool logic_has_source = false;
+
+  /// Field-for-field equality — the cache on/off and threads=1 vs N
+  /// bit-identity tests compare entire reports with this.
+  friend bool operator==(const ContractAnalysis&,
+                         const ContractAnalysis&) = default;
 };
 
 struct PipelineConfig {
-  unsigned threads = 0;             // 0 = hardware_concurrency
+  unsigned threads = 0;             // pool size; 0 = hardware_concurrency
   bool dedup_by_code_hash = true;   // §6.1's re-analysis avoidance
   bool detect_collisions = true;
   bool find_logic_history = true;
@@ -63,6 +71,13 @@ struct PipelineConfig {
   /// Re-probe DELEGATECALL-bearing non-proxies with tx-harvested selectors
   /// to catch EIP-2535 diamonds (§8.2 future work, implemented).
   bool probe_diamonds = false;
+  /// Memoize per-bytecode artifacts (disassembly, selectors, storage
+  /// profiles) and pair/verdict outcomes across stages AND across runs of
+  /// the same pipeline. Results are bit-identical either way; off reproduces
+  /// the seed's recompute-everything behavior for ablations.
+  bool use_analysis_cache = true;
+  /// Lock stripes for the analysis/pair caches (clamped to >= 1).
+  unsigned cache_shards = 16;
 };
 
 struct LandscapeStats {
@@ -89,6 +104,21 @@ struct LandscapeStats {
 
   std::uint64_t get_storage_at_calls = 0;
   double ms_per_contract = 0.0;
+
+  // ---- perf accounting for the last run ---------------------------------
+  /// Wall-clock per phase: code fetch + hashing, proxy detection (Phase A),
+  /// logic history + pair collision checks (Phase B).
+  double phase_fetch_ms = 0.0;
+  double phase_proxy_ms = 0.0;
+  double phase_pairs_ms = 0.0;
+  /// Artifact-cache effectiveness (all zeros when the cache is disabled).
+  AnalysisCacheStats cache;
+  /// Proxy/logic pair outcome cache: hits reuse a finished pair result,
+  /// waits blocked on another worker's in-flight computation of the same
+  /// pair (the seed recomputed in that race).
+  std::uint64_t pair_cache_hits = 0;
+  std::uint64_t pair_cache_misses = 0;
+  std::uint64_t pair_cache_waits = 0;
 };
 
 class AnalysisPipeline {
@@ -96,20 +126,68 @@ class AnalysisPipeline {
   AnalysisPipeline(chain::Blockchain& chain,
                    const sourcemeta::SourceRepository* sources,
                    PipelineConfig config = {});
+  ~AnalysisPipeline();
 
   /// Analyzes every input contract; returns per-contract reports in input
-  /// order. Thread-safe over the (read-only) chain.
+  /// order. Thread-safe over the (read-only) chain. The worker pool and the
+  /// caches persist across calls, so repeat sweeps over overlapping
+  /// populations run warm; results assume the chain was not mutated between
+  /// runs (the same assumption the per-run dedup already made).
   std::vector<ContractAnalysis> run(const std::vector<SweepInput>& inputs);
 
   /// Aggregates reports into the landscape statistics.
   LandscapeStats summarize(const std::vector<ContractAnalysis>& reports) const;
 
+  /// The artifact cache (null when config.use_analysis_cache is false).
+  /// Exposed for benches/tests that inspect hit/miss accounting.
+  AnalysisCache* analysis_cache() noexcept { return cache_.get(); }
+
  private:
+  /// Outcome of one proxy/logic pair's collision checks (memoized by the
+  /// concatenated code-hash pair key).
+  struct PairOutcome {
+    bool function_collision = false;
+    bool storage_collision = false;
+    bool storage_exploitable = false;
+  };
+  /// One account's code blob, fetched and hashed exactly once per distinct
+  /// address — however many sweep inputs or proxy/logic pairs touch it.
+  struct CodeBlob {
+    evm::Bytes code;
+    crypto::Hash256 hash{};
+    std::string key;
+  };
+  using CodeBlobMap =
+      StripedOnceMap<Address, std::shared_ptr<const CodeBlob>,
+                     evm::AddressHasher>;
+
+  util::ThreadPool& pool();
+
   chain::Blockchain& chain_;
   chain::ArchiveNode node_;
   const sourcemeta::SourceRepository* sources_;
   PipelineConfig config_;
+
+  std::unique_ptr<AnalysisCache> cache_;  // null when disabled
+  std::unique_ptr<util::ThreadPool> pool_;  // created lazily on first run
+  /// Cross-run proxy-verdict memo (only consulted when dedup is on — with
+  /// dedup off every clone must genuinely re-run, that's the ablation).
+  std::unique_ptr<StripedOnceMap<std::string, ProxyReport>> verdict_cache_;
+  /// Cross-run pair-outcome memo with in-flight markers.
+  std::unique_ptr<StripedOnceMap<std::string, PairOutcome>> pair_cache_;
+  /// Cross-run address -> (code, hash, key) memo. Deployed code is immutable
+  /// on-chain, so a warm sweep skips the whole fetch+keccak phase; like the
+  /// verdict/pair memos it assumes the chain is not mutated between runs
+  /// (only kept when the analysis cache is enabled).
+  std::unique_ptr<CodeBlobMap> blob_cache_;
+
   double last_run_ms_ = 0.0;
+  double last_fetch_ms_ = 0.0;
+  double last_proxy_ms_ = 0.0;
+  double last_pairs_ms_ = 0.0;
+  std::uint64_t last_pair_hits_ = 0;
+  std::uint64_t last_pair_misses_ = 0;
+  std::uint64_t last_pair_waits_ = 0;
 };
 
 }  // namespace proxion::core

@@ -139,11 +139,32 @@ ProxyReport ProxyDetector::analyze(const Address& contract) {
 
 ProxyReport ProxyDetector::analyze_code(const Address& contract,
                                         BytesView code) {
+  if (code.empty()) return ProxyReport{};
+  if (cache_ != nullptr) {
+    return analyze_code(contract, code, evm::code_hash(code));
+  }
+  const evm::Disassembly dis(code);
+  return analyze_disassembled(contract, code, dis);
+}
+
+ProxyReport ProxyDetector::analyze_code(const Address& contract,
+                                        BytesView code,
+                                        const crypto::Hash256& code_hash) {
+  if (code.empty()) return ProxyReport{};
+  if (cache_ == nullptr) {
+    const evm::Disassembly dis(code);
+    return analyze_disassembled(contract, code, dis);
+  }
+  const auto dis = cache_->disassembly(code_hash, code);
+  return analyze_disassembled(contract, code, *dis);
+}
+
+ProxyReport ProxyDetector::analyze_disassembled(const Address& contract,
+                                                BytesView code,
+                                                const evm::Disassembly& dis) {
   ProxyReport report;
-  if (code.empty()) return report;
 
   // ---- Phase 1: opcode prefilter (§4.1) --------------------------------
-  const evm::Disassembly dis(code);
   report.has_delegatecall_opcode = dis.contains(evm::Opcode::DELEGATECALL);
   if (!report.has_delegatecall_opcode) return report;
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/analysis_cache.h"
 #include "evm/disassembler.h"
 #include "evm/host.h"
 #include "evm/interpreter.h"
@@ -68,6 +69,8 @@ struct ProxyReport {
   std::uint32_t probe_selector = 0;  // the crafted selector used
 
   bool is_proxy() const noexcept { return verdict == ProxyVerdict::kProxy; }
+
+  friend bool operator==(const ProxyReport&, const ProxyReport&) = default;
 };
 
 struct ProxyDetectorConfig {
@@ -79,8 +82,11 @@ struct ProxyDetectorConfig {
 
 class ProxyDetector {
  public:
-  explicit ProxyDetector(evm::Host& state, ProxyDetectorConfig config = {})
-      : state_(state), config_(config) {}
+  /// `cache` may be null (standalone use, no memoization). With a cache the
+  /// phase-1 disassembly is shared across every stage touching this blob.
+  explicit ProxyDetector(evm::Host& state, ProxyDetectorConfig config = {},
+                         AnalysisCache* cache = nullptr)
+      : state_(state), config_(config), cache_(cache) {}
 
   /// Analyzes the contract deployed at `contract` (code read via the host).
   ProxyReport analyze(const Address& contract);
@@ -89,6 +95,11 @@ class ProxyDetector {
   /// sweeping code blobs deduplicated by hash).
   ProxyReport analyze_code(const Address& contract, BytesView code);
 
+  /// Same, with the blob's hash precomputed by the caller so the cache key
+  /// costs nothing extra (the pipeline already hashed every blob for dedup).
+  ProxyReport analyze_code(const Address& contract, BytesView code,
+                           const crypto::Hash256& code_hash);
+
   /// The crafted probe selector for a given code blob: deterministic, and
   /// guaranteed to differ from every 4-byte immediate following a PUSH4
   /// (§4.2's "random signature different from all existing functions").
@@ -96,8 +107,12 @@ class ProxyDetector {
                                             const evm::Disassembly& dis);
 
  private:
+  ProxyReport analyze_disassembled(const Address& contract, BytesView code,
+                                   const evm::Disassembly& dis);
+
   evm::Host& state_;
   ProxyDetectorConfig config_;
+  AnalysisCache* cache_;
 };
 
 }  // namespace proxion::core

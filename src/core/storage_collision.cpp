@@ -40,9 +40,36 @@ class ExploitObserver final : public evm::TraceObserver {
 StorageCollisionResult StorageCollisionDetector::detect(
     const Address& proxy, BytesView proxy_code, const Address& logic,
     BytesView logic_code) const {
+  return detect(proxy, proxy_code, nullptr, logic, logic_code, nullptr);
+}
+
+StorageCollisionResult StorageCollisionDetector::detect(
+    const Address& proxy, BytesView proxy_code,
+    const crypto::Hash256* proxy_hash, const Address& logic,
+    BytesView logic_code, const crypto::Hash256* logic_hash) const {
+  const bool cached = cache_ != nullptr;
   StorageCollisionResult result;
-  result.proxy_profile = profile_storage(proxy_code);
-  result.logic_profile = profile_storage(logic_code);
+  result.proxy_profile = cached && proxy_hash != nullptr
+                             ? *cache_->storage_profile(*proxy_hash, proxy_code)
+                             : profile_storage(proxy_code);
+  result.logic_profile = cached && logic_hash != nullptr
+                             ? *cache_->storage_profile(*logic_hash, logic_code)
+                             : profile_storage(logic_code);
+
+  // The probe list for exploit verification is also a pure function of the
+  // logic blob; share it across every finding (and, via the cache, across
+  // every pair touching this blob).
+  std::vector<std::uint32_t> probes;
+  bool probes_ready = false;
+  auto probe_selectors = [&]() -> const std::vector<std::uint32_t>& {
+    if (!probes_ready) {
+      probes = cached && logic_hash != nullptr
+                   ? *cache_->selectors(*logic_hash, logic_code)
+                   : extract_selectors(logic_code);
+      probes_ready = true;
+    }
+    return probes;
+  };
 
   for (const U256& slot : result.proxy_profile.slots()) {
     const auto proxy_ranges = result.proxy_profile.ranges_of(slot);
@@ -82,7 +109,8 @@ StorageCollisionResult StorageCollisionDetector::detect(
                               result.proxy_profile.has_unguarded_write(slot));
 
     if (finding.exploitable && config_.attempt_verification) {
-      verify_exploit(proxy, proxy_code, logic, logic_code, finding);
+      verify_exploit(proxy, proxy_code, logic, logic_code, probe_selectors(),
+                     finding);
     }
     result.findings.push_back(finding);
   }
@@ -91,10 +119,11 @@ StorageCollisionResult StorageCollisionDetector::detect(
 
 bool StorageCollisionDetector::verify_exploit(
     const Address& proxy, BytesView proxy_code, const Address& logic,
-    BytesView logic_code, StorageCollisionFinding& finding) const {
+    BytesView logic_code, const std::vector<std::uint32_t>& logic_selectors,
+    StorageCollisionFinding& finding) const {
   const Address attacker = Address::from_label("proxion.attacker");
 
-  std::vector<std::uint32_t> probes = extract_selectors(logic_code);
+  std::vector<std::uint32_t> probes = logic_selectors;
   if (probes.size() > config_.max_probe_functions) {
     probes.resize(config_.max_probe_functions);
   }

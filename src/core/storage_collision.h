@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_cache.h"
 #include "core/storage_profile.h"
 #include "evm/host.h"
 #include "evm/types.h"
@@ -63,21 +64,33 @@ struct StorageCollisionConfig {
 
 class StorageCollisionDetector {
  public:
+  /// `cache` may be null (standalone use — profiles and probe selectors are
+  /// recomputed per call).
   explicit StorageCollisionDetector(evm::Host& state,
-                                    StorageCollisionConfig config = {})
-      : state_(state), config_(config) {}
+                                    StorageCollisionConfig config = {},
+                                    AnalysisCache* cache = nullptr)
+      : state_(state), config_(config), cache_(cache) {}
 
   StorageCollisionResult detect(const Address& proxy, BytesView proxy_code,
                                 const Address& logic,
                                 BytesView logic_code) const;
 
+  /// Cache-keyed variant: hashes (when non-null) key the memoized storage
+  /// profiles and the logic's probe-selector list.
+  StorageCollisionResult detect(const Address& proxy, BytesView proxy_code,
+                                const crypto::Hash256* proxy_hash,
+                                const Address& logic, BytesView logic_code,
+                                const crypto::Hash256* logic_hash) const;
+
  private:
   bool verify_exploit(const Address& proxy, BytesView proxy_code,
                       const Address& logic, BytesView logic_code,
+                      const std::vector<std::uint32_t>& logic_selectors,
                       StorageCollisionFinding& finding) const;
 
   evm::Host& state_;
   StorageCollisionConfig config_;
+  AnalysisCache* cache_;
 };
 
 }  // namespace proxion::core

@@ -1,5 +1,6 @@
 #include "crypto/keccak.h"
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 
@@ -89,7 +90,16 @@ void Keccak256::update(std::string_view text) noexcept {
       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
+namespace {
+std::atomic<std::uint64_t> g_keccak_invocations{0};
+}  // namespace
+
+std::uint64_t keccak_invocations() noexcept {
+  return g_keccak_invocations.load(std::memory_order_relaxed);
+}
+
 Hash256 Keccak256::finalize() noexcept {
+  g_keccak_invocations.fetch_add(1, std::memory_order_relaxed);
   // Keccak padding: 0x01 ... 0x80 (multi-rate padding, first bit 1).
   std::memset(buffer_.data() + buffered_, 0, buffer_.size() - buffered_);
   buffer_[buffered_] = 0x01;

@@ -16,6 +16,11 @@ using Hash256 = std::array<std::uint8_t, 32>;
 /// Keccak-256 digest of an arbitrary byte string.
 Hash256 keccak256(std::span<const std::uint8_t> data);
 
+/// Process-wide count of digests computed (one per finalize), monotonic and
+/// thread-safe. Lets perf tests assert that hashing work was amortized (e.g.
+/// the pipeline hashes each distinct logic blob once, not once per pair).
+std::uint64_t keccak_invocations() noexcept;
+
 /// Convenience overload hashing the raw bytes of a string (no terminator).
 Hash256 keccak256(std::string_view text);
 

@@ -1,0 +1,151 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace proxion::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : hw;
+  }
+  queues_.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const unsigned q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % size();
+  enqueue(q, std::move(task));
+}
+
+void ThreadPool::enqueue(unsigned queue, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(queues_[queue]->mu);
+    queues_[queue]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairs with the predicate re-check in worker_main: without this empty
+    // critical section a worker could observe queued_ == 0, get preempted
+    // before waiting, and miss the notify.
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_own(unsigned me, std::function<void()>& task) {
+  WorkerQueue& q = *queues_[me];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned me, std::function<void()>& task) {
+  const unsigned k = size();
+  for (unsigned off = 1; off < k; ++off) {
+    WorkerQueue& victim = *queues_[(me + off) % k];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (victim.tasks.empty()) continue;
+    task = std::move(victim.tasks.back());
+    victim.tasks.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(unsigned me) {
+  std::function<void()> task;
+  while (true) {
+    if (try_pop_own(me, task) || try_steal(me, task)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;  // safe: this frame outlives the job (we block below)
+  job->n = n;
+  // More chunks than workers so a worker stuck on an expensive chunk sheds
+  // the rest of its share to thieves; few enough that per-chunk overhead
+  // stays negligible.
+  job->chunks = std::min<std::size_t>(n, std::size_t{size()} * 4);
+  job->remaining = job->chunks;
+
+  for (std::size_t c = 0; c < job->chunks; ++c) {
+    enqueue(static_cast<unsigned>(c % size()), [job, c] {
+      const std::size_t begin = c * job->n / job->chunks;
+      const std::size_t end = (c + 1) * job->n / job->chunks;
+      std::exception_ptr error;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (job->abort.load(std::memory_order_relaxed)) break;
+        try {
+          (*job->fn)(i);
+        } catch (...) {
+          error = std::current_exception();
+          job->abort.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lk(job->mu);
+        if (error && !job->error) job->error = error;
+        last = --job->remaining == 0;
+      }
+      if (last) job->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->cv.wait(lk, [&] { return job->remaining == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace proxion::util

@@ -1,0 +1,95 @@
+// Persistent work-stealing executor for the sweep pipeline. The seed spawned
+// and joined a fresh std::thread batch per pipeline phase and sharded work
+// statically (worker w took indices w, w+k, w+2k, ...), which left most
+// workers idle whenever a few contracts had deep logic histories. This pool
+// keeps its workers alive across phases and runs, splits parallel_for ranges
+// into more chunks than workers, and lets idle workers steal queued chunks
+// from busy ones, so skewed per-item cost rebalances dynamically.
+//
+// Scheduling scheme: one task deque per worker. Owners pop from the front of
+// their own deque (chunks of one job run roughly in submission order); a
+// worker whose deque is empty scans the other deques and steals from the
+// back. parallel_for blocks the caller until every iteration ran and
+// rethrows the first exception any iteration produced.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace proxion::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves to std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs `fn(i)` for every i in [0, n), chunked across the workers with
+  /// dynamic (stealing) rebalance. Blocks until all iterations completed.
+  /// If any iteration throws, the remaining iterations are skipped and the
+  /// first exception is rethrown here. With a single worker (or n <= 1) the
+  /// loop runs inline on the calling thread.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (size() <= 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const std::function<void(std::size_t)> body = std::forward<Fn>(fn);
+    run_indexed(n, body);
+  }
+
+  /// Fire-and-forget task. The destructor drains all queued tasks before
+  /// the workers exit.
+  void submit(std::function<void()> task);
+
+  /// Number of tasks a worker took from another worker's deque (monotonic;
+  /// observable evidence that rebalancing happened).
+  std::uint64_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Total tasks executed by pool workers (monotonic).
+  std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void enqueue(unsigned queue, std::function<void()> task);
+  bool try_pop_own(unsigned me, std::function<void()>& task);
+  bool try_steal(unsigned me, std::function<void()>& task);
+  void worker_main(unsigned me);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<unsigned> next_queue_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace proxion::util

@@ -3,7 +3,10 @@
 // thread-count invariance.
 #include <gtest/gtest.h>
 
+#include "chain/blockchain.h"
 #include "core/pipeline.h"
+#include "crypto/keccak.h"
+#include "datagen/contract_factory.h"
 #include "datagen/population.h"
 
 namespace {
@@ -163,6 +166,90 @@ TEST_F(PipelineTest, ThreadCountDoesNotChangeResults) {
     EXPECT_EQ(r1[i].logic_history.logic_addresses,
               r8[i].logic_history.logic_addresses);
   }
+}
+
+TEST_F(PipelineTest, ThreadCountProducesByteIdenticalAnalyses) {
+  // Stronger than the field-wise check above: the entire ContractAnalysis
+  // (proxy report, logic history, collision findings, dedup flags) must be
+  // byte-for-byte identical regardless of worker count.
+  Population pop = make_population(400);
+  PipelineConfig single;
+  single.threads = 1;
+  PipelineConfig many;
+  many.threads = 8;
+
+  AnalysisPipeline p1(*pop.chain, &pop.sources, single);
+  AnalysisPipeline p8(*pop.chain, &pop.sources, many);
+  const auto r1 = p1.run(pop.sweep_inputs());
+  const auto r8 = p8.run(pop.sweep_inputs());
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_TRUE(r1[i] == r8[i]) << "contract " << i << " diverged";
+  }
+}
+
+TEST_F(PipelineTest, SummaryReportsPhaseTimingsAndCacheStats) {
+  Population pop = make_population(300);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  const LandscapeStats stats = pipeline.summarize(reports);
+
+  EXPECT_GE(stats.phase_fetch_ms, 0.0);
+  EXPECT_GE(stats.phase_proxy_ms, 0.0);
+  EXPECT_GE(stats.phase_pairs_ms, 0.0);
+  // The clone-heavy population must produce artifact reuse...
+  EXPECT_GT(stats.cache.hits(), 0u);
+  EXPECT_GT(stats.cache.entries, 0u);
+  // ...and pair-level reuse (every proxy/logic pair computed at most once).
+  EXPECT_GT(stats.pair_cache_hits + stats.pair_cache_misses, 0u);
+}
+
+TEST_F(PipelineTest, EachDistinctLogicBlobIsHashedOnce) {
+  // M clones of one proxy blob all pointing at one logic contract: the
+  // marginal cost of an extra clone must be ONE keccak (its Phase 0 code
+  // hash) — the seed also hashed the logic blob once per pair (twice: once
+  // for the function detector, once for the storage detector).
+  using datagen::ContractFactory;
+
+  auto build = [](std::uint32_t proxies) {
+    auto chain = std::make_unique<chain::Blockchain>();
+    const Address deployer = Address::from_label("keccak-count-deployer");
+    const Address logic =
+        chain->deploy_runtime(deployer, ContractFactory::token_contract(99));
+    std::vector<SweepInput> inputs;
+    for (std::uint32_t i = 0; i < proxies; ++i) {
+      const Address p =
+          chain->deploy_runtime(deployer, ContractFactory::eip1967_proxy());
+      chain->set_storage(p, ContractFactory::eip1967_slot(), logic.to_word());
+      inputs.push_back({p, 2020, false, false});
+    }
+    return std::pair{std::move(chain), std::move(inputs)};
+  };
+
+  auto run_counting = [](chain::Blockchain& chain,
+                         const std::vector<SweepInput>& inputs) {
+    AnalysisPipeline pipeline(chain, nullptr);
+    const std::uint64_t before = crypto::keccak_invocations();
+    const auto reports = pipeline.run(inputs);
+    const std::uint64_t spent = crypto::keccak_invocations() - before;
+    EXPECT_EQ(reports.size(), inputs.size());
+    for (const auto& r : reports) EXPECT_TRUE(r.proxy.is_proxy());
+    return spent;
+  };
+
+  constexpr std::uint32_t kSmall = 4, kLarge = 36;
+  auto [chain_small, inputs_small] = build(kSmall);
+  auto [chain_large, inputs_large] = build(kLarge);
+  const std::uint64_t small = run_counting(*chain_small, inputs_small);
+  const std::uint64_t large = run_counting(*chain_large, inputs_large);
+
+  // Both sweeps see the same two unique blobs, so per-blob work (probe
+  // emulation, artifact extraction, the one logic-blob hash) cancels in the
+  // difference; what remains is the per-contract cost.
+  ASSERT_GT(large, small);
+  const std::uint64_t marginal = (large - small) / (kLarge - kSmall);
+  EXPECT_GE(marginal, 1u);  // Phase 0 must hash every contract
+  EXPECT_LE(marginal, 2u) << "an extra clone re-hashed shared blobs";
 }
 
 TEST_F(PipelineTest, CollisionDetectionCanBeDisabled) {

@@ -1,0 +1,173 @@
+// The persistent work-stealing executor: full coverage of every index,
+// dynamic rebalance under skewed task sizes, exception propagation, and
+// reuse of one pool across many submissions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using proxion::util::ThreadPool;
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(8, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, StealsWorkUnderSkewedTaskSizes) {
+  // One worker's first chunk sleeps while the rest of its queue sits idle —
+  // with static sharding those chunks would wait the full sleep; here a
+  // thief must take them. Owners pop their own deque front-first, so the
+  // expensive item is picked up before the queued remainder.
+  ThreadPool pool(4);
+  const std::uint64_t steals_before = pool.steal_count();
+  std::vector<std::atomic<int>> counts(16);
+  pool.parallel_for(16, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+  EXPECT_GT(pool.steal_count(), steals_before);
+}
+
+TEST(ThreadPoolTest, SkewedLoadFinishesFasterThanSerial) {
+  // 4 items of ~50 ms each across 4 workers must overlap: well under the
+  // 200 ms serial time even on a loaded CI box.
+  ThreadPool pool(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(4, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 195.0);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // The pool must remain fully usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(128, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsRemainingIterations) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100'000,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                                   if (i == 0) {
+                                     throw std::runtime_error("first");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Chunks observing the abort flag bail out; far fewer than all
+  // iterations run.
+  EXPECT_LT(ran.load(), 100'000);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyParallelForRounds) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50ull * (99ull * 100ull / 2ull));
+  EXPECT_GE(pool.tasks_executed(), 50u);  // chunks actually ran on workers
+}
+
+TEST(ThreadPoolTest, SubmitRunsFireAndForgetTasks) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&] {
+      if (done.fetch_add(1, std::memory_order_relaxed) + 1 == kTasks) {
+        all_done.set_value();
+      }
+    });
+  }
+  ASSERT_EQ(all_done.get_future().wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 32; ++t) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins after the queues drain
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> a{0}, b{0};
+  std::thread other([&] {
+    pool.parallel_for(5'000, [&](std::size_t) {
+      a.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  pool.parallel_for(5'000, [&](std::size_t) {
+    b.fetch_add(1, std::memory_order_relaxed);
+  });
+  other.join();
+  EXPECT_EQ(a.load(), 5'000u);
+  EXPECT_EQ(b.load(), 5'000u);
+}
+
+}  // namespace

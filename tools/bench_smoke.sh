@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Fast end-to-end smoke of the build: the full test suite plus a minimal
+# bench_perf pass (microbenches at minimum time, macro section on a small
+# population). Intended as the pre-push gate; see `make bench_smoke`.
+#
+# Usage: tools/bench_smoke.sh [build-dir]
+#   build-dir defaults to ./build (configured if missing).
+# Env:
+#   PROXION_BENCH_SCALE  population size for the macro section (default 2000
+#                        here; bench default is 12000).
+set -eu
+
+BUILD_DIR="${1:-build}"
+SCALE="${PROXION_BENCH_SCALE:-2000}"
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== bench_perf (smoke: PROXION_BENCH_SCALE=${SCALE}) =="
+PROXION_BENCH_SCALE="${SCALE}" \
+  "${BUILD_DIR}/bench/bench_perf" --benchmark_min_time=0.01s
+
+echo "bench_smoke: OK"
