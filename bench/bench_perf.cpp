@@ -338,8 +338,11 @@ void macro_section() {
   }
 
   // Cold vs warm analysis cache: the same pipeline swept twice. The second
-  // sweep serves every disassembly/selector/profile artifact, every proxy
-  // verdict, and every proxy/logic pair outcome from the persistent caches.
+  // sweep serves every code blob, every disassembly/selector/profile
+  // artifact, and every proxy verdict (keyed by code hash + address) from
+  // the persistent caches; pair outcomes are recomputed each run — they
+  // depend on run-local donor state and live proxy storage — but their
+  // inner artifact lookups all hit.
   {
     core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
 
@@ -383,15 +386,28 @@ void macro_section() {
             fmt(warm_stats.phase_proxy_ms) + " / " +
             fmt(warm_stats.phase_pairs_ms, " ms"));
 
+    // Seed-style baseline: cache OFF recomputes everything per run. Timed so
+    // the headline "warm sweep vs seed baseline" speedup is measured here,
+    // not asserted.
+    core::PipelineConfig no_cache;
+    no_cache.use_analysis_cache = false;
+    core::AnalysisPipeline uncached(*pop.chain, &pop.sources, no_cache);
+    const auto t4 = std::chrono::steady_clock::now();
+    const auto baseline = uncached.run(pop.sweep_inputs());
+    const auto t5 = std::chrono::steady_clock::now();
+    const double baseline_ms =
+        std::chrono::duration<double, std::milli>(t5 - t4).count();
+    row("cache OFF (seed semantics) sweep", fmt(baseline_ms, " ms"));
+    row("cache OFF throughput",
+        fmt(n / (baseline_ms / 1000.0), " contracts/s"));
+    row("warm speedup vs cache OFF",
+        fmt(baseline_ms / std::max(warm_ms, 0.001), "x"));
+
     // Determinism spot-checks: warm == cold, and cache ON == cache OFF.
     bool warm_identical = warm.size() == cold.size();
     for (std::size_t i = 0; warm_identical && i < warm.size(); ++i) {
       warm_identical = warm[i] == cold[i];
     }
-    core::PipelineConfig no_cache;
-    no_cache.use_analysis_cache = false;
-    core::AnalysisPipeline uncached(*pop.chain, &pop.sources, no_cache);
-    const auto baseline = uncached.run(pop.sweep_inputs());
     bool cache_identical = baseline.size() == cold.size();
     for (std::size_t i = 0; cache_identical && i < baseline.size(); ++i) {
       cache_identical = baseline[i] == cold[i];

@@ -13,6 +13,19 @@ std::string hash_key(const crypto::Hash256& h) {
   return std::string(reinterpret_cast<const char*>(h.data()), h.size());
 }
 
+// Cross-run verdict reuse is only sound at the exact address the verdict was
+// computed for: the crafted probe selector is seeded from the address, and a
+// slot-proxy's logic target is read from that address's storage. Keying the
+// memo by (code hash, representative address) makes a warm sweep whose
+// representative for a hash changed recompute at the new address — exactly
+// what the cache-off pipeline would do — instead of inheriting another
+// address's report.
+std::string verdict_key(const std::string& code_key, const Address& a) {
+  std::string k = code_key;
+  k.append(reinterpret_cast<const char*>(a.bytes.data()), a.bytes.size());
+  return k;
+}
+
 unsigned thread_count(unsigned configured) {
   if (configured != 0) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -38,8 +51,6 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
           std::make_unique<StripedOnceMap<std::string, ProxyReport>>(shards);
     }
   }
-  pair_cache_ =
-      std::make_unique<StripedOnceMap<std::string, PairOutcome>>(shards);
   if (config_.use_analysis_cache) {
     blob_cache_ = std::make_unique<CodeBlobMap>(shards);
   }
@@ -59,15 +70,15 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   const auto t_start = std::chrono::steady_clock::now();
   util::ThreadPool& workers = pool();
 
-  // Without the cross-run cache the pair memo must not outlive this run —
-  // the seed semantics (and the cache-off ablation) recompute per sweep.
-  if (!config_.use_analysis_cache) {
-    pair_cache_ = std::make_unique<StripedOnceMap<std::string, PairOutcome>>(
-        config_.cache_shards == 0 ? 1 : config_.cache_shards);
-  }
-  const std::uint64_t pair_hits0 = pair_cache_->hits();
-  const std::uint64_t pair_misses0 = pair_cache_->misses();
-  const std::uint64_t pair_waits0 = pair_cache_->waits();
+  // The pair memo never outlives a run, with or without the analysis cache:
+  // a PairOutcome depends on run-local state — the §7.1 donor map is built
+  // from *this* run's population, and exploit verification reads the proxy's
+  // live storage — so a cross-run hit could silently reuse a result that a
+  // fresh computation would no longer produce. Only the pure per-bytecode
+  // artifacts (AnalysisCache), the immutable code blobs, and the
+  // address-keyed proxy verdicts persist across runs.
+  pair_cache_ = std::make_unique<StripedOnceMap<std::string, PairOutcome>>(
+      config_.cache_shards == 0 ? 1 : config_.cache_shards);
 
   std::vector<ContractAnalysis> out(inputs.size());
 
@@ -137,10 +148,11 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
       return detector.analyze_code(inputs[i].address, blobs[i]->code,
                                    blobs[i]->hash);
     };
-    unique_reports[u] = verdict_cache_
-                            ? verdict_cache_->get_or_compute(key_of(i),
-                                                             analyze)
-                            : analyze();
+    unique_reports[u] =
+        verdict_cache_
+            ? verdict_cache_->get_or_compute(
+                  verdict_key(key_of(i), inputs[i].address), analyze)
+            : analyze();
   });
   std::unordered_map<std::string, const ProxyReport*> verdicts;
   verdicts.reserve(unique_indices.size());
@@ -229,9 +241,9 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   last_fetch_ms_ = ms_between(t_start, t_fetch);
   last_proxy_ms_ = ms_between(t_fetch, t_proxy);
   last_pairs_ms_ = ms_between(t_proxy, t_end);
-  last_pair_hits_ = pair_cache_->hits() - pair_hits0;
-  last_pair_misses_ = pair_cache_->misses() - pair_misses0;
-  last_pair_waits_ = pair_cache_->waits() - pair_waits0;
+  last_pair_hits_ = pair_cache_->hits();
+  last_pair_misses_ = pair_cache_->misses();
+  last_pair_waits_ = pair_cache_->waits();
   return out;
 }
 

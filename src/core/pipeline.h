@@ -71,10 +71,14 @@ struct PipelineConfig {
   /// Re-probe DELEGATECALL-bearing non-proxies with tx-harvested selectors
   /// to catch EIP-2535 diamonds (§8.2 future work, implemented).
   bool probe_diamonds = false;
-  /// Memoize per-bytecode artifacts (disassembly, selectors, storage
-  /// profiles) and pair/verdict outcomes across stages AND across runs of
-  /// the same pipeline. Results are bit-identical either way; off reproduces
-  /// the seed's recompute-everything behavior for ablations.
+  /// Memoize across stages AND across runs of the same pipeline everything
+  /// that is a pure function of immutable chain state: per-bytecode
+  /// artifacts (disassembly, selectors, storage profiles), per-address code
+  /// blobs, and proxy verdicts keyed by (code hash, analyzed address).
+  /// Pair collision outcomes are always per-run — they depend on run-local
+  /// donor resolution and live proxy storage. Results are bit-identical
+  /// either way; off reproduces the seed's recompute-everything behavior
+  /// for ablations.
   bool use_analysis_cache = true;
   /// Lock stripes for the analysis/pair caches (clamped to >= 1).
   unsigned cache_shards = 16;
@@ -129,10 +133,16 @@ class AnalysisPipeline {
   ~AnalysisPipeline();
 
   /// Analyzes every input contract; returns per-contract reports in input
-  /// order. Thread-safe over the (read-only) chain. The worker pool and the
-  /// caches persist across calls, so repeat sweeps over overlapping
-  /// populations run warm; results assume the chain was not mutated between
-  /// runs (the same assumption the per-run dedup already made).
+  /// order. The worker pool and the content-keyed caches persist across
+  /// calls, so repeat sweeps over overlapping populations run warm; results
+  /// assume the chain was not mutated between runs (the same assumption the
+  /// per-run dedup already made).
+  ///
+  /// Concurrency: the parallelism lives *inside* a run (the pool reads the
+  /// chain concurrently, which must therefore be read-safe). run() and
+  /// summarize() themselves must be externally serialized per pipeline
+  /// instance — concurrent run() calls on one AnalysisPipeline race on the
+  /// per-run pair memo and the timing fields.
   std::vector<ContractAnalysis> run(const std::vector<SweepInput>& inputs);
 
   /// Aggregates reports into the landscape statistics.
@@ -170,10 +180,15 @@ class AnalysisPipeline {
 
   std::unique_ptr<AnalysisCache> cache_;  // null when disabled
   std::unique_ptr<util::ThreadPool> pool_;  // created lazily on first run
-  /// Cross-run proxy-verdict memo (only consulted when dedup is on — with
-  /// dedup off every clone must genuinely re-run, that's the ablation).
+  /// Cross-run proxy-verdict memo, keyed by (code hash, representative
+  /// address) — a verdict is only reusable at the exact address it was
+  /// computed for (address-seeded probe selector, slot reads). Only
+  /// consulted when dedup is on — with dedup off every clone must genuinely
+  /// re-run, that's the ablation.
   std::unique_ptr<StripedOnceMap<std::string, ProxyReport>> verdict_cache_;
-  /// Cross-run pair-outcome memo with in-flight markers.
+  /// Per-run pair-outcome memo with in-flight markers, rebuilt at the start
+  /// of every run() (outcomes depend on run-local donor resolution and live
+  /// proxy storage, so they must not leak across runs).
   std::unique_ptr<StripedOnceMap<std::string, PairOutcome>> pair_cache_;
   /// Cross-run address -> (code, hash, key) memo. Deployed code is immutable
   /// on-chain, so a warm sweep skips the whole fetch+keccak phase; like the

@@ -5,6 +5,16 @@
 
 namespace proxion::util {
 
+namespace {
+// Which pool (if any) the current thread works for — the parallel_for
+// re-entrancy guard keys on it.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_pool == this;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -76,6 +86,7 @@ bool ThreadPool::try_steal(unsigned me, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_main(unsigned me) {
+  t_worker_pool = this;
   std::function<void()> task;
   while (true) {
     if (try_pop_own(me, task) || try_steal(me, task)) {

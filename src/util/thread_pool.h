@@ -43,10 +43,16 @@ class ThreadPool {
   /// If any iteration throws, the remaining iterations are skipped and the
   /// first exception is rethrown here. With a single worker (or n <= 1) the
   /// loop runs inline on the calling thread.
+  ///
+  /// Re-entrant calls — parallel_for from inside a task already running on
+  /// this pool — also run the whole range inline on the nesting worker: a
+  /// nested caller that parked on the completion wait would deadlock the
+  /// pool if every worker nested at once, since no thread would remain to
+  /// execute the queued chunks.
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
-    if (size() <= 1 || n == 1) {
+    if (size() <= 1 || n == 1 || on_worker_thread()) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -67,6 +73,9 @@ class ThreadPool {
   std::uint64_t tasks_executed() const noexcept {
     return executed_.load(std::memory_order_relaxed);
   }
+
+  /// True iff the calling thread is one of *this* pool's workers.
+  bool on_worker_thread() const noexcept;
 
  private:
   struct WorkerQueue {

@@ -252,6 +252,63 @@ TEST_F(PipelineTest, EachDistinctLogicBlobIsHashedOnce) {
   EXPECT_LE(marginal, 2u) << "an extra clone re-hashed shared blobs";
 }
 
+TEST_F(PipelineTest, WarmRunRecomputesVerdictForNewSameHashAddress) {
+  // Two EIP-1967 proxies share one bytecode but store different logic
+  // pointers. Sweep A first, then B in a *second* (warm) run: B is its own
+  // run's representative, so the cross-run verdict memo must not hand it
+  // A's report (A's probe selector, A's slot read) — every field must match
+  // what the cache-off pipeline computes fresh at B.
+  using datagen::ContractFactory;
+  chain::Blockchain chain;
+  const Address deployer = Address::from_label("warm-same-hash-deployer");
+  const Address logic1 =
+      chain.deploy_runtime(deployer, ContractFactory::token_contract(1));
+  const Address logic2 =
+      chain.deploy_runtime(deployer, ContractFactory::token_contract(2));
+  const Address a =
+      chain.deploy_runtime(deployer, ContractFactory::eip1967_proxy());
+  const Address b =
+      chain.deploy_runtime(deployer, ContractFactory::eip1967_proxy());
+  chain.set_storage(a, ContractFactory::eip1967_slot(), logic1.to_word());
+  chain.set_storage(b, ContractFactory::eip1967_slot(), logic2.to_word());
+
+  AnalysisPipeline cached(chain, nullptr);  // default config: cache ON
+  PipelineConfig off;
+  off.use_analysis_cache = false;
+  AnalysisPipeline uncached(chain, nullptr, off);
+
+  const std::vector<SweepInput> first{{a, 2020, false, false}};
+  const std::vector<SweepInput> second{{b, 2021, false, false}};
+
+  const auto c1 = cached.run(first);
+  const auto u1 = uncached.run(first);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_TRUE(c1[0] == u1[0]);
+  ASSERT_TRUE(c1[0].proxy.is_proxy());
+  EXPECT_EQ(c1[0].proxy.logic_address, logic1);
+
+  const auto c2 = cached.run(second);
+  const auto u2 = uncached.run(second);
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_TRUE(c2[0] == u2[0]) << "warm run inherited another address's state";
+  ASSERT_TRUE(c2[0].proxy.is_proxy());
+  EXPECT_EQ(c2[0].proxy.logic_address, logic2);
+}
+
+TEST_F(PipelineTest, WarmRerunOfSamePopulationIsBitIdentical) {
+  // The advertised warm-sweep use case: re-running the same population on
+  // one pipeline serves blobs/verdicts/artifacts from the persistent caches
+  // and must reproduce the cold results byte for byte.
+  Population pop = make_population(300);
+  AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  const auto cold = pipeline.run(pop.sweep_inputs());
+  const auto warm = pipeline.run(pop.sweep_inputs());
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_TRUE(cold[i] == warm[i]) << "contract " << i << " diverged warm";
+  }
+}
+
 TEST_F(PipelineTest, CollisionDetectionCanBeDisabled) {
   Population pop = make_population(300);
   PipelineConfig config;

@@ -154,6 +154,24 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // parallel_for from inside a pool task must not park on the completion
+  // wait: with every worker nesting at once no thread would remain to run
+  // the queued chunks. The re-entrancy guard runs the nested range inline
+  // on the nesting worker instead.
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> inner{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    const auto worker = std::this_thread::get_id();
+    pool.parallel_for(16, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), worker);  // inline, not re-queued
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner.load(), 8u * 16u);
+  EXPECT_FALSE(pool.on_worker_thread());  // the guard is per worker thread
+}
+
 TEST(ThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {
   ThreadPool pool(4);
   std::atomic<std::uint64_t> a{0}, b{0};
