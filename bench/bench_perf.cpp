@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_results.h"
 #include "chain/archive_node.h"
 #include "core/analysis_cache.h"
 #include "core/function_collision.h"
@@ -277,6 +278,7 @@ void macro_section() {
               "contracts/s;\n      6.7 ms/function-collision check; ~26 "
               "getStorageAt calls/proxy; dedup speedup) ----\n");
 
+  BenchResults results("bench_perf");
   auto& pop = population();
 
   // Throughput including dedup (the production configuration).
@@ -294,6 +296,9 @@ void macro_section() {
     row("total wall time", fmt(ms, " ms"));
     row("per contract", fmt(per_contract, " ms"));
     row("throughput", fmt(1000.0 / per_contract, " contracts/s"));
+    results.set("full_sweep_ms", ms);
+    results.set("ms_per_contract", per_contract);
+    results.set("contracts_per_s", 1000.0 / per_contract);
     std::uint64_t slot_proxies = 0, calls = 0;
     for (const auto& r : reports) {
       if (r.proxy.is_proxy() &&
@@ -333,6 +338,9 @@ void macro_section() {
     row("dedup OFF", fmt(ms_no_dedup, " ms"));
     row("dedup ON", fmt(ms_dedup, " ms"));
     row("speedup", fmt(ms_no_dedup / std::max(ms_dedup, 0.001), "x"));
+    results.set("dedup_off_ms", ms_no_dedup);
+    results.set("dedup_on_ms", ms_dedup);
+    results.set("dedup_speedup_x", ms_no_dedup / std::max(ms_dedup, 0.001));
     (void)reports;
     (void)reports2;
   }
@@ -415,7 +423,14 @@ void macro_section() {
     row("warm results bit-identical to cold", warm_identical ? "yes" : "NO");
     row("cache ON bit-identical to cache OFF",
         cache_identical ? "yes" : "NO");
+    results.set("cold_sweep_ms", cold_ms);
+    results.set("warm_sweep_ms", warm_ms);
+    results.set("warm_speedup_x", cold_ms / std::max(warm_ms, 0.001));
+    results.set("cache_off_ms", baseline_ms);
+    results.set("warm_vs_cache_off_x",
+                baseline_ms / std::max(warm_ms, 0.001));
   }
+  results.write();
 }
 
 }  // namespace

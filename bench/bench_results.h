@@ -1,0 +1,95 @@
+// Machine-readable bench output: a tiny merge-on-write JSON store shared by
+// every bench binary. Each binary owns one top-level object keyed by its
+// name; metrics are flat numeric leaves. On write() the existing file is
+// parsed (line-based — the file is only ever produced by this writer, so the
+// shape is known), this binary's section is replaced, everything else is
+// preserved, and the whole document is rewritten sorted. No JSON library is
+// involved on purpose: the container has none, and the format is trivial.
+//
+// Default path is BENCH_results.json in the working directory; override with
+// the PROXION_BENCH_RESULTS environment variable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace proxion::bench {
+
+class BenchResults {
+ public:
+  explicit BenchResults(std::string binary) : binary_(std::move(binary)) {}
+
+  void set(const std::string& metric, double value) {
+    metrics_[metric] = value;
+  }
+
+  static std::string path() {
+    if (const char* env = std::getenv("PROXION_BENCH_RESULTS")) return env;
+    return "BENCH_results.json";
+  }
+
+  /// Merge this binary's metrics into the results file and rewrite it.
+  void write() const {
+    auto document = parse_file(path());
+    document[binary_] = metrics_;
+
+    std::ofstream out(path(), std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_results: cannot write %s\n",
+                   path().c_str());
+      return;
+    }
+    out << "{\n";
+    std::size_t section = 0;
+    for (const auto& [name, metrics] : document) {
+      out << "  \"" << name << "\": {\n";
+      std::size_t entry = 0;
+      for (const auto& [metric, value] : metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        out << "    \"" << metric << "\": " << buf
+            << (++entry == metrics.size() ? "\n" : ",\n");
+      }
+      out << "  }" << (++section == document.size() ? "\n" : ",\n");
+    }
+    out << "}\n";
+    std::printf("\nbench results merged into %s\n", path().c_str());
+  }
+
+ private:
+  using Section = std::map<std::string, double>;
+
+  /// Line-based reader for the writer's own output. Unknown lines are
+  /// ignored, so a corrupt file degrades to "start fresh" per section.
+  static std::map<std::string, Section> parse_file(const std::string& file) {
+    std::map<std::string, Section> document;
+    std::ifstream in(file);
+    if (!in) return document;
+    std::string line, current;
+    while (std::getline(in, line)) {
+      const auto q1 = line.find('"');
+      if (q1 == std::string::npos) continue;
+      const auto q2 = line.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      const std::string key = line.substr(q1 + 1, q2 - q1 - 1);
+      const auto colon = line.find(':', q2);
+      if (colon == std::string::npos) continue;
+      const std::string rest = line.substr(colon + 1);
+      if (rest.find('{') != std::string::npos) {
+        current = key;
+      } else if (!current.empty()) {
+        document[current][key] = std::strtod(rest.c_str(), nullptr);
+      }
+    }
+    return document;
+  }
+
+  std::string binary_;
+  Section metrics_;
+};
+
+}  // namespace proxion::bench

@@ -2,42 +2,110 @@
 // heights plus code retrieval, with an API-call counter so the efficiency
 // claim of Algorithm 1 (≈26 getStorageAt calls per proxy instead of one per
 // block) is directly measurable.
+//
+// `IArchiveNode` is the seam the sweep pipeline talks through. The
+// in-process `ArchiveNode` is one implementation; decorators stack on top of
+// any other: `FaultInjectingArchiveNode` (chain/fault_injection.h) models a
+// real node's failure modes, `ResilientArchiveNode` (chain/resilient_node.h)
+// adds retries and a circuit breaker. Backend failures surface as the typed
+// `RpcError`, never as silently-wrong data.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "chain/blockchain.h"
 
 namespace proxion::chain {
 
-class ArchiveNode {
+/// Failure taxonomy of an archive-node RPC, mirroring what a JSON-RPC client
+/// actually sees against a loaded node.
+enum class RpcErrorKind : std::uint8_t {
+  kTransient,    // connection reset / 5xx; a fresh attempt may succeed
+  kTimeout,      // deadline expired before a response arrived
+  kRateLimited,  // 429 burst; succeeds again after backing off
+  kStaleRead,    // node not yet synced to the requested height
+  kCircuitOpen,  // local breaker fast-fail; the backend was never asked
+  kExhausted,    // retry budget spent without a success; terminal
+};
+
+std::string_view to_string(RpcErrorKind kind) noexcept;
+
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(RpcErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  RpcErrorKind kind() const noexcept { return kind_; }
+  /// Could another attempt succeed? Everything except the two terminal
+  /// local verdicts (kExhausted, kCircuitOpen) is worth retrying.
+  bool retriable() const noexcept {
+    return kind_ != RpcErrorKind::kExhausted &&
+           kind_ != RpcErrorKind::kCircuitOpen;
+  }
+
+ private:
+  RpcErrorKind kind_;
+};
+
+/// Abstract archive-node endpoint. Query methods may throw RpcError; the
+/// counters are forwarded through decorators so callers always observe the
+/// innermost facade's totals.
+class IArchiveNode {
+ public:
+  virtual ~IArchiveNode() = default;
+
+  /// eth_getStorageAt(account, slot, block).
+  virtual U256 get_storage_at(const Address& account, const U256& slot,
+                              std::uint64_t block) const = 0;
+  /// eth_getCode at the latest block.
+  virtual Bytes get_code(const Address& account) const = 0;
+  virtual std::uint64_t latest_block() const = 0;
+
+  virtual std::uint64_t get_storage_at_calls() const = 0;
+  virtual std::uint64_t get_code_calls() const = 0;
+  virtual void reset_counters() const = 0;
+};
+
+/// The in-process implementation over the simulated chain. Never fails.
+class ArchiveNode final : public IArchiveNode {
  public:
   explicit ArchiveNode(const Blockchain& chain) : chain_(chain) {}
 
   /// eth_getStorageAt(account, slot, block). Counted.
   U256 get_storage_at(const Address& account, const U256& slot,
-                      std::uint64_t block) const {
-    ++get_storage_at_calls_;
+                      std::uint64_t block) const override {
+    get_storage_at_calls_.fetch_add(1, std::memory_order_relaxed);
     return chain_.storage_at(account, slot, block);
   }
 
   /// eth_getCode at the latest block. Counted.
-  Bytes get_code(const Address& account) const {
-    ++get_code_calls_;
-    // Blockchain::get_code is non-const only because Host requires it.
-    return const_cast<Blockchain&>(chain_).get_code(account);
+  Bytes get_code(const Address& account) const override {
+    get_code_calls_.fetch_add(1, std::memory_order_relaxed);
+    return chain_.code_at(account);
   }
 
-  std::uint64_t latest_block() const noexcept { return chain_.height(); }
+  std::uint64_t latest_block() const override { return chain_.height(); }
 
-  std::uint64_t get_storage_at_calls() const noexcept {
-    return get_storage_at_calls_;
+  // Counter-snapshot semantics: the counters are monotonic relaxed atomics
+  // incremented from every pipeline worker. A getter returns a point-in-time
+  // snapshot of that one counter; reading both getters is NOT an atomic pair
+  // (a call landing between the two loads appears in one but not the other).
+  // That is fine for their only use — end-of-phase accounting after the
+  // workers quiesced — and relaxed ordering keeps the hot path to a plain
+  // atomic increment.
+  std::uint64_t get_storage_at_calls() const override {
+    return get_storage_at_calls_.load(std::memory_order_relaxed);
   }
-  std::uint64_t get_code_calls() const noexcept { return get_code_calls_; }
-  void reset_counters() const noexcept {
-    get_storage_at_calls_ = 0;
-    get_code_calls_ = 0;
+  std::uint64_t get_code_calls() const override {
+    return get_code_calls_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() const override {
+    get_storage_at_calls_.store(0, std::memory_order_relaxed);
+    get_code_calls_.store(0, std::memory_order_relaxed);
   }
 
  private:

@@ -165,6 +165,10 @@ void Blockchain::note_contract(const Address& a) {
 }
 
 Bytes Blockchain::get_code(const Address& a) {
+  return code_at(a);
+}
+
+Bytes Blockchain::code_at(const Address& a) const {
   const auto it = accounts_.find(a);
   return it == accounts_.end() ? Bytes{} : it->second.code;
 }

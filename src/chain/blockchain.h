@@ -91,6 +91,11 @@ class Blockchain final : public evm::Host {
   U256 storage_at(const Address& account, const U256& slot,
                   std::uint64_t block) const;
 
+  /// Deployed code of `account` at the latest block (eth_getCode). The
+  /// read-only twin of Host::get_code, which must stay non-const for the
+  /// interpreter's Host contract.
+  Bytes code_at(const Address& account) const;
+
   const std::vector<InternalTx>& internal_txs() const noexcept {
     return internal_txs_;
   }

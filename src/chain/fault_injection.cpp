@@ -1,0 +1,107 @@
+#include "chain/fault_injection.h"
+
+namespace proxion::chain {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Distinguishes get_storage_at keys from get_code keys so the two call
+// families draw independent fault decisions for the same account.
+constexpr std::uint64_t kStorageTag = 0x5354'4f52'4147'45ull;  // "STORAGE"
+constexpr std::uint64_t kCodeTag = 0x434f'4445ull;             // "CODE"
+
+std::uint64_t mix_request(std::uint64_t seed, std::uint64_t tag,
+                          const evm::Address& account, const evm::U256& slot,
+                          std::uint64_t block) {
+  std::uint64_t h = splitmix64(seed ^ tag);
+  h = splitmix64(h ^ evm::AddressHasher{}(account));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(evm::U256Hasher{}(slot)));
+  h = splitmix64(h ^ block);
+  return h;
+}
+
+double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view to_string(RpcErrorKind kind) noexcept {
+  switch (kind) {
+    case RpcErrorKind::kTransient: return "transient";
+    case RpcErrorKind::kTimeout: return "timeout";
+    case RpcErrorKind::kRateLimited: return "rate-limited";
+    case RpcErrorKind::kStaleRead: return "stale-read";
+    case RpcErrorKind::kCircuitOpen: return "circuit-open";
+    case RpcErrorKind::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
+void FaultInjectingArchiveNode::maybe_fault(std::uint64_t request_key) const {
+  RpcErrorKind kind;
+  unsigned budget;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const double u = unit_interval(request_key);
+    double edge = profile_.transient_rate;
+    if (u < edge) {
+      kind = RpcErrorKind::kTransient;
+      budget = profile_.failures_per_fault;
+    } else if (u < (edge += profile_.timeout_rate)) {
+      kind = RpcErrorKind::kTimeout;
+      budget = profile_.failures_per_fault;
+    } else if (u < (edge += profile_.rate_limit_rate)) {
+      kind = RpcErrorKind::kRateLimited;
+      budget = profile_.rate_limit_burst;
+    } else if (u < (edge += profile_.stale_read_rate)) {
+      kind = RpcErrorKind::kStaleRead;
+      budget = profile_.failures_per_fault;
+    } else {
+      return;  // healthy request
+    }
+    const unsigned seen = attempts_[request_key]++;
+    if (seen >= budget) return;  // healed: budget already spent
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  throw RpcError(kind, std::string("injected ") + std::string(to_string(kind)) +
+                           " fault (key " + std::to_string(request_key) + ")");
+}
+
+U256 FaultInjectingArchiveNode::get_storage_at(const Address& account,
+                                               const U256& slot,
+                                               std::uint64_t block) const {
+  std::uint64_t seed;
+  bool armed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seed = profile_.seed;
+    armed = profile_.fault_get_storage_at && profile_.total_rate() > 0.0;
+  }
+  if (armed) {
+    maybe_fault(mix_request(seed, kStorageTag, account, slot, block));
+  }
+  return inner_.get_storage_at(account, slot, block);
+}
+
+Bytes FaultInjectingArchiveNode::get_code(const Address& account) const {
+  std::uint64_t seed;
+  bool armed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seed = profile_.seed;
+    armed = profile_.fault_get_code && profile_.total_rate() > 0.0;
+  }
+  if (armed) {
+    maybe_fault(mix_request(seed, kCodeTag, account, U256{}, 0));
+  }
+  return inner_.get_code(account);
+}
+
+}  // namespace proxion::chain

@@ -1,0 +1,93 @@
+// A deterministic, seed-driven fault-injecting decorator over any
+// IArchiveNode, modelling the failure modes a real archive node exhibits
+// under load: transient connection errors, timeouts, rate-limit bursts, and
+// bounded stale reads (the node hasn't synced the requested height yet).
+//
+// Whether a request faults is a pure function of (seed, request key): the
+// same (account, slot, block) query is faulty or healthy regardless of
+// thread interleaving or call order. A faulty request fails a bounded number
+// of attempts (failures_per_fault, or rate_limit_burst for rate limits) and
+// then heals permanently — so a retrying caller always converges to the
+// inner node's true answer, and a fault-injected sweep with retries enabled
+// is bit-identical to a fault-free one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "chain/archive_node.h"
+
+namespace proxion::chain {
+
+struct FaultProfile {
+  std::uint64_t seed = 1;
+  /// Per-request probabilities of each failure mode; they partition [0,1)
+  /// cumulatively, so their sum is the overall fault rate (<= 1).
+  double transient_rate = 0.0;
+  double timeout_rate = 0.0;
+  double rate_limit_rate = 0.0;
+  double stale_read_rate = 0.0;
+  /// Attempts a faulty request fails before healing. Set above the caller's
+  /// retry budget to model a permanently-broken request.
+  unsigned failures_per_fault = 1;
+  /// Rate-limited requests fail this many attempts (bursts outlast blips).
+  unsigned rate_limit_burst = 3;
+  bool fault_get_code = true;
+  bool fault_get_storage_at = true;
+
+  double total_rate() const noexcept {
+    return transient_rate + timeout_rate + rate_limit_rate + stale_read_rate;
+  }
+};
+
+class FaultInjectingArchiveNode final : public IArchiveNode {
+ public:
+  FaultInjectingArchiveNode(const IArchiveNode& inner, FaultProfile profile)
+      : inner_(inner), profile_(profile) {}
+
+  U256 get_storage_at(const Address& account, const U256& slot,
+                      std::uint64_t block) const override;
+  Bytes get_code(const Address& account) const override;
+  std::uint64_t latest_block() const override { return inner_.latest_block(); }
+
+  std::uint64_t get_storage_at_calls() const override {
+    return inner_.get_storage_at_calls();
+  }
+  std::uint64_t get_code_calls() const override {
+    return inner_.get_code_calls();
+  }
+  void reset_counters() const override { inner_.reset_counters(); }
+
+  /// Faults injected so far (thrown RpcErrors).
+  std::uint64_t injected_faults() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Swap the fault profile (e.g. a resume pass after the "outage" ends).
+  /// Per-request attempt history is kept: already-healed requests stay
+  /// healed.
+  void set_profile(const FaultProfile& profile) {
+    std::lock_guard<std::mutex> lk(mu_);
+    profile_ = profile;
+  }
+  /// Stop injecting anything (equivalent to an all-zero-rate profile).
+  void heal() {
+    std::lock_guard<std::mutex> lk(mu_);
+    profile_ = FaultProfile{.seed = profile_.seed};
+  }
+
+ private:
+  /// Throws the request's assigned RpcError while its failure budget lasts.
+  void maybe_fault(std::uint64_t request_key) const;
+
+  const IArchiveNode& inner_;
+  mutable std::mutex mu_;
+  FaultProfile profile_;
+  /// Attempts seen per faulty request key (only faulty keys are tracked).
+  mutable std::unordered_map<std::uint64_t, unsigned> attempts_;
+  mutable std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace proxion::chain

@@ -89,6 +89,7 @@ DiamondReport DiamondProber::probe(const Address& contract,
     FacetObserver observer(contract, probe);
     evm::InterpreterConfig interp_config;
     interp_config.step_limit = config_.step_limit;
+    interp_config.max_call_depth = 64;  // bounded native recursion
     evm::Interpreter interp(overlay, interp_config);
     interp.set_observer(&observer);
 

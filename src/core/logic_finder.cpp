@@ -11,7 +11,7 @@ namespace {
 /// caches those responses rather than re-querying the archive node.
 class CachedSlotReader {
  public:
-  CachedSlotReader(const chain::ArchiveNode& node, const Address& proxy,
+  CachedSlotReader(const chain::IArchiveNode& node, const Address& proxy,
                    const U256& slot)
       : node_(node), proxy_(proxy), slot_(slot) {}
 
@@ -27,7 +27,7 @@ class CachedSlotReader {
   std::uint64_t api_calls() const noexcept { return api_calls_; }
 
  private:
-  const chain::ArchiveNode& node_;
+  const chain::IArchiveNode& node_;
   Address proxy_;
   U256 slot_;
   std::map<std::uint64_t, U256> cache_;

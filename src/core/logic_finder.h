@@ -28,7 +28,7 @@ struct LogicHistory {
 
 class LogicFinder {
  public:
-  explicit LogicFinder(const chain::ArchiveNode& node) : node_(node) {}
+  explicit LogicFinder(const chain::IArchiveNode& node) : node_(node) {}
 
   /// Runs Algorithm 1 for the proxy's logic slot between the genesis block
   /// and the latest block. For hard-coded (EIP-1167) proxies the history is
@@ -40,7 +40,7 @@ class LogicFinder {
   LogicHistory find_naive(const Address& proxy, const U256& slot) const;
 
  private:
-  const chain::ArchiveNode& node_;
+  const chain::IArchiveNode& node_;
 };
 
 }  // namespace proxion::core

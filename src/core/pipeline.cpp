@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
 #include "crypto/keccak.h"
 
@@ -37,12 +39,41 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+ErrorKind classify_rpc(const chain::RpcError& e) noexcept {
+  switch (e.kind()) {
+    case chain::RpcErrorKind::kExhausted:
+    case chain::RpcErrorKind::kCircuitOpen:
+      return ErrorKind::kRpcExhausted;
+    default:
+      return ErrorKind::kRpcTransient;
+  }
+}
+
+ErrorRecord record_of(const chain::RpcError& e, const char* phase) {
+  return ErrorRecord{classify_rpc(e), phase, e.what()};
+}
+
 }  // namespace
+
+std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kRpcTransient: return "rpc_transient";
+    case ErrorKind::kRpcExhausted: return "rpc_exhausted";
+    case ErrorKind::kEmulationLimit: return "emulation_limit";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
                                    const sourcemeta::SourceRepository* sources,
                                    PipelineConfig config)
     : chain_(chain), node_(chain), sources_(sources), config_(config) {
+  backend_ = config_.archive_node != nullptr ? config_.archive_node : &node_;
+  if (config_.enable_retries) {
+    resilient_ = std::make_unique<chain::ResilientArchiveNode>(
+        *backend_, config_.retry, config_.breaker);
+  }
   const unsigned shards = config_.cache_shards == 0 ? 1 : config_.cache_shards;
   if (config_.use_analysis_cache) {
     cache_ = std::make_unique<AnalysisCache>(shards);
@@ -67,8 +98,41 @@ util::ThreadPool& AnalysisPipeline::pool() {
 
 std::vector<ContractAnalysis> AnalysisPipeline::run(
     const std::vector<SweepInput>& inputs) {
+  return run_internal(inputs, nullptr);
+}
+
+std::size_t AnalysisPipeline::resume(const std::vector<SweepInput>& inputs,
+                                     std::vector<ContractAnalysis>& reports) {
+  if (reports.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "resume: reports must come from a run over the same inputs");
+  }
+  bool any_quarantined = false;
+  for (const ContractAnalysis& r : reports) {
+    if (r.error) {
+      any_quarantined = true;
+      break;
+    }
+  }
+  if (!any_quarantined) return 0;
+
+  reports = run_internal(inputs, &reports);
+  std::size_t still_quarantined = 0;
+  for (const ContractAnalysis& r : reports) {
+    if (r.error) ++still_quarantined;
+  }
+  return still_quarantined;
+}
+
+std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
+    const std::vector<SweepInput>& inputs,
+    const std::vector<ContractAnalysis>* prior) {
   const auto t_start = std::chrono::steady_clock::now();
   util::ThreadPool& workers = pool();
+
+  // Each run entry asserts the backend is worth talking to again; a breaker
+  // left open by a previous run's outage must not fast-fail a resume pass.
+  if (resilient_) resilient_->breaker().reset();
 
   // The pair memo never outlives a run, with or without the analysis cache:
   // a PairOutcome depends on run-local state — the §7.1 donor map is built
@@ -83,16 +147,19 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   std::vector<ContractAnalysis> out(inputs.size());
 
   // ---- fetch code and hash it ------------------------------------------
-  // Each distinct address is fetched and keccak'd exactly once — per run
-  // when the analysis cache is off (seed semantics), ever when it is on
-  // (deployed code is immutable, so a warm sweep skips this phase's work).
+  // Each distinct address is fetched (through the fault-tolerant archive
+  // seam) and keccak'd exactly once — per run when the analysis cache is off
+  // (seed semantics), ever when it is on (deployed code is immutable, so a
+  // warm sweep skips this phase's work). A failed fetch quarantines only its
+  // own contract: the once-map clears the in-flight marker on throw, so a
+  // later retry (or resume pass) recomputes instead of caching the failure.
   CodeBlobMap run_local_blobs(config_.cache_shards == 0 ? 1
                                                         : config_.cache_shards);
   CodeBlobMap& blob_map = blob_cache_ ? *blob_cache_ : run_local_blobs;
   auto fetch_blob = [&](const Address& address) {
     return blob_map.get_or_compute(address, [&] {
       auto b = std::make_shared<CodeBlob>();
-      b->code = chain_.get_code(address);
+      b->code = rpc().get_code(address);
       b->hash = evm::code_hash(b->code);
       b->key = hash_key(b->hash);
       return std::shared_ptr<const CodeBlob>(std::move(b));
@@ -101,17 +168,40 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
 
   std::vector<std::shared_ptr<const CodeBlob>> blobs(inputs.size());
   workers.parallel_for(inputs.size(), [&](std::size_t i) {
-    blobs[i] = fetch_blob(inputs[i].address);
+    try {
+      blobs[i] = fetch_blob(inputs[i].address);
+    } catch (const chain::RpcError& e) {
+      out[i].error = record_of(e, "fetch");
+    } catch (const std::exception& e) {
+      out[i].error = ErrorRecord{ErrorKind::kInternal, "fetch", e.what()};
+    }
   });
   auto key_of = [&](std::size_t i) -> const std::string& {
     return blobs[i]->key;
   };
   const auto t_fetch = std::chrono::steady_clock::now();
 
+  // ---- resume bookkeeping ----------------------------------------------
+  // Code hashes touched by a previously-quarantined contract. Their healthy
+  // siblings are recomputed too: the prior (faulty) run may have promoted a
+  // different representative for the hash, and dedup metadata must converge
+  // to what a fault-free full run produces.
+  std::unordered_set<std::string> dirty_keys;
+  if (prior != nullptr) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if ((*prior)[i].error && blobs[i]) dirty_keys.insert(key_of(i));
+    }
+  }
+  auto reuse_prior = [&](std::size_t i) {
+    return prior != nullptr && !(*prior)[i].error &&
+           (!blobs[i] || dirty_keys.count(key_of(i)) == 0);
+  };
+
   // ---- §7.1 source propagation: first verified address per code hash ----
   std::unordered_map<std::string, Address> source_donor;
   if (config_.propagate_source_by_code_hash && sources_ != nullptr) {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!blobs[i]) continue;
       if (sources_->has_source(inputs[i].address)) {
         source_donor.emplace(key_of(i), inputs[i].address);
       }
@@ -130,6 +220,7 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   std::unordered_map<std::string, std::size_t> representative;
   std::vector<std::size_t> unique_indices;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!blobs[i]) continue;  // fetch failed; quarantined above
     if (!config_.dedup_by_code_hash) {
       unique_indices.push_back(i);
       continue;
@@ -140,99 +231,146 @@ std::vector<ContractAnalysis> AnalysisPipeline::run(
   }
 
   // ---- Phase A: proxy detection per unique blob (parallel) ---------------
+  // Detection emulates against in-process state (no archive RPCs) and its
+  // step fuse turns adversarial bytecode into a kEmulationError verdict, so
+  // failures here are internal bugs — contained per blob all the same.
   std::vector<ProxyReport> unique_reports(unique_indices.size());
+  std::vector<std::optional<ErrorRecord>> unique_errors(unique_indices.size());
   workers.parallel_for(unique_indices.size(), [&](std::size_t u) {
     const std::size_t i = unique_indices[u];
-    auto analyze = [&] {
-      ProxyDetector detector(chain_, {}, cache_.get());
-      return detector.analyze_code(inputs[i].address, blobs[i]->code,
-                                   blobs[i]->hash);
-    };
-    unique_reports[u] =
-        verdict_cache_
-            ? verdict_cache_->get_or_compute(
-                  verdict_key(key_of(i), inputs[i].address), analyze)
-            : analyze();
+    try {
+      auto analyze = [&] {
+        ProxyDetectorConfig detector_config;
+        detector_config.step_limit = config_.emulation_step_limit;
+        ProxyDetector detector(chain_, detector_config, cache_.get());
+        return detector.analyze_code(inputs[i].address, blobs[i]->code,
+                                     blobs[i]->hash);
+      };
+      unique_reports[u] =
+          verdict_cache_
+              ? verdict_cache_->get_or_compute(
+                    verdict_key(key_of(i), inputs[i].address), analyze)
+              : analyze();
+    } catch (const chain::RpcError& e) {
+      unique_errors[u] = record_of(e, "proxy");
+    } catch (const std::exception& e) {
+      unique_errors[u] = ErrorRecord{ErrorKind::kInternal, "proxy", e.what()};
+    }
   });
   std::unordered_map<std::string, const ProxyReport*> verdicts;
+  std::unordered_map<std::string, ErrorRecord> failed_keys;
   verdicts.reserve(unique_indices.size());
   for (std::size_t u = 0; u < unique_indices.size(); ++u) {
-    verdicts.emplace(key_of(unique_indices[u]), &unique_reports[u]);
+    const std::size_t i = unique_indices[u];
+    if (unique_errors[u]) {
+      out[i].error = *unique_errors[u];
+      failed_keys.emplace(key_of(i), *unique_errors[u]);
+    } else {
+      verdicts.emplace(key_of(i), &unique_reports[u]);
+    }
   }
   const auto t_proxy = std::chrono::steady_clock::now();
 
   // ---- Phase B: per-contract results (parallel) ---------------------------
   // Logic blobs go through the same once-map as the sweep inputs: each
   // distinct logic address is fetched and hashed at most once, however many
-  // proxies delegate to it (the seed re-hashed per pair).
+  // proxies delegate to it (the seed re-hashed per pair). Every contract is
+  // its own failure domain: an RPC giving up mid-history or a watchdog
+  // expiry quarantines this contract and the sweep moves on.
   workers.parallel_for(inputs.size(), [&](std::size_t i) {
     ContractAnalysis& a = out[i];
+    if (reuse_prior(i)) {
+      a = (*prior)[i];
+      return;
+    }
     a.address = inputs[i].address;
     a.year = inputs[i].year;
     a.has_source = inputs[i].has_source;
     a.has_tx = inputs[i].has_tx;
-    a.proxy = *verdicts.at(key_of(i));
+    if (a.error) return;  // fetch or Phase A already quarantined it
+
+    const auto vit = verdicts.find(key_of(i));
+    if (vit == verdicts.end()) {
+      // Our representative's Phase A failed; inherit its quarantine record.
+      a.error = failed_keys.at(key_of(i));
+      return;
+    }
+    a.proxy = *vit->second;
     a.deduplicated =
         config_.dedup_by_code_hash &&
         representative.at(key_of(i)) != i;
 
-    if (!a.proxy.is_proxy()) {
-      if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
-          a.proxy.verdict == ProxyVerdict::kNotProxy) {
-        DiamondProber prober(chain_, {}, cache_.get());
-        a.diamond = prober.probe(a.address, a.proxy);
+    util::Watchdog watchdog(config_.contract_wall_budget_ms);
+    try {
+      if (!a.proxy.is_proxy()) {
+        if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
+            a.proxy.verdict == ProxyVerdict::kNotProxy) {
+          DiamondProber prober(chain_, {}, cache_.get());
+          a.diamond = prober.probe(a.address, a.proxy);
+        }
+        return;
       }
-      return;
-    }
 
-    // A deduplicated slot-proxy verdict carries the representative's logic
-    // address; re-read this contract's slot for its own logic target.
-    if (a.deduplicated && a.proxy.logic_source == LogicSource::kStorageSlot) {
-      const U256 word = chain_.get_storage(a.address, a.proxy.logic_slot) &
-                        ((U256{1} << U256{160}) - U256{1});
-      a.proxy.logic_address = Address::from_word(word);
-    }
+      // A deduplicated slot-proxy verdict carries the representative's logic
+      // address; re-read this contract's slot for its own logic target.
+      if (a.deduplicated &&
+          a.proxy.logic_source == LogicSource::kStorageSlot) {
+        const U256 word = chain_.get_storage(a.address, a.proxy.logic_slot) &
+                          ((U256{1} << U256{160}) - U256{1});
+        a.proxy.logic_address = Address::from_word(word);
+      }
 
-    if (config_.find_logic_history) {
-      LogicFinder finder(node_);
-      a.logic_history = finder.find(a.address, a.proxy);
-    } else if (!a.proxy.logic_address.is_zero()) {
-      a.logic_history.logic_addresses.push_back(a.proxy.logic_address);
-    }
+      watchdog.check("logic-history");
+      if (config_.find_logic_history) {
+        LogicFinder finder(rpc());
+        a.logic_history = finder.find(a.address, a.proxy);
+      } else if (!a.proxy.logic_address.is_zero()) {
+        a.logic_history.logic_addresses.push_back(a.proxy.logic_address);
+      }
 
-    if (!config_.detect_collisions) return;
-    for (const Address& logic : a.logic_history.logic_addresses) {
-      const std::shared_ptr<const CodeBlob> blob = fetch_blob(logic);
-      if (blob->code.empty()) continue;
-      a.logic_has_source =
-          a.logic_has_source ||
-          (sources_ != nullptr && sources_->has_source(logic));
+      if (!config_.detect_collisions) return;
+      for (const Address& logic : a.logic_history.logic_addresses) {
+        watchdog.check("pair-collisions");
+        const std::shared_ptr<const CodeBlob> blob = fetch_blob(logic);
+        if (blob->code.empty()) continue;
+        a.logic_has_source =
+            a.logic_has_source ||
+            (sources_ != nullptr && sources_->has_source(logic));
 
-      const PairOutcome outcome = pair_cache_->get_or_compute(
-          key_of(i) + blob->key, [&] {
-            PairOutcome o;
-            FunctionCollisionDetector fn_detector(sources_, cache_.get());
-            // Source-mode lookups go through same-bytecode donors (§7.1): a
-            // clone of a verified contract is analyzed as if verified itself.
-            const Address proxy_lookup =
-                with_source_donor(key_of(i), a.address);
-            const Address logic_lookup = with_source_donor(blob->key, logic);
-            o.function_collision =
-                fn_detector
-                    .detect(proxy_lookup, blobs[i]->code, &blobs[i]->hash,
-                            logic_lookup, blob->code, &blob->hash)
-                    .has_collision();
-            StorageCollisionDetector st_detector(chain_, {}, cache_.get());
-            const StorageCollisionResult st = st_detector.detect(
-                a.address, blobs[i]->code, &blobs[i]->hash, logic, blob->code,
-                &blob->hash);
-            o.storage_collision = st.has_collision();
-            o.storage_exploitable = st.has_verified_exploit();
-            return o;
-          });
-      a.function_collision |= outcome.function_collision;
-      a.storage_collision |= outcome.storage_collision;
-      a.storage_collision_exploitable |= outcome.storage_exploitable;
+        const PairOutcome outcome = pair_cache_->get_or_compute(
+            key_of(i) + blob->key, [&] {
+              PairOutcome o;
+              FunctionCollisionDetector fn_detector(sources_, cache_.get());
+              // Source-mode lookups go through same-bytecode donors (§7.1):
+              // a clone of a verified contract is analyzed as if verified
+              // itself.
+              const Address proxy_lookup =
+                  with_source_donor(key_of(i), a.address);
+              const Address logic_lookup =
+                  with_source_donor(blob->key, logic);
+              o.function_collision =
+                  fn_detector
+                      .detect(proxy_lookup, blobs[i]->code, &blobs[i]->hash,
+                              logic_lookup, blob->code, &blob->hash)
+                      .has_collision();
+              StorageCollisionDetector st_detector(chain_, {}, cache_.get());
+              const StorageCollisionResult st = st_detector.detect(
+                  a.address, blobs[i]->code, &blobs[i]->hash, logic,
+                  blob->code, &blob->hash);
+              o.storage_collision = st.has_collision();
+              o.storage_exploitable = st.has_verified_exploit();
+              return o;
+            });
+        a.function_collision |= outcome.function_collision;
+        a.storage_collision |= outcome.storage_collision;
+        a.storage_collision_exploitable |= outcome.storage_exploitable;
+      }
+    } catch (const chain::RpcError& e) {
+      a.error = record_of(e, "pairs");
+    } catch (const util::WatchdogExpired& e) {
+      a.error = ErrorRecord{ErrorKind::kEmulationLimit, "pairs", e.what()};
+    } catch (const std::exception& e) {
+      a.error = ErrorRecord{ErrorKind::kInternal, "pairs", e.what()};
     }
   });
 
@@ -253,8 +391,20 @@ LandscapeStats AnalysisPipeline::summarize(
   stats.total_contracts = reports.size();
 
   for (const ContractAnalysis& a : reports) {
+    if (a.error) {
+      // Quarantined: partial analysis, excluded from landscape aggregates
+      // until a resume pass clears it.
+      ++stats.quarantined;
+      ++stats.errors_by_kind[a.error->kind];
+      continue;
+    }
     if (a.proxy.verdict == ProxyVerdict::kEmulationError) {
       ++stats.emulation_errors;
+      if (a.proxy.halt == evm::HaltReason::kStepLimit) {
+        // Adversarial bytecode that ran into the emulator's step fuse —
+        // distinct in the taxonomy from blobs that merely fault.
+        ++stats.errors_by_kind[ErrorKind::kEmulationLimit];
+      }
     }
     if (a.diamond.is_diamond) ++stats.diamonds_recovered;
     if (!a.proxy.is_proxy()) continue;
@@ -280,7 +430,14 @@ LandscapeStats AnalysisPipeline::summarize(
     ++stats.upgrade_histogram[a.logic_history.upgrade_events];
     stats.total_upgrade_events += a.logic_history.upgrade_events;
   }
-  stats.get_storage_at_calls = node_.get_storage_at_calls();
+  stats.analyzed_contracts = stats.total_contracts - stats.quarantined;
+  stats.get_storage_at_calls = rpc().get_storage_at_calls();
+  if (resilient_) {
+    stats.rpc_retries = resilient_->retries();
+    stats.rpc_faults = resilient_->faults_seen();
+    stats.rpc_giveups = resilient_->giveups();
+    stats.breaker_trips = resilient_->breaker().trips();
+  }
   if (!reports.empty()) {
     stats.ms_per_contract = last_run_ms_ / static_cast<double>(reports.size());
   }

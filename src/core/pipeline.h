@@ -3,6 +3,14 @@
 // identical clones are analyzed once), logic-history recovery via
 // Algorithm 1, per-pair collision checks, and aggregation into the
 // landscape statistics behind every figure and table of §7.
+//
+// Fault tolerance: the pipeline talks to its archive backend through the
+// IArchiveNode seam, wrapped (by default) in a ResilientArchiveNode that
+// retries transient RpcErrors with backoff behind a circuit breaker. Every
+// per-contract unit of work runs under a try/catch plus a wall-clock
+// watchdog: a failing contract becomes a quarantined ErrorRecord on its
+// ContractAnalysis instead of aborting the sweep, and resume() re-enters the
+// run to retry only the quarantined set.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 
 #include "chain/archive_node.h"
 #include "chain/blockchain.h"
+#include "chain/resilient_node.h"
 #include "core/analysis_cache.h"
 #include "core/diamond_probe.h"
 #include "core/function_collision.h"
@@ -22,6 +31,7 @@
 #include "core/proxy_detector.h"
 #include "core/storage_collision.h"
 #include "sourcemeta/source.h"
+#include "util/resilience.h"
 #include "util/thread_pool.h"
 
 namespace proxion::core {
@@ -33,6 +43,27 @@ struct SweepInput {
   int year = 0;
   bool has_source = false;
   bool has_tx = false;
+};
+
+/// Why a contract's analysis could not complete (quarantine taxonomy).
+enum class ErrorKind : std::uint8_t {
+  kRpcTransient,    // a retriable RPC error surfaced with retries disabled
+  kRpcExhausted,    // retry budget spent / circuit open; backend gave nothing
+  kEmulationLimit,  // step or wall-clock watchdog budget exceeded
+  kInternal,        // unexpected exception inside the analysis itself
+};
+
+std::string_view to_string(ErrorKind kind) noexcept;
+
+/// Per-contract failure record. A report carrying one is "quarantined":
+/// its analysis is partial (whatever phases completed before the failure)
+/// and resume() will retry it.
+struct ErrorRecord {
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string phase;   // "fetch" | "proxy" | "pairs"
+  std::string detail;  // human-readable cause (exception text)
+
+  friend bool operator==(const ErrorRecord&, const ErrorRecord&) = default;
 };
 
 struct ContractAnalysis {
@@ -52,6 +83,13 @@ struct ContractAnalysis {
   bool storage_collision = false;
   bool storage_collision_exploitable = false;
   bool logic_has_source = false;
+
+  /// Set iff this contract's analysis failed; see ErrorRecord. A fault that
+  /// retries absorbed leaves no trace here — the report is bit-identical to
+  /// a fault-free run's.
+  std::optional<ErrorRecord> error;
+
+  bool quarantined() const noexcept { return error.has_value(); }
 
   /// Field-for-field equality — the cache on/off and threads=1 vs N
   /// bit-identity tests compare entire reports with this.
@@ -82,6 +120,28 @@ struct PipelineConfig {
   bool use_analysis_cache = true;
   /// Lock stripes for the analysis/pair caches (clamped to >= 1).
   unsigned cache_shards = 16;
+
+  // ---- fault tolerance --------------------------------------------------
+  /// External archive backend (a FaultInjectingArchiveNode in tests, a real
+  /// RPC client in production). Null = the in-process facade over `chain`.
+  /// The pointee must outlive the pipeline; it is wrapped in the retry /
+  /// circuit-breaker layer below unless enable_retries is false.
+  chain::IArchiveNode* archive_node = nullptr;
+  /// Wrap the backend in ResilientArchiveNode (retry + breaker). Off, every
+  /// RpcError immediately quarantines its contract (kRpcTransient).
+  bool enable_retries = true;
+  /// Backoff shape for retried archive RPCs.
+  util::RetryPolicy retry{};
+  /// Per-backend circuit breaker (trips on consecutive failures, half-opens
+  /// on a probe after its cooldown). Reset at each run()/resume() entry.
+  util::CircuitBreakerConfig breaker{};
+  /// Wall-clock budget per contract in the pair phase; 0 = unlimited. A
+  /// contract exceeding it quarantines as kEmulationLimit at the next
+  /// cooperative checkpoint (between logic targets / history steps).
+  double contract_wall_budget_ms = 0.0;
+  /// Interpreter step fuse for proxy-detection emulation (adversarial
+  /// bytecode — infinite loops, unbounded recursion — halts here).
+  std::uint64_t emulation_step_limit = 200'000;
 };
 
 struct LandscapeStats {
@@ -108,6 +168,23 @@ struct LandscapeStats {
 
   std::uint64_t get_storage_at_calls = 0;
   double ms_per_contract = 0.0;
+
+  // ---- fault / coverage accounting --------------------------------------
+  /// Contracts whose reports carry an ErrorRecord (excluded from the
+  /// aggregates above: the sweep's coverage is partial until resume()
+  /// clears them).
+  std::uint64_t quarantined = 0;
+  /// total_contracts - quarantined.
+  std::uint64_t analyzed_contracts = 0;
+  /// Failure taxonomy over quarantine records PLUS deterministic emulation
+  /// step-limit halts (kEmulationLimit counts both).
+  std::map<ErrorKind, std::uint64_t> errors_by_kind;
+  /// Resilience-layer counters for the pipeline's backend (zero when
+  /// enable_retries is false).
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_faults = 0;
+  std::uint64_t rpc_giveups = 0;
+  std::uint64_t breaker_trips = 0;
 
   // ---- perf accounting for the last run ---------------------------------
   /// Wall-clock per phase: code fetch + hashing, proxy detection (Phase A),
@@ -138,6 +215,10 @@ class AnalysisPipeline {
   /// assume the chain was not mutated between runs (the same assumption the
   /// per-run dedup already made).
   ///
+  /// Fault containment: a contract whose analysis fails (RPC exhausted,
+  /// watchdog, internal error) is returned with `error` set rather than
+  /// aborting the run; see resume().
+  ///
   /// Concurrency: the parallelism lives *inside* a run (the pool reads the
   /// chain concurrently, which must therefore be read-safe). run() and
   /// summarize() themselves must be externally serialized per pipeline
@@ -145,12 +226,30 @@ class AnalysisPipeline {
   /// per-run pair memo and the timing fields.
   std::vector<ContractAnalysis> run(const std::vector<SweepInput>& inputs);
 
-  /// Aggregates reports into the landscape statistics.
+  /// Checkpoint/resume: retries only the quarantined contracts of a prior
+  /// run over the same `inputs`, patching `reports` in place. Healthy
+  /// reports are carried over untouched — except contracts sharing a code
+  /// hash with a quarantined one, which are recomputed so dedup metadata
+  /// (representative choice, probe seeding) converges to exactly what a
+  /// fault-free run over the full population produces. The breaker is reset
+  /// on entry (the caller is asserting the backend recovered). Returns the
+  /// number of contracts still quarantined.
+  std::size_t resume(const std::vector<SweepInput>& inputs,
+                     std::vector<ContractAnalysis>& reports);
+
+  /// Aggregates reports into the landscape statistics. Quarantined reports
+  /// count toward `quarantined` / `errors_by_kind` only.
   LandscapeStats summarize(const std::vector<ContractAnalysis>& reports) const;
 
   /// The artifact cache (null when config.use_analysis_cache is false).
   /// Exposed for benches/tests that inspect hit/miss accounting.
   AnalysisCache* analysis_cache() noexcept { return cache_.get(); }
+
+  /// The resilience wrapper around the backend (null when enable_retries is
+  /// false). Exposed for tests/benches inspecting retry accounting.
+  const chain::ResilientArchiveNode* resilient_node() const noexcept {
+    return resilient_.get();
+  }
 
  private:
   /// Outcome of one proxy/logic pair's collision checks (memoized by the
@@ -171,10 +270,24 @@ class AnalysisPipeline {
       StripedOnceMap<Address, std::shared_ptr<const CodeBlob>,
                      evm::AddressHasher>;
 
+  /// The sweep body. `prior` non-null = resume semantics (recompute only
+  /// quarantined contracts and their code-hash siblings).
+  std::vector<ContractAnalysis> run_internal(
+      const std::vector<SweepInput>& inputs,
+      const std::vector<ContractAnalysis>* prior);
+
   util::ThreadPool& pool();
+  /// The backend every archive RPC goes through (resilient wrapper when
+  /// retries are on, otherwise the raw backend).
+  const chain::IArchiveNode& rpc() const noexcept {
+    return resilient_ ? static_cast<const chain::IArchiveNode&>(*resilient_)
+                      : *backend_;
+  }
 
   chain::Blockchain& chain_;
   chain::ArchiveNode node_;
+  chain::IArchiveNode* backend_ = nullptr;  // config override or &node_
+  std::unique_ptr<chain::ResilientArchiveNode> resilient_;
   const sourcemeta::SourceRepository* sources_;
   PipelineConfig config_;
 

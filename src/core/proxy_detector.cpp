@@ -185,6 +185,7 @@ ProxyReport ProxyDetector::analyze_disassembled(const Address& contract,
   ProxyProbeObserver observer(contract, probe);
   evm::InterpreterConfig interp_config;
   interp_config.step_limit = config_.step_limit;
+  interp_config.max_call_depth = config_.max_call_depth;
   evm::Interpreter interp(overlay, interp_config);
   interp.set_observer(&observer);
 

@@ -76,6 +76,11 @@ struct ProxyReport {
 struct ProxyDetectorConfig {
   std::uint64_t emulation_gas = 5'000'000;
   std::uint64_t step_limit = 200'000;
+  /// Call-depth bound for detection emulation, far below the EVM's 1024:
+  /// real proxies delegate a handful of frames deep, and the interpreter
+  /// recurses natively per frame — adversarial self-recursing bytecode must
+  /// exhaust its *step* budget in bounded process stack, not overflow it.
+  int max_call_depth = 64;
   /// Calldata appended after the probe selector (function "arguments").
   std::size_t probe_argument_bytes = 32;
 };

@@ -24,6 +24,21 @@ std::string render_landscape_text(const LandscapeStats& stats) {
       << " (no source, no transactions)\n";
   out << "emulation errors:    " << stats.emulation_errors << " ("
       << pct(stats.emulation_errors, stats.total_contracts) << "%)\n";
+  if (stats.quarantined > 0) {
+    out << "quarantined:         " << stats.quarantined << " ("
+        << pct(stats.quarantined, stats.total_contracts)
+        << "% — partial coverage, resume to retry)\n";
+    out << "error taxonomy:";
+    for (const auto& [kind, count] : stats.errors_by_kind) {
+      out << "  " << to_string(kind) << "=" << count;
+    }
+    out << "\n";
+  }
+  if (stats.rpc_retries > 0 || stats.rpc_giveups > 0) {
+    out << "rpc faults absorbed: " << stats.rpc_retries << " retried, "
+        << stats.rpc_giveups << " gave up, " << stats.breaker_trips
+        << " breaker trips\n";
+  }
   out << "unique proxy codebases: " << stats.unique_proxy_codehashes << "\n";
   if (stats.diamonds_recovered > 0) {
     out << "diamonds recovered (tx-hint probing): "

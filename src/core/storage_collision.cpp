@@ -149,6 +149,7 @@ bool StorageCollisionDetector::verify_exploit(
       ExploitObserver observer(proxy, finding.slot);
       evm::InterpreterConfig interp_config;
       interp_config.step_limit = 200'000;
+      interp_config.max_call_depth = 64;  // bounded native recursion
       evm::Interpreter interp(overlay, interp_config);
       interp.set_observer(&observer);
 

@@ -443,6 +443,40 @@ Bytes ContractFactory::math_library() {
   });
 }
 
+Bytes ContractFactory::infinite_loop_contract() {
+  // Entry point IS the loop: every call path spins forever. The DELEGATECALL
+  // after the unconditional JUMP can never execute, but the linear opcode
+  // scan still sees it — so the detector's §4.1 prefilter cannot shortcut
+  // this contract to kNotProxy, and emulation must run into the step fuse.
+  Assembler a;
+  a.jumpdest("spin");
+  a.push(U256{0}, 1).op(Opcode::POP);
+  a.push_label("spin").op(Opcode::JUMP);
+  a.op(Opcode::DELEGATECALL);  // unreachable prefilter bait
+  return a.assemble();
+}
+
+Bytes ContractFactory::deep_recursion_contract() {
+  // Self-CALL in a loop: descends until the call depth (or the emulator's
+  // budget) is exhausted, then re-dials — each frame spins up a fresh copy
+  // of this same code, so the step count grows without bound. Same
+  // unreachable-DELEGATECALL bait as infinite_loop_contract().
+  Assembler a;
+  a.jumpdest("again");
+  a.push(U256{0}, 1);     // retLen
+  a.push(U256{0}, 1);     // retOffset
+  a.push(U256{0}, 1);     // argLen
+  a.push(U256{0}, 1);     // argOffset
+  a.push(U256{0}, 1);     // value
+  a.op(Opcode::ADDRESS);  // to = self
+  a.op(Opcode::GAS);
+  a.op(Opcode::CALL);
+  a.op(Opcode::POP);
+  a.push_label("again").op(Opcode::JUMP);
+  a.op(Opcode::DELEGATECALL);  // unreachable prefilter bait
+  return a.assemble();
+}
+
 Bytes ContractFactory::honeypot_proxy(const U256& logic_slot,
                                       std::uint32_t colliding_selector) {
   // Listing 1: the proxy function shadows the logic's lure (same selector)

@@ -111,6 +111,16 @@ class ContractFactory {
   /// Pure library: exported helper functions, no storage of its own.
   static Bytes math_library();
 
+  /// Adversarial robustness fixtures. Both bury an unreachable DELEGATECALL
+  /// after an unconditional JUMP so the §4.1 opcode prefilter cannot
+  /// shortcut them to kNotProxy — detection must emulate, and emulation runs
+  /// into the interpreter's step fuse (HaltReason::kStepLimit) instead of
+  /// hanging the sweep.
+  /// Tight unconditional loop at the entry point; never terminates.
+  static Bytes infinite_loop_contract();
+  /// Self-CALL loop: unbounded recursion into its own code.
+  static Bytes deep_recursion_contract();
+
   /// Paper Listing 1 — the honeypot pair. The proxy's dispatcher carries a
   /// function whose selector equals `colliding_selector` (the logic's lure).
   static Bytes honeypot_proxy(const evm::U256& logic_slot,

@@ -20,6 +20,7 @@ ThreadPool::ThreadPool(unsigned threads) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 4 : hw;
   }
+  worker_count_ = threads;
   queues_.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     queues_.push_back(std::make_unique<WorkerQueue>());

@@ -34,9 +34,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  unsigned size() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
+  unsigned size() const noexcept { return worker_count_; }
 
   /// Runs `fn(i)` for every i in [0, n), chunked across the workers with
   /// dynamic (stealing) rebalance. Blocks until all iterations completed.
@@ -91,6 +89,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  /// Fixed at construction before any worker starts; size() must not read
+  /// workers_.size() — workers call size() (via try_steal) while the
+  /// constructor is still growing the vector.
+  unsigned worker_count_ = 0;
 
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;

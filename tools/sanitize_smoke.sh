@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Builds and runs the concurrency- and fault-tolerance-critical tests under
+# both sanitizer flavors: ASan+UBSan (memory errors, UB) and TSan (data
+# races in the pipeline / thread pool / resilience layer). One build tree
+# per flavor — sanitizers cannot be mixed in one binary.
+#
+# Usage: tools/sanitize_smoke.sh [test-regex]
+#   test-regex defaults to the fault-injection + concurrency suites.
+set -eu
+
+TESTS="${1:-test_resilience|test_thread_pool|test_pipeline|test_analysis_cache}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for flavor in address thread; do
+  dir="build-san-${flavor}"
+  echo "== configure + build (${flavor}) =="
+  cmake -B "${dir}" -S . -DPROXION_SANITIZE="${flavor}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${dir}" -j "${JOBS}" --target \
+    test_resilience test_thread_pool test_pipeline test_analysis_cache
+
+  echo "== ctest under ${flavor} sanitizer =="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
+done
+
+echo "sanitize_smoke: OK (address+undefined, thread)"
