@@ -24,6 +24,7 @@
 #include "crypto/keccak.h"
 #include "datagen/contract_factory.h"
 #include "evm/disassembler.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -299,6 +300,30 @@ void macro_section() {
     results.set("full_sweep_ms", ms);
     results.set("ms_per_contract", per_contract);
     results.set("contracts_per_s", 1000.0 / per_contract);
+    // Telemetry histograms over the same sweep (nanosecond percentiles).
+    row("per-contract latency p50/p90/p99",
+        fmt(stats.contract_latency_ns.p50 / 1e6) + " / " +
+            fmt(stats.contract_latency_ns.p90 / 1e6) + " / " +
+            fmt(stats.contract_latency_ns.p99 / 1e6, " ms"));
+    row("per-rpc latency p50/p99",
+        fmt(stats.rpc_latency_ns.p50 / 1e3) + " / " +
+            fmt(stats.rpc_latency_ns.p99 / 1e3, " us"));
+    row("emulation steps/probe p50/p99",
+        fmt(stats.emulation_steps.p50) + " / " +
+            fmt(stats.emulation_steps.p99));
+    results.set("contract_latency_p50_ns", stats.contract_latency_ns.p50);
+    results.set("contract_latency_p90_ns", stats.contract_latency_ns.p90);
+    results.set("contract_latency_p99_ns", stats.contract_latency_ns.p99);
+    results.set("rpc_latency_p50_ns", stats.rpc_latency_ns.p50);
+    results.set("rpc_latency_p99_ns", stats.rpc_latency_ns.p99);
+    results.set("emulation_steps_p50", stats.emulation_steps.p50);
+    results.set("emulation_steps_p99", stats.emulation_steps.p99);
+    // Process-wide registry snapshot: the absorbed counters (keccak, archive
+    // RPCs, thread-pool activity) in machine-readable form.
+    for (const auto& [name, value] :
+         obs::Registry::global().snapshot().counters) {
+      results.set("registry." + name, static_cast<double>(value));
+    }
     std::uint64_t slot_proxies = 0, calls = 0;
     for (const auto& r : reports) {
       if (r.proxy.is_proxy() &&

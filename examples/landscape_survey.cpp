@@ -1,7 +1,10 @@
 // A miniature of the paper's §7 landscape study: generate a synthetic
 // Ethereum population, sweep it with the full Proxion pipeline, and print
 // the headline findings (proxy share, hidden proxies, standards, collision
-// counts, upgrade behaviour).
+// counts, upgrade behaviour). The sweep also records a span trace —
+// landscape_trace.json, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing — showing the three phases and per-contract
+// sub-analyses.
 #include <cstdio>
 
 #include "core/pipeline.h"
@@ -20,7 +23,9 @@ int main() {
               pop.contracts.size(),
               static_cast<unsigned long long>(pop.chain->height()));
 
-  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources);
+  core::PipelineConfig config;
+  config.telemetry.trace_path = "landscape_trace.json";
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
   const auto reports = pipeline.run(pop.sweep_inputs());
   auto stats = pipeline.summarize(reports);
 
@@ -66,6 +71,23 @@ int main() {
 
   std::printf("\n  archive-node getStorageAt calls: %llu\n",
               static_cast<unsigned long long>(stats.get_storage_at_calls));
+
+  // Wall-clock-derived telemetry goes to stderr: stdout stays
+  // bit-deterministic across runs (analysis results only).
+  std::fprintf(stderr, "\n  latency (telemetry histograms):\n");
+  std::fprintf(stderr, "    per contract: p50=%.2fms p90=%.2fms p99=%.2fms\n",
+               stats.contract_latency_ns.p50 / 1e6,
+               stats.contract_latency_ns.p90 / 1e6,
+               stats.contract_latency_ns.p99 / 1e6);
+  std::fprintf(stderr, "    per rpc:      p50=%.1fus p99=%.1fus (%llu attempts)\n",
+               stats.rpc_latency_ns.p50 / 1e3, stats.rpc_latency_ns.p99 / 1e3,
+               static_cast<unsigned long long>(stats.rpc_latency_ns.count));
+  std::fprintf(stderr, "    steps/probe:  p50=%.0f p99=%.0f\n",
+               stats.emulation_steps.p50, stats.emulation_steps.p99);
+  std::fprintf(stderr, "\n  span trace: landscape_trace.json (%llu spans, %llu "
+               "dropped) — open in https://ui.perfetto.dev\n",
+               static_cast<unsigned long long>(stats.trace_spans_recorded),
+               static_cast<unsigned long long>(stats.trace_spans_dropped));
   std::printf("\nThe same sweep drives every bench/bench_* reproduction "
               "binary at larger scale.\n");
   return 0;

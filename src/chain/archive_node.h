@@ -11,13 +11,13 @@
 // `RpcError`, never as silently-wrong data.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "chain/blockchain.h"
+#include "obs/metrics.h"
 
 namespace proxion::chain {
 
@@ -70,6 +70,22 @@ class IArchiveNode {
   virtual void reset_counters() const = 0;
 };
 
+namespace detail {
+/// Process-wide RPC totals in the metrics registry, aggregated across every
+/// ArchiveNode instance. Cached references so the hot path skips the
+/// registry's name lookup.
+inline obs::Counter& global_storage_calls() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("chain.archive.get_storage_at_calls");
+  return c;
+}
+inline obs::Counter& global_code_calls() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("chain.archive.get_code_calls");
+  return c;
+}
+}  // namespace detail
+
 /// The in-process implementation over the simulated chain. Never fails.
 class ArchiveNode final : public IArchiveNode {
  public:
@@ -78,40 +94,44 @@ class ArchiveNode final : public IArchiveNode {
   /// eth_getStorageAt(account, slot, block). Counted.
   U256 get_storage_at(const Address& account, const U256& slot,
                       std::uint64_t block) const override {
-    get_storage_at_calls_.fetch_add(1, std::memory_order_relaxed);
+    get_storage_at_calls_.add(1);
+    detail::global_storage_calls().add(1);
     return chain_.storage_at(account, slot, block);
   }
 
   /// eth_getCode at the latest block. Counted.
   Bytes get_code(const Address& account) const override {
-    get_code_calls_.fetch_add(1, std::memory_order_relaxed);
+    get_code_calls_.add(1);
+    detail::global_code_calls().add(1);
     return chain_.code_at(account);
   }
 
   std::uint64_t latest_block() const override { return chain_.height(); }
 
-  // Counter-snapshot semantics: the counters are monotonic relaxed atomics
-  // incremented from every pipeline worker. A getter returns a point-in-time
-  // snapshot of that one counter; reading both getters is NOT an atomic pair
-  // (a call landing between the two loads appears in one but not the other).
-  // That is fine for their only use — end-of-phase accounting after the
-  // workers quiesced — and relaxed ordering keeps the hot path to a plain
-  // atomic increment.
+  // Counter-snapshot semantics: the counters are monotonic relaxed
+  // (obs::Counter shards) incremented from every pipeline worker. A getter
+  // returns a point-in-time snapshot of that one counter; reading both
+  // getters is NOT an atomic pair (a call landing between the two loads
+  // appears in one but not the other). That is fine for their only use —
+  // end-of-phase accounting after the workers quiesced — and relaxed
+  // ordering keeps the hot path to a plain atomic increment. The per-node
+  // counts also feed the process-wide `chain.archive.*` registry totals
+  // (which reset_counters leaves alone: registry totals are monotonic).
   std::uint64_t get_storage_at_calls() const override {
-    return get_storage_at_calls_.load(std::memory_order_relaxed);
+    return get_storage_at_calls_.value();
   }
   std::uint64_t get_code_calls() const override {
-    return get_code_calls_.load(std::memory_order_relaxed);
+    return get_code_calls_.value();
   }
   void reset_counters() const override {
-    get_storage_at_calls_.store(0, std::memory_order_relaxed);
-    get_code_calls_.store(0, std::memory_order_relaxed);
+    get_storage_at_calls_.reset();
+    get_code_calls_.reset();
   }
 
  private:
   const Blockchain& chain_;
-  mutable std::atomic<std::uint64_t> get_storage_at_calls_{0};
-  mutable std::atomic<std::uint64_t> get_code_calls_{0};
+  mutable obs::Counter get_storage_at_calls_;
+  mutable obs::Counter get_code_calls_;
 };
 
 }  // namespace proxion::chain

@@ -19,7 +19,7 @@ std::shared_ptr<AnalysisCache::Entry> AnalysisCache::entry_for(
   auto [it, inserted] = s.map.try_emplace(code_hash);
   if (inserted) {
     it->second = std::make_shared<Entry>();
-    entries_.fetch_add(1, std::memory_order_relaxed);
+    entries_.add(1);
   }
   return it->second;
 }
@@ -27,9 +27,9 @@ std::shared_ptr<AnalysisCache::Entry> AnalysisCache::entry_for(
 const std::shared_ptr<const evm::Disassembly>& AnalysisCache::ensure_disassembly(
     Entry& entry, evm::BytesView code) {
   if (entry.dis) {
-    disassembly_hits_.fetch_add(1, std::memory_order_relaxed);
+    disassembly_hits_.add(1);
   } else {
-    disassembly_misses_.fetch_add(1, std::memory_order_relaxed);
+    disassembly_misses_.add(1);
     entry.dis = std::make_shared<const evm::Disassembly>(code);
   }
   return entry.dis;
@@ -47,9 +47,9 @@ std::shared_ptr<const std::vector<std::uint32_t>> AnalysisCache::selectors(
   const std::shared_ptr<Entry> entry = entry_for(code_hash);
   std::lock_guard<std::mutex> lk(entry->mu);
   if (entry->selectors) {
-    selector_hits_.fetch_add(1, std::memory_order_relaxed);
+    selector_hits_.add(1);
   } else {
-    selector_misses_.fetch_add(1, std::memory_order_relaxed);
+    selector_misses_.add(1);
     entry->selectors = std::make_shared<const std::vector<std::uint32_t>>(
         extract_selectors(*ensure_disassembly(*entry, code)));
   }
@@ -61,9 +61,9 @@ std::shared_ptr<const StorageProfile> AnalysisCache::storage_profile(
   const std::shared_ptr<Entry> entry = entry_for(code_hash);
   std::lock_guard<std::mutex> lk(entry->mu);
   if (entry->profile) {
-    profile_hits_.fetch_add(1, std::memory_order_relaxed);
+    profile_hits_.add(1);
   } else {
-    profile_misses_.fetch_add(1, std::memory_order_relaxed);
+    profile_misses_.add(1);
     entry->profile = std::make_shared<const StorageProfile>(
         profile_storage(*ensure_disassembly(*entry, code)));
   }
@@ -72,13 +72,13 @@ std::shared_ptr<const StorageProfile> AnalysisCache::storage_profile(
 
 AnalysisCacheStats AnalysisCache::stats() const {
   AnalysisCacheStats s;
-  s.disassembly_hits = disassembly_hits_.load(std::memory_order_relaxed);
-  s.disassembly_misses = disassembly_misses_.load(std::memory_order_relaxed);
-  s.selector_hits = selector_hits_.load(std::memory_order_relaxed);
-  s.selector_misses = selector_misses_.load(std::memory_order_relaxed);
-  s.profile_hits = profile_hits_.load(std::memory_order_relaxed);
-  s.profile_misses = profile_misses_.load(std::memory_order_relaxed);
-  s.entries = entries_.load(std::memory_order_relaxed);
+  s.disassembly_hits = disassembly_hits_.value();
+  s.disassembly_misses = disassembly_misses_.value();
+  s.selector_hits = selector_hits_.value();
+  s.selector_misses = selector_misses_.value();
+  s.profile_hits = profile_hits_.value();
+  s.profile_misses = profile_misses_.value();
+  s.entries = entries_.value();
   return s;
 }
 

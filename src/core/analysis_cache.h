@@ -15,7 +15,6 @@
 // vs off is part of the contract (tested).
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -26,6 +25,7 @@
 #include "core/storage_profile.h"
 #include "crypto/keccak.h"
 #include "evm/disassembler.h"
+#include "obs/metrics.h"
 
 namespace proxion::core {
 
@@ -101,13 +101,15 @@ class AnalysisCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> disassembly_hits_{0};
-  std::atomic<std::uint64_t> disassembly_misses_{0};
-  std::atomic<std::uint64_t> selector_hits_{0};
-  std::atomic<std::uint64_t> selector_misses_{0};
-  std::atomic<std::uint64_t> profile_hits_{0};
-  std::atomic<std::uint64_t> profile_misses_{0};
-  std::atomic<std::uint64_t> entries_{0};
+  // Hit/miss accounting on the shared telemetry counter primitive (sharded
+  // relaxed atomics); stats() reads are point-in-time snapshots as before.
+  obs::Counter disassembly_hits_;
+  obs::Counter disassembly_misses_;
+  obs::Counter selector_hits_;
+  obs::Counter selector_misses_;
+  obs::Counter profile_hits_;
+  obs::Counter profile_misses_;
+  obs::Counter entries_;
 };
 
 /// Striped "compute at most once per key" map, used for the pipeline's
@@ -145,18 +147,18 @@ class StripedOnceMap {
       slot = &it->second;  // element references survive rehash
       if (!inserted) {
         if (slot->state == State::kComputing) {
-          waits_.fetch_add(1, std::memory_order_relaxed);
+          waits_.add(1);
           s.cv.wait(lk, [&] { return slot->state != State::kComputing; });
         }
         if (slot->state == State::kReady) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          hits_.add(1);
           return slot->value;
         }
         // kFailed: the previous computation threw; take over the marker.
       }
       slot->state = State::kComputing;
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.add(1);
     try {
       Value v = fn();
       std::lock_guard<std::mutex> lk(s.mu);
@@ -174,16 +176,10 @@ class StripedOnceMap {
     }
   }
 
-  std::uint64_t hits() const noexcept {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t misses() const noexcept {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t hits() const noexcept { return hits_.value(); }
+  std::uint64_t misses() const noexcept { return misses_.value(); }
   /// Number of times a caller blocked on another thread's in-flight compute.
-  std::uint64_t waits() const noexcept {
-    return waits_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t waits() const noexcept { return waits_.value(); }
 
   std::size_t size() const {
     std::size_t n = 0;
@@ -207,9 +203,9 @@ class StripedOnceMap {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> waits_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter waits_;
 };
 
 }  // namespace proxion::core

@@ -70,9 +70,33 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
                                    PipelineConfig config)
     : chain_(chain), node_(chain), sources_(sources), config_(config) {
   backend_ = config_.archive_node != nullptr ? config_.archive_node : &node_;
+
+  clock_ = config_.telemetry.clock
+               ? config_.telemetry.clock
+               : obs::TraceClock(&obs::steady_now_ns);
+  if (config_.telemetry.enabled) {
+    h_contract_ = &registry_.histogram("sweep.contract_latency_ns");
+    h_rpc_ = &registry_.histogram("sweep.rpc_latency_ns");
+    h_steps_ = &registry_.histogram("sweep.emulation_steps");
+    if (!config_.telemetry.trace_path.empty() ||
+        !config_.telemetry.events_path.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>(
+          clock_, config_.telemetry.trace_ring_capacity);
+    }
+  }
+
+  // Archive decorator stack, innermost out: backend -> tracing -> resilient.
+  // Tracing sits under the retry layer so every *attempt* (including the
+  // ones a retry absorbs) is a latency sample and a span.
+  const chain::IArchiveNode* wire = backend_;
+  if (h_rpc_ != nullptr || tracer_ != nullptr) {
+    tracing_node_ = std::make_unique<chain::TracingArchiveNode>(
+        *backend_, h_rpc_, tracer_.get(), clock_);
+    wire = tracing_node_.get();
+  }
   if (config_.enable_retries) {
     resilient_ = std::make_unique<chain::ResilientArchiveNode>(
-        *backend_, config_.retry, config_.breaker);
+        *wire, config_.retry, config_.breaker);
   }
   const unsigned shards = config_.cache_shards == 0 ? 1 : config_.cache_shards;
   if (config_.use_analysis_cache) {
@@ -134,6 +158,23 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   // left open by a previous run's outage must not fast-fail a resume pass.
   if (resilient_) resilient_->breaker().reset();
 
+  // Telemetry scope is one run: the histograms behind the LandscapeStats
+  // summaries and the trace rings restart here (the workers are parked
+  // between runs, so this reset happens at quiescence).
+  if (h_contract_ != nullptr) {
+    h_contract_->reset();
+    h_rpc_->reset();
+    h_steps_->reset();
+  }
+  if (tracer_) tracer_->clear();
+  // Per-contract span sampling: histograms always see every sample, only
+  // the trace timeline is thinned.
+  const std::size_t every_n = config_.telemetry.sample_every_n;
+  auto span_tracer = [&](std::size_t i) -> obs::Tracer* {
+    if (!tracer_) return nullptr;
+    return (every_n <= 1 || i % every_n == 0) ? tracer_.get() : nullptr;
+  };
+
   // The pair memo never outlives a run, with or without the analysis cache:
   // a PairOutcome depends on run-local state — the §7.1 donor map is built
   // from *this* run's population, and exploit verification reads the proxy's
@@ -167,15 +208,18 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   };
 
   std::vector<std::shared_ptr<const CodeBlob>> blobs(inputs.size());
-  workers.parallel_for(inputs.size(), [&](std::size_t i) {
-    try {
-      blobs[i] = fetch_blob(inputs[i].address);
-    } catch (const chain::RpcError& e) {
-      out[i].error = record_of(e, "fetch");
-    } catch (const std::exception& e) {
-      out[i].error = ErrorRecord{ErrorKind::kInternal, "fetch", e.what()};
-    }
-  });
+  {
+    obs::Span phase_span(tracer_.get(), "phase:fetch");
+    workers.parallel_for(inputs.size(), [&](std::size_t i) {
+      try {
+        blobs[i] = fetch_blob(inputs[i].address);
+      } catch (const chain::RpcError& e) {
+        out[i].error = record_of(e, "fetch");
+      } catch (const std::exception& e) {
+        out[i].error = ErrorRecord{ErrorKind::kInternal, "fetch", e.what()};
+      }
+    });
+  }
   auto key_of = [&](std::size_t i) -> const std::string& {
     return blobs[i]->key;
   };
@@ -236,27 +280,42 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   // failures here are internal bugs — contained per blob all the same.
   std::vector<ProxyReport> unique_reports(unique_indices.size());
   std::vector<std::optional<ErrorRecord>> unique_errors(unique_indices.size());
-  workers.parallel_for(unique_indices.size(), [&](std::size_t u) {
-    const std::size_t i = unique_indices[u];
-    try {
-      auto analyze = [&] {
-        ProxyDetectorConfig detector_config;
-        detector_config.step_limit = config_.emulation_step_limit;
-        ProxyDetector detector(chain_, detector_config, cache_.get());
-        return detector.analyze_code(inputs[i].address, blobs[i]->code,
-                                     blobs[i]->hash);
-      };
-      unique_reports[u] =
-          verdict_cache_
-              ? verdict_cache_->get_or_compute(
-                    verdict_key(key_of(i), inputs[i].address), analyze)
-              : analyze();
-    } catch (const chain::RpcError& e) {
-      unique_errors[u] = record_of(e, "proxy");
-    } catch (const std::exception& e) {
-      unique_errors[u] = ErrorRecord{ErrorKind::kInternal, "proxy", e.what()};
-    }
-  });
+  {
+    obs::Span phase_span(tracer_.get(), "phase:proxy");
+    workers.parallel_for(unique_indices.size(), [&](std::size_t u) {
+      const std::size_t i = unique_indices[u];
+      obs::Span contract_span(span_tracer(i), "contract");
+      contract_span.arg("index", static_cast<std::int64_t>(i));
+      try {
+        auto analyze = [&] {
+          // Spanned inside the verdict memo: a cross-run cache hit reuses
+          // the verdict without emulating, so it rightly shows no
+          // proxy-detect span.
+          obs::Span detect_span(span_tracer(i), "proxy-detect");
+          ProxyDetectorConfig detector_config;
+          detector_config.step_limit = config_.emulation_step_limit;
+          ProxyDetector detector(chain_, detector_config, cache_.get());
+          return detector.analyze_code(inputs[i].address, blobs[i]->code,
+                                       blobs[i]->hash);
+        };
+        unique_reports[u] =
+            verdict_cache_
+                ? verdict_cache_->get_or_compute(
+                      verdict_key(key_of(i), inputs[i].address), analyze)
+                : analyze();
+        if (h_steps_ != nullptr &&
+            unique_reports[u].has_delegatecall_opcode) {
+          // Deterministic per (address, code), so cached verdicts replay
+          // the same sample the original emulation produced.
+          h_steps_->record(unique_reports[u].emulation_steps);
+        }
+      } catch (const chain::RpcError& e) {
+        unique_errors[u] = record_of(e, "proxy");
+      } catch (const std::exception& e) {
+        unique_errors[u] = ErrorRecord{ErrorKind::kInternal, "proxy", e.what()};
+      }
+    });
+  }
   std::unordered_map<std::string, const ProxyReport*> verdicts;
   std::unordered_map<std::string, ErrorRecord> failed_keys;
   verdicts.reserve(unique_indices.size());
@@ -277,102 +336,128 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   // proxies delegate to it (the seed re-hashed per pair). Every contract is
   // its own failure domain: an RPC giving up mid-history or a watchdog
   // expiry quarantines this contract and the sweep moves on.
-  workers.parallel_for(inputs.size(), [&](std::size_t i) {
-    ContractAnalysis& a = out[i];
-    if (reuse_prior(i)) {
-      a = (*prior)[i];
-      return;
-    }
-    a.address = inputs[i].address;
-    a.year = inputs[i].year;
-    a.has_source = inputs[i].has_source;
-    a.has_tx = inputs[i].has_tx;
-    if (a.error) return;  // fetch or Phase A already quarantined it
-
-    const auto vit = verdicts.find(key_of(i));
-    if (vit == verdicts.end()) {
-      // Our representative's Phase A failed; inherit its quarantine record.
-      a.error = failed_keys.at(key_of(i));
-      return;
-    }
-    a.proxy = *vit->second;
-    a.deduplicated =
-        config_.dedup_by_code_hash &&
-        representative.at(key_of(i)) != i;
-
-    util::Watchdog watchdog(config_.contract_wall_budget_ms);
-    try {
-      if (!a.proxy.is_proxy()) {
-        if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
-            a.proxy.verdict == ProxyVerdict::kNotProxy) {
-          DiamondProber prober(chain_, {}, cache_.get());
-          a.diamond = prober.probe(a.address, a.proxy);
-        }
+  {
+    obs::Span phase_span(tracer_.get(), "phase:pairs");
+    workers.parallel_for(inputs.size(), [&](std::size_t i) {
+      ContractAnalysis& a = out[i];
+      if (reuse_prior(i)) {
+        a = (*prior)[i];
         return;
       }
+      // Per-contract latency stopwatch + trace span around the whole pair
+      // phase for this contract; the body runs as an immediately-invoked
+      // lambda so its early returns still land on the record below.
+      const std::uint64_t t0 = h_contract_ != nullptr ? clock_() : 0;
+      {
+        obs::Span contract_span(span_tracer(i), "contract");
+        contract_span.arg("index", static_cast<std::int64_t>(i));
+        [&] {
+          a.address = inputs[i].address;
+          a.year = inputs[i].year;
+          a.has_source = inputs[i].has_source;
+          a.has_tx = inputs[i].has_tx;
+          if (a.error) return;  // fetch or Phase A already quarantined it
 
-      // A deduplicated slot-proxy verdict carries the representative's logic
-      // address; re-read this contract's slot for its own logic target.
-      if (a.deduplicated &&
-          a.proxy.logic_source == LogicSource::kStorageSlot) {
-        const U256 word = chain_.get_storage(a.address, a.proxy.logic_slot) &
-                          ((U256{1} << U256{160}) - U256{1});
-        a.proxy.logic_address = Address::from_word(word);
+          const auto vit = verdicts.find(key_of(i));
+          if (vit == verdicts.end()) {
+            // Our representative's Phase A failed; inherit its quarantine
+            // record.
+            a.error = failed_keys.at(key_of(i));
+            return;
+          }
+          a.proxy = *vit->second;
+          a.deduplicated =
+              config_.dedup_by_code_hash &&
+              representative.at(key_of(i)) != i;
+
+          util::Watchdog watchdog(config_.contract_wall_budget_ms);
+          try {
+            if (!a.proxy.is_proxy()) {
+              if (config_.probe_diamonds && a.proxy.has_delegatecall_opcode &&
+                  a.proxy.verdict == ProxyVerdict::kNotProxy) {
+                DiamondProber prober(chain_, {}, cache_.get());
+                a.diamond = prober.probe(a.address, a.proxy);
+              }
+              return;
+            }
+
+            // A deduplicated slot-proxy verdict carries the representative's
+            // logic address; re-read this contract's slot for its own logic
+            // target.
+            if (a.deduplicated &&
+                a.proxy.logic_source == LogicSource::kStorageSlot) {
+              const U256 word =
+                  chain_.get_storage(a.address, a.proxy.logic_slot) &
+                  ((U256{1} << U256{160}) - U256{1});
+              a.proxy.logic_address = Address::from_word(word);
+            }
+
+            watchdog.check("logic-history");
+            if (config_.find_logic_history) {
+              obs::Span logic_span(span_tracer(i), "logic-search");
+              LogicFinder finder(rpc());
+              a.logic_history = finder.find(a.address, a.proxy);
+            } else if (!a.proxy.logic_address.is_zero()) {
+              a.logic_history.logic_addresses.push_back(a.proxy.logic_address);
+            }
+
+            if (!config_.detect_collisions) return;
+            for (const Address& logic : a.logic_history.logic_addresses) {
+              watchdog.check("pair-collisions");
+              const std::shared_ptr<const CodeBlob> blob = fetch_blob(logic);
+              if (blob->code.empty()) continue;
+              a.logic_has_source =
+                  a.logic_has_source ||
+                  (sources_ != nullptr && sources_->has_source(logic));
+
+              const PairOutcome outcome = pair_cache_->get_or_compute(
+                  key_of(i) + blob->key, [&] {
+                    // Spanned inside the pair memo: a hit reuses the outcome
+                    // without running the detectors, so it shows no
+                    // collision-check span.
+                    obs::Span pair_span(span_tracer(i), "collision-check");
+                    PairOutcome o;
+                    FunctionCollisionDetector fn_detector(sources_,
+                                                          cache_.get());
+                    // Source-mode lookups go through same-bytecode donors
+                    // (§7.1): a clone of a verified contract is analyzed as
+                    // if verified itself.
+                    const Address proxy_lookup =
+                        with_source_donor(key_of(i), a.address);
+                    const Address logic_lookup =
+                        with_source_donor(blob->key, logic);
+                    o.function_collision =
+                        fn_detector
+                            .detect(proxy_lookup, blobs[i]->code,
+                                    &blobs[i]->hash, logic_lookup, blob->code,
+                                    &blob->hash)
+                            .has_collision();
+                    StorageCollisionDetector st_detector(chain_, {},
+                                                         cache_.get());
+                    const StorageCollisionResult st = st_detector.detect(
+                        a.address, blobs[i]->code, &blobs[i]->hash, logic,
+                        blob->code, &blob->hash);
+                    o.storage_collision = st.has_collision();
+                    o.storage_exploitable = st.has_verified_exploit();
+                    return o;
+                  });
+              a.function_collision |= outcome.function_collision;
+              a.storage_collision |= outcome.storage_collision;
+              a.storage_collision_exploitable |= outcome.storage_exploitable;
+            }
+          } catch (const chain::RpcError& e) {
+            a.error = record_of(e, "pairs");
+          } catch (const util::WatchdogExpired& e) {
+            a.error = ErrorRecord{ErrorKind::kEmulationLimit, "pairs",
+                                  e.what()};
+          } catch (const std::exception& e) {
+            a.error = ErrorRecord{ErrorKind::kInternal, "pairs", e.what()};
+          }
+        }();
       }
-
-      watchdog.check("logic-history");
-      if (config_.find_logic_history) {
-        LogicFinder finder(rpc());
-        a.logic_history = finder.find(a.address, a.proxy);
-      } else if (!a.proxy.logic_address.is_zero()) {
-        a.logic_history.logic_addresses.push_back(a.proxy.logic_address);
-      }
-
-      if (!config_.detect_collisions) return;
-      for (const Address& logic : a.logic_history.logic_addresses) {
-        watchdog.check("pair-collisions");
-        const std::shared_ptr<const CodeBlob> blob = fetch_blob(logic);
-        if (blob->code.empty()) continue;
-        a.logic_has_source =
-            a.logic_has_source ||
-            (sources_ != nullptr && sources_->has_source(logic));
-
-        const PairOutcome outcome = pair_cache_->get_or_compute(
-            key_of(i) + blob->key, [&] {
-              PairOutcome o;
-              FunctionCollisionDetector fn_detector(sources_, cache_.get());
-              // Source-mode lookups go through same-bytecode donors (§7.1):
-              // a clone of a verified contract is analyzed as if verified
-              // itself.
-              const Address proxy_lookup =
-                  with_source_donor(key_of(i), a.address);
-              const Address logic_lookup =
-                  with_source_donor(blob->key, logic);
-              o.function_collision =
-                  fn_detector
-                      .detect(proxy_lookup, blobs[i]->code, &blobs[i]->hash,
-                              logic_lookup, blob->code, &blob->hash)
-                      .has_collision();
-              StorageCollisionDetector st_detector(chain_, {}, cache_.get());
-              const StorageCollisionResult st = st_detector.detect(
-                  a.address, blobs[i]->code, &blobs[i]->hash, logic,
-                  blob->code, &blob->hash);
-              o.storage_collision = st.has_collision();
-              o.storage_exploitable = st.has_verified_exploit();
-              return o;
-            });
-        a.function_collision |= outcome.function_collision;
-        a.storage_collision |= outcome.storage_collision;
-        a.storage_collision_exploitable |= outcome.storage_exploitable;
-      }
-    } catch (const chain::RpcError& e) {
-      a.error = record_of(e, "pairs");
-    } catch (const util::WatchdogExpired& e) {
-      a.error = ErrorRecord{ErrorKind::kEmulationLimit, "pairs", e.what()};
-    } catch (const std::exception& e) {
-      a.error = ErrorRecord{ErrorKind::kInternal, "pairs", e.what()};
-    }
-  });
+      if (h_contract_ != nullptr) h_contract_->record(clock_() - t0);
+    });
+  }
 
   const auto t_end = std::chrono::steady_clock::now();
   last_run_ms_ = ms_between(t_start, t_end);
@@ -382,6 +467,39 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   last_pair_hits_ = pair_cache_->hits();
   last_pair_misses_ = pair_cache_->misses();
   last_pair_waits_ = pair_cache_->waits();
+
+  if (config_.telemetry.enabled) {
+    // Gauge snapshots of the run-scoped cache totals and the (monotonic)
+    // resilience counters: set(), not add(), so repeat runs don't
+    // double-count in the registry snapshot.
+    registry_.gauge("sweep.pair_cache.hits")
+        .set(static_cast<std::int64_t>(last_pair_hits_));
+    registry_.gauge("sweep.pair_cache.misses")
+        .set(static_cast<std::int64_t>(last_pair_misses_));
+    registry_.gauge("sweep.pair_cache.waits")
+        .set(static_cast<std::int64_t>(last_pair_waits_));
+    if (resilient_) {
+      registry_.gauge("sweep.rpc.retries")
+          .set(static_cast<std::int64_t>(resilient_->retries()));
+      registry_.gauge("sweep.rpc.faults")
+          .set(static_cast<std::int64_t>(resilient_->faults_seen()));
+      registry_.gauge("sweep.rpc.giveups")
+          .set(static_cast<std::int64_t>(resilient_->giveups()));
+      registry_.gauge("sweep.rpc.breaker_trips")
+          .set(static_cast<std::int64_t>(resilient_->breaker().trips()));
+    }
+  }
+  // Trace files are written after t_end so export cost never pollutes the
+  // phase timings; the parallel_for joins above provide the quiescence the
+  // tracer's bulk read requires.
+  if (tracer_) {
+    if (!config_.telemetry.trace_path.empty()) {
+      tracer_->write_chrome_trace(config_.telemetry.trace_path);
+    }
+    if (!config_.telemetry.events_path.empty()) {
+      tracer_->write_ndjson(config_.telemetry.events_path);
+    }
+  }
   return out;
 }
 
@@ -448,6 +566,15 @@ LandscapeStats AnalysisPipeline::summarize(
   stats.pair_cache_hits = last_pair_hits_;
   stats.pair_cache_misses = last_pair_misses_;
   stats.pair_cache_waits = last_pair_waits_;
+  if (h_contract_ != nullptr) {
+    stats.contract_latency_ns = h_contract_->summary();
+    stats.rpc_latency_ns = h_rpc_->summary();
+    stats.emulation_steps = h_steps_->summary();
+  }
+  if (tracer_) {
+    stats.trace_spans_recorded = tracer_->recorded();
+    stats.trace_spans_dropped = tracer_->dropped();
+  }
   return stats;
 }
 

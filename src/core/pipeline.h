@@ -24,12 +24,15 @@
 #include "chain/archive_node.h"
 #include "chain/blockchain.h"
 #include "chain/resilient_node.h"
+#include "chain/tracing_node.h"
 #include "core/analysis_cache.h"
 #include "core/diamond_probe.h"
 #include "core/function_collision.h"
 #include "core/logic_finder.h"
 #include "core/proxy_detector.h"
 #include "core/storage_collision.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sourcemeta/source.h"
 #include "util/resilience.h"
 #include "util/thread_pool.h"
@@ -97,6 +100,33 @@ struct ContractAnalysis {
                          const ContractAnalysis&) = default;
 };
 
+/// Telemetry knobs for one pipeline. Latency histograms are on by default —
+/// their hot-path cost is a few relaxed atomic ops per contract/RPC and the
+/// default landscape report prints the percentile section from them. Span
+/// tracing only activates when an export path is set: rings cost memory per
+/// recording thread, and a trace nobody writes out observes nothing.
+struct TelemetryConfig {
+  /// Master switch. Off, every instrumentation point in the pipeline reduces
+  /// to a null-pointer branch (measured by bench_telemetry_overhead); the
+  /// landscape latency section is omitted.
+  bool enabled = true;
+  /// Chrome trace_event JSON output (Perfetto / chrome://tracing loadable).
+  /// Non-empty = record spans during run() and write the file at run exit.
+  std::string trace_path;
+  /// NDJSON span log (one JSON object per line), same gating as trace_path.
+  std::string events_path;
+  /// Record per-contract spans only for every n-th sweep index (1 = all).
+  /// Histograms are never sampled — percentiles stay exact over the
+  /// population; sampling only thins the trace timeline.
+  std::size_t sample_every_n = 1;
+  /// Completed spans retained per recording thread before the ring wraps.
+  std::size_t trace_ring_capacity = 1 << 15;
+  /// Monotonic nanosecond clock for spans and latency stopwatches; empty =
+  /// std::chrono::steady_clock. Tests inject a fake for deterministic
+  /// traces (the PR-2 testable-time convention).
+  obs::TraceClock clock;
+};
+
 struct PipelineConfig {
   unsigned threads = 0;             // pool size; 0 = hardware_concurrency
   bool dedup_by_code_hash = true;   // §6.1's re-analysis avoidance
@@ -142,6 +172,9 @@ struct PipelineConfig {
   /// Interpreter step fuse for proxy-detection emulation (adversarial
   /// bytecode — infinite loops, unbounded recursion — halts here).
   std::uint64_t emulation_step_limit = 200'000;
+
+  // ---- observability ----------------------------------------------------
+  TelemetryConfig telemetry{};
 };
 
 struct LandscapeStats {
@@ -200,6 +233,21 @@ struct LandscapeStats {
   std::uint64_t pair_cache_hits = 0;
   std::uint64_t pair_cache_misses = 0;
   std::uint64_t pair_cache_waits = 0;
+
+  // ---- latency distributions (telemetry; all-zero when disabled) --------
+  /// Phase-B wall time per contract, nanoseconds (count = contracts that
+  /// went through the pair phase this run, excluding resume carry-overs).
+  obs::HistogramSummary contract_latency_ns;
+  /// Per-RPC-attempt latency, nanoseconds — each retry is its own sample,
+  /// matching §6.1's call-level accounting.
+  obs::HistogramSummary rpc_latency_ns;
+  /// Interpreter steps per phase-2 probe emulation (one sample per
+  /// DELEGATECALL-bearing unique blob).
+  obs::HistogramSummary emulation_steps;
+  /// Span tracer accounting for the last run (zero unless an export path
+  /// was configured).
+  std::uint64_t trace_spans_recorded = 0;
+  std::uint64_t trace_spans_dropped = 0;
 };
 
 class AnalysisPipeline {
@@ -251,6 +299,16 @@ class AnalysisPipeline {
     return resilient_.get();
   }
 
+  /// This pipeline's metric registry (per-instance, distinct from
+  /// obs::Registry::global()): the sweep histograms plus end-of-run gauge
+  /// snapshots of the cache/resilience totals. Exposed for benches that dump
+  /// a full snapshot into BENCH_results.json.
+  const obs::Registry& registry() const noexcept { return registry_; }
+
+  /// The span tracer (null unless telemetry.enabled and an export path was
+  /// configured). Exposed for tests asserting on recorded spans directly.
+  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+
  private:
   /// Outcome of one proxy/logic pair's collision checks (memoized by the
   /// concatenated code-hash pair key).
@@ -277,19 +335,38 @@ class AnalysisPipeline {
       const std::vector<ContractAnalysis>* prior);
 
   util::ThreadPool& pool();
-  /// The backend every archive RPC goes through (resilient wrapper when
-  /// retries are on, otherwise the raw backend).
+  /// The backend every archive RPC goes through. Decorator stack, outermost
+  /// first: resilient (retry/breaker) -> tracing (per-attempt latency/spans)
+  /// -> raw backend; each layer is present only when configured.
   const chain::IArchiveNode& rpc() const noexcept {
-    return resilient_ ? static_cast<const chain::IArchiveNode&>(*resilient_)
-                      : *backend_;
+    if (resilient_) return *resilient_;
+    if (tracing_node_) return *tracing_node_;
+    return *backend_;
   }
 
   chain::Blockchain& chain_;
   chain::ArchiveNode node_;
   chain::IArchiveNode* backend_ = nullptr;  // config override or &node_
+  std::unique_ptr<chain::TracingArchiveNode> tracing_node_;
   std::unique_ptr<chain::ResilientArchiveNode> resilient_;
   const sourcemeta::SourceRepository* sources_;
   PipelineConfig config_;
+
+  // ---- telemetry --------------------------------------------------------
+  /// Resolved span/stopwatch clock (config override or steady_clock).
+  obs::TraceClock clock_;
+  /// Per-pipeline registry; the sweep histograms live here so concurrent
+  /// pipelines don't interleave samples (process-wide counters stay in
+  /// obs::Registry::global()).
+  obs::Registry registry_;
+  /// Borrowed from registry_ at construction; null when telemetry is
+  /// disabled — every record site branches on that (the disabled-overhead
+  /// contract).
+  obs::Histogram* h_contract_ = nullptr;
+  obs::Histogram* h_rpc_ = nullptr;
+  obs::Histogram* h_steps_ = nullptr;
+  /// Non-null only when an export path is configured.
+  std::unique_ptr<obs::Tracer> tracer_;
 
   std::unique_ptr<AnalysisCache> cache_;  // null when disabled
   std::unique_ptr<util::ThreadPool> pool_;  // created lazily on first run

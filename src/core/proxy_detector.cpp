@@ -199,6 +199,7 @@ ProxyReport ProxyDetector::analyze_disassembled(const Address& contract,
 
   const evm::ExecResult result = interp.execute(params);
   report.halt = result.halt;
+  report.emulation_steps = interp.steps_executed();
   report.delegatecall_executed = observer.saw_delegatecall();
   report.calldata_forwarded = observer.forwarding_target().has_value();
 

@@ -67,6 +67,11 @@ struct ProxyReport {
   ProxyStandard standard = ProxyStandard::kNotProxy;
 
   std::uint32_t probe_selector = 0;  // the crafted selector used
+  /// Interpreter steps the phase-2 probe emulation consumed (0 when the
+  /// phase-1 prefilter skipped emulation). Deterministic per (address,
+  /// code), so cached verdicts replay the same number — it feeds the
+  /// pipeline's emulation-cost histogram.
+  std::uint64_t emulation_steps = 0;
 
   bool is_proxy() const noexcept { return verdict == ProxyVerdict::kProxy; }
 

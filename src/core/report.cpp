@@ -11,6 +11,30 @@ double pct(std::uint64_t num, std::uint64_t den) {
                               static_cast<double>(den);
 }
 
+/// Nanoseconds with an adaptive unit (ns/us/ms/s), one decimal.
+std::string fmt_ns(double ns) {
+  std::ostringstream o;
+  o.setf(std::ios::fixed);
+  o.precision(1);
+  if (ns >= 1e9) {
+    o << ns / 1e9 << "s";
+  } else if (ns >= 1e6) {
+    o << ns / 1e6 << "ms";
+  } else if (ns >= 1e3) {
+    o << ns / 1e3 << "us";
+  } else {
+    o << ns << "ns";
+  }
+  return o.str();
+}
+
+void latency_line(std::ostringstream& out, const char* label,
+                  const obs::HistogramSummary& s) {
+  out << "  " << label << " p50=" << fmt_ns(s.p50) << " p90=" << fmt_ns(s.p90)
+      << " p99=" << fmt_ns(s.p99) << " max=" << fmt_ns(static_cast<double>(s.max))
+      << " (" << s.count << " samples)\n";
+}
+
 }  // namespace
 
 std::string render_landscape_text(const LandscapeStats& stats) {
@@ -48,6 +72,22 @@ std::string render_landscape_text(const LandscapeStats& stats) {
   out << "storage collisions:  " << stats.storage_collisions << " ("
       << stats.exploitable_storage_collisions << " with verified exploit)\n";
   out << "upgrade events:      " << stats.total_upgrade_events << "\n";
+  if (stats.contract_latency_ns.count > 0 || stats.rpc_latency_ns.count > 0) {
+    out << "latency (telemetry):\n";
+    if (stats.contract_latency_ns.count > 0) {
+      latency_line(out, "per contract:", stats.contract_latency_ns);
+    }
+    if (stats.rpc_latency_ns.count > 0) {
+      latency_line(out, "per rpc:     ", stats.rpc_latency_ns);
+    }
+    if (stats.emulation_steps.count > 0) {
+      const auto& e = stats.emulation_steps;
+      out << "  steps/probe:  p50=" << static_cast<std::uint64_t>(e.p50)
+          << " p90=" << static_cast<std::uint64_t>(e.p90)
+          << " p99=" << static_cast<std::uint64_t>(e.p99) << " max=" << e.max
+          << " (" << e.count << " probes)\n";
+    }
+  }
   out << "standards:";
   for (const auto& [standard, count] : stats.by_standard) {
     out << "  " << to_string(standard) << "=" << count;

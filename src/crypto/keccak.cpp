@@ -1,8 +1,9 @@
 #include "crypto/keccak.h"
 
-#include <atomic>
 #include <cstring>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace proxion::crypto {
 namespace {
@@ -91,15 +92,22 @@ void Keccak256::update(std::string_view text) noexcept {
 }
 
 namespace {
-std::atomic<std::uint64_t> g_keccak_invocations{0};
+// The invocation count lives in the process-wide metrics registry; this
+// accessor caches the counter reference so the hot path never takes the
+// registry's name-lookup mutex.
+obs::Counter& invocation_counter() noexcept {
+  static obs::Counter& c =
+      obs::Registry::global().counter("crypto.keccak.invocations");
+  return c;
+}
 }  // namespace
 
 std::uint64_t keccak_invocations() noexcept {
-  return g_keccak_invocations.load(std::memory_order_relaxed);
+  return invocation_counter().value();
 }
 
 Hash256 Keccak256::finalize() noexcept {
-  g_keccak_invocations.fetch_add(1, std::memory_order_relaxed);
+  invocation_counter().add(1);
   // Keccak padding: 0x01 ... 0x80 (multi-rate padding, first bit 1).
   std::memset(buffer_.data() + buffered_, 0, buffer_.size() - buffered_);
   buffer_[buffered_] = 0x01;

@@ -1,0 +1,217 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace proxion::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// Thread-local pointer to this thread's ring in the tracer it last recorded
+/// to. Keyed by a process-unique tracer id, never a pointer: a new tracer
+/// allocated at a dead tracer's address must not inherit its rings.
+struct TlsRingCache {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlsRingCache t_ring_cache;
+
+}  // namespace
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer(TraceClock clock, std::size_t ring_capacity)
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      clock_(clock ? std::move(clock) : TraceClock(&steady_now_ns)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  if (t_ring_cache.tracer_id == id_) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(rings_.size());
+  ring->buf.reserve(std::min<std::size_t>(capacity_, 1024));
+  rings_.push_back(std::move(ring));
+  t_ring_cache.tracer_id = id_;
+  t_ring_cache.ring = rings_.back().get();
+  return *rings_.back();
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const char* arg_name,
+                    std::int64_t arg) {
+  Ring& ring = ring_for_this_thread();
+  SpanRecord rec;
+  rec.name = name;
+  rec.arg_name = arg_name;
+  rec.arg = arg;
+  rec.start_ns = start_ns;
+  rec.dur_ns = dur_ns;
+  rec.tid = ring.tid;
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(rec);
+  } else {
+    ring.buf[ring.written % capacity_] = rec;  // overwrite the oldest
+  }
+  ++ring.written;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& ring : rings_) {
+      out.insert(out.end(), ring->buf.begin(), ring->buf.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->written;
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    if (ring->written > ring->buf.size()) {
+      total += ring->written - ring->buf.size();
+    }
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ring : rings_) {
+    ring->buf.clear();
+    ring->written = 0;
+  }
+}
+
+namespace {
+
+/// Span names are compile-time literals from our own call sites, but keep
+/// the export robust if one ever carries a quote or backslash.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+/// Nanoseconds as fixed-point microseconds (Chrome traces use us).
+void append_us(std::string& out, std::uint64_t ns) {
+  append_u64(out, ns / 1000);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, ".%03u", static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> all = spans();
+  std::string out;
+  out.reserve(64 + all.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanRecord& s : all) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"cat\":\"proxion\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, s.tid);
+    out += ",\"ts\":";
+    append_us(out, s.start_ns);
+    out += ",\"dur\":";
+    append_us(out, s.dur_ns);
+    if (s.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      append_escaped(out, s.arg_name);
+      out += "\":";
+      append_i64(out, s.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::ndjson() const {
+  const std::vector<SpanRecord> all = spans();
+  std::string out;
+  out.reserve(all.size() * 96);
+  for (const SpanRecord& s : all) {
+    out += "{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"tid\":";
+    append_u64(out, s.tid);
+    out += ",\"ts_ns\":";
+    append_u64(out, s.start_ns);
+    out += ",\"dur_ns\":";
+    append_u64(out, s.dur_ns);
+    if (s.arg_name != nullptr) {
+      out += ",\"";
+      append_escaped(out, s.arg_name);
+      out += "\":";
+      append_i64(out, s.arg);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << chrome_trace_json();
+  return static_cast<bool>(file);
+}
+
+bool Tracer::write_ndjson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << ndjson();
+  return static_cast<bool>(file);
+}
+
+}  // namespace proxion::obs

@@ -1,0 +1,124 @@
+// Low-overhead execution tracing for the sweep pipeline: completed spans are
+// appended to per-thread ring buffers (single-writer, no locking on the hot
+// path after a thread's first span) and exported after the run as Chrome
+// `trace_event` JSON — loadable in Perfetto / chrome://tracing — plus a
+// line-delimited NDJSON event log for ad-hoc tooling.
+//
+// Time comes from an injectable monotonic-nanosecond clock (the same
+// testable-time convention as util::CircuitBreaker's microsecond clock), so
+// tests drive a fake clock and get byte-identical trace files.
+//
+// Quiescence contract: record() may run concurrently from any number of
+// threads, but spans()/export/clear() must only run while no thread is
+// recording (the pipeline exports after its parallel_for rounds joined,
+// which establishes the needed happens-before).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace proxion::obs {
+
+/// Monotonic nanosecond clock; empty std::function = steady_clock.
+using TraceClock = std::function<std::uint64_t()>;
+
+/// steady_clock now, in nanoseconds since an arbitrary epoch.
+std::uint64_t steady_now_ns() noexcept;
+
+/// One completed span. `name` and `arg_name` must be string literals (or
+/// otherwise outlive the tracer) — nothing is copied on the hot path.
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr = no argument
+  std::int64_t arg = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // ring index, stable per recording thread
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` bounds the completed spans kept per recording thread;
+  /// older spans are overwritten (the export keeps the most recent window
+  /// and reports how many were dropped).
+  explicit Tracer(TraceClock clock = {}, std::size_t ring_capacity = 1 << 15);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::uint64_t now() const { return clock_(); }
+
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              const char* arg_name = nullptr, std::int64_t arg = 0);
+
+  /// All retained spans, sorted by (start, longest-first, tid) so parents
+  /// precede their children at equal timestamps. Quiescence required.
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t recorded() const;  // total record() calls (incl. dropped)
+  std::uint64_t dropped() const;   // spans overwritten by ring wrap
+  /// Empties every ring (the rings themselves stay registered to their
+  /// threads). Quiescence required.
+  void clear();
+
+  /// Chrome trace_event JSON (object format, complete "X" events, ts/dur in
+  /// microseconds). Loadable in Perfetto and chrome://tracing.
+  std::string chrome_trace_json() const;
+  /// One JSON object per line per span.
+  std::string ndjson() const;
+  bool write_chrome_trace(const std::string& path) const;
+  bool write_ndjson(const std::string& path) const;
+
+ private:
+  struct Ring {
+    std::uint32_t tid = 0;
+    std::uint64_t written = 0;   // total spans ever recorded to this ring
+    std::vector<SpanRecord> buf;  // ring storage, capacity-bounded
+  };
+
+  Ring& ring_for_this_thread();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::size_t capacity_;
+  TraceClock clock_;
+  mutable std::mutex mu_;  // guards ring registration and bulk reads
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: times construction -> destruction against the tracer's clock.
+/// A null tracer makes every operation a no-op (one branch), which is the
+/// telemetry-disabled hot path.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name) noexcept
+      : tracer_(tracer), name_(name),
+        start_(tracer ? tracer->now() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach one numeric argument (e.g. the sweep index). `arg_name` must be
+  /// a string literal.
+  void arg(const char* arg_name, std::int64_t value) noexcept {
+    arg_name_ = arg_name;
+    arg_ = value;
+  }
+
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    tracer_->record(name_, start_, tracer_->now() - start_, arg_name_, arg_);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_ = 0;
+  std::uint64_t start_;
+};
+
+}  // namespace proxion::obs

@@ -15,7 +15,12 @@ bool ThreadPool::on_worker_thread() const noexcept {
   return t_worker_pool == this;
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads)
+    : reg_executed_(
+          obs::Registry::global().counter("threadpool.tasks_executed")),
+      reg_steals_(obs::Registry::global().counter("threadpool.steals")),
+      reg_queue_depth_(
+          obs::Registry::global().gauge("threadpool.queue_depth")) {
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 4 : hw;
@@ -52,6 +57,7 @@ void ThreadPool::enqueue(unsigned queue, std::function<void()> task) {
     queues_[queue]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
+  reg_queue_depth_.add(1);
   {
     // Pairs with the predicate re-check in worker_main: without this empty
     // critical section a worker could observe queued_ == 0, get preempted
@@ -68,6 +74,7 @@ bool ThreadPool::try_pop_own(unsigned me, std::function<void()>& task) {
   task = std::move(q.tasks.front());
   q.tasks.pop_front();
   queued_.fetch_sub(1, std::memory_order_relaxed);
+  reg_queue_depth_.add(-1);
   return true;
 }
 
@@ -80,7 +87,9 @@ bool ThreadPool::try_steal(unsigned me, std::function<void()>& task) {
     task = std::move(victim.tasks.back());
     victim.tasks.pop_back();
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    reg_queue_depth_.add(-1);
     steals_.fetch_add(1, std::memory_order_relaxed);
+    reg_steals_.add(1);
     return true;
   }
   return false;
@@ -94,6 +103,7 @@ void ThreadPool::worker_main(unsigned me) {
       task();
       task = nullptr;
       executed_.fetch_add(1, std::memory_order_relaxed);
+      reg_executed_.add(1);
       continue;
     }
     std::unique_lock<std::mutex> lk(wake_mu_);

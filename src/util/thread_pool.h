@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace proxion::util {
 
 class ThreadPool {
@@ -71,6 +73,11 @@ class ThreadPool {
   std::uint64_t tasks_executed() const noexcept {
     return executed_.load(std::memory_order_relaxed);
   }
+  /// Tasks currently enqueued and not yet picked up by a worker — a
+  /// point-in-time snapshot of the backlog this pool is working through.
+  std::size_t queue_depth() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
 
   /// True iff the calling thread is one of *this* pool's workers.
   bool on_worker_thread() const noexcept;
@@ -101,6 +108,12 @@ class ThreadPool {
   std::atomic<unsigned> next_queue_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> executed_{0};
+
+  /// Process-wide registry mirrors, aggregated across every pool in the
+  /// process (the per-pool accessors above stay the per-instance reads).
+  obs::Counter& reg_executed_;
+  obs::Counter& reg_steals_;
+  obs::Gauge& reg_queue_depth_;
 };
 
 }  // namespace proxion::util

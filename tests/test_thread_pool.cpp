@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -170,6 +171,39 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
   });
   EXPECT_EQ(inner.load(), 8u * 16u);
   EXPECT_FALSE(pool.on_worker_thread());  // the guard is per worker thread
+}
+
+TEST(ThreadPoolTest, QueueDepthDrainsToZeroAfterJoin) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  pool.parallel_for(1'000, [](std::size_t) {});
+  // parallel_for blocked until every chunk ran; no backlog can remain.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, RegistryMirrorsTrackInstanceCounters) {
+  namespace obs = proxion::obs;
+  obs::Counter& executed =
+      obs::Registry::global().counter("threadpool.tasks_executed");
+  obs::Counter& steals = obs::Registry::global().counter("threadpool.steals");
+  obs::Gauge& depth = obs::Registry::global().gauge("threadpool.queue_depth");
+  const std::uint64_t executed_before = executed.value();
+  const std::uint64_t steals_before = steals.value();
+
+  ThreadPool pool(4);
+  // Same skew as StealsWorkUnderSkewedTaskSizes: force at least one steal so
+  // both the instance counter and its registry mirror move.
+  pool.parallel_for(16, [](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+
+  // The global registry aggregates across all pools in the process; with no
+  // other pool alive the deltas equal this pool's instance counters.
+  EXPECT_EQ(executed.value() - executed_before, pool.tasks_executed());
+  EXPECT_EQ(steals.value() - steals_before, pool.steal_count());
+  EXPECT_GT(pool.steal_count(), 0u);
+  // Every enqueue was matched by a dequeue once the join returned.
+  EXPECT_EQ(depth.value(), 0);
 }
 
 TEST(ThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {

@@ -8,19 +8,22 @@
 #   test-regex defaults to the fault-injection + concurrency suites.
 set -eu
 
-TESTS="${1:-test_resilience|test_thread_pool|test_pipeline|test_analysis_cache}"
+TESTS="${1:-test_resilience|test_thread_pool|test_pipeline|test_analysis_cache|test_obs_metrics|test_obs_trace}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+# CI runs one flavor per job; default is both.
+FLAVORS="${PROXION_SANITIZE_FLAVORS:-address thread}"
 
-for flavor in address thread; do
+for flavor in ${FLAVORS}; do
   dir="build-san-${flavor}"
   echo "== configure + build (${flavor}) =="
   cmake -B "${dir}" -S . -DPROXION_SANITIZE="${flavor}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "${dir}" -j "${JOBS}" --target \
-    test_resilience test_thread_pool test_pipeline test_analysis_cache
+    test_resilience test_thread_pool test_pipeline test_analysis_cache \
+    test_obs_metrics test_obs_trace
 
   echo "== ctest under ${flavor} sanitizer =="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
 done
 
-echo "sanitize_smoke: OK (address+undefined, thread)"
+echo "sanitize_smoke: OK (${FLAVORS})"
