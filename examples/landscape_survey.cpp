@@ -44,6 +44,13 @@ int main() {
                   static_cast<double>(stats.total_contracts));
   std::printf("  unique proxy codebases:    %llu\n",
               static_cast<unsigned long long>(stats.unique_proxy_codehashes));
+  std::printf("  static tier skips:         %llu absent / %llu dead / %llu "
+              "eip1167 (%llu emulated, %llu mismatches)\n",
+              static_cast<unsigned long long>(stats.static_skipped_absent),
+              static_cast<unsigned long long>(stats.static_skipped_dead),
+              static_cast<unsigned long long>(stats.static_skipped_minimal),
+              static_cast<unsigned long long>(stats.static_emulated),
+              static_cast<unsigned long long>(stats.static_mismatches));
 
   std::printf("\n  standards:\n");
   for (const auto& [standard, count] : stats.by_standard) {

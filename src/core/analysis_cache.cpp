@@ -70,6 +70,21 @@ std::shared_ptr<const StorageProfile> AnalysisCache::storage_profile(
   return entry->profile;
 }
 
+std::shared_ptr<const static_analysis::StaticReport>
+AnalysisCache::static_report(const crypto::Hash256& code_hash,
+                             evm::BytesView code) {
+  const std::shared_ptr<Entry> entry = entry_for(code_hash);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  if (entry->static_report) {
+    static_hits_.add(1);
+  } else {
+    static_misses_.add(1);
+    entry->static_report = std::make_shared<const static_analysis::StaticReport>(
+        static_analysis::analyze(*ensure_disassembly(*entry, code)));
+  }
+  return entry->static_report;
+}
+
 AnalysisCacheStats AnalysisCache::stats() const {
   AnalysisCacheStats s;
   s.disassembly_hits = disassembly_hits_.value();
@@ -78,6 +93,8 @@ AnalysisCacheStats AnalysisCache::stats() const {
   s.selector_misses = selector_misses_.value();
   s.profile_hits = profile_hits_.value();
   s.profile_misses = profile_misses_.value();
+  s.static_hits = static_hits_.value();
+  s.static_misses = static_misses_.value();
   s.entries = entries_.value();
   return s;
 }

@@ -26,6 +26,7 @@
 #include "crypto/keccak.h"
 #include "evm/disassembler.h"
 #include "obs/metrics.h"
+#include "static/provenance.h"
 
 namespace proxion::core {
 
@@ -36,13 +37,16 @@ struct AnalysisCacheStats {
   std::uint64_t selector_misses = 0;
   std::uint64_t profile_hits = 0;
   std::uint64_t profile_misses = 0;
+  std::uint64_t static_hits = 0;
+  std::uint64_t static_misses = 0;
   std::uint64_t entries = 0;  // distinct code hashes ever seen
 
   std::uint64_t hits() const noexcept {
-    return disassembly_hits + selector_hits + profile_hits;
+    return disassembly_hits + selector_hits + profile_hits + static_hits;
   }
   std::uint64_t misses() const noexcept {
-    return disassembly_misses + selector_misses + profile_misses;
+    return disassembly_misses + selector_misses + profile_misses +
+           static_misses;
   }
 };
 
@@ -70,6 +74,12 @@ class AnalysisCache {
   std::shared_ptr<const StorageProfile> storage_profile(
       const crypto::Hash256& code_hash, evm::BytesView code);
 
+  /// The static-tier report (CFG recovery + DELEGATECALL provenance): a pure
+  /// function of the bytecode, so a warm sweep pays zero static-analysis
+  /// cost. Also computed off the cached disassembly.
+  std::shared_ptr<const static_analysis::StaticReport> static_report(
+      const crypto::Hash256& code_hash, evm::BytesView code);
+
   AnalysisCacheStats stats() const;
   unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
@@ -81,6 +91,7 @@ class AnalysisCache {
     std::shared_ptr<const evm::Disassembly> dis;
     std::shared_ptr<const std::vector<std::uint32_t>> selectors;
     std::shared_ptr<const StorageProfile> profile;
+    std::shared_ptr<const static_analysis::StaticReport> static_report;
   };
   struct HashKey {
     std::size_t operator()(const crypto::Hash256& h) const noexcept {
@@ -109,6 +120,8 @@ class AnalysisCache {
   obs::Counter selector_misses_;
   obs::Counter profile_hits_;
   obs::Counter profile_misses_;
+  obs::Counter static_hits_;
+  obs::Counter static_misses_;
   obs::Counter entries_;
 };
 

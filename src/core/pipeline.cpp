@@ -294,6 +294,7 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
           obs::Span detect_span(span_tracer(i), "proxy-detect");
           ProxyDetectorConfig detector_config;
           detector_config.step_limit = config_.emulation_step_limit;
+          detector_config.static_tier = config_.static_tier;
           ProxyDetector detector(chain_, detector_config, cache_.get());
           return detector.analyze_code(inputs[i].address, blobs[i]->code,
                                        blobs[i]->hash);
@@ -319,12 +320,24 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   std::unordered_map<std::string, const ProxyReport*> verdicts;
   std::unordered_map<std::string, ErrorRecord> failed_keys;
   verdicts.reserve(unique_indices.size());
+  last_static_skips_ = 0;
+  last_static_mismatches_ = 0;
   for (std::size_t u = 0; u < unique_indices.size(); ++u) {
     const std::size_t i = unique_indices[u];
     if (unique_errors[u]) {
       out[i].error = *unique_errors[u];
       failed_keys.emplace(key_of(i), *unique_errors[u]);
     } else {
+      switch (unique_reports[u].static_triage) {
+        case StaticTriage::kSkippedNoDelegatecall:
+        case StaticTriage::kSkippedDeadDelegatecall:
+        case StaticTriage::kSkippedMinimalProxy:
+          ++last_static_skips_;
+          break;
+        default:
+          break;
+      }
+      if (unique_reports[u].static_mismatch != 0) ++last_static_mismatches_;
       verdicts.emplace(key_of(i), &unique_reports[u]);
     }
   }
@@ -478,6 +491,10 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
         .set(static_cast<std::int64_t>(last_pair_misses_));
     registry_.gauge("sweep.pair_cache.waits")
         .set(static_cast<std::int64_t>(last_pair_waits_));
+    registry_.gauge("sweep.static.skips")
+        .set(static_cast<std::int64_t>(last_static_skips_));
+    registry_.gauge("sweep.static.mismatches")
+        .set(static_cast<std::int64_t>(last_static_mismatches_));
     if (resilient_) {
       registry_.gauge("sweep.rpc.retries")
           .set(static_cast<std::int64_t>(resilient_->retries()));
@@ -525,6 +542,36 @@ LandscapeStats AnalysisPipeline::summarize(
       }
     }
     if (a.diamond.is_diamond) ++stats.diamonds_recovered;
+    if (!a.deduplicated) {
+      // Static-tier triage per unique blob: clones share their
+      // representative's triage, so counting them again would overstate the
+      // emulation work the tier saved.
+      switch (a.proxy.static_triage) {
+        case StaticTriage::kSkippedNoDelegatecall:
+          ++stats.static_skipped_absent;
+          break;
+        case StaticTriage::kSkippedDeadDelegatecall:
+          ++stats.static_skipped_dead;
+          break;
+        case StaticTriage::kSkippedMinimalProxy:
+          ++stats.static_skipped_minimal;
+          break;
+        case StaticTriage::kEmulated:
+          ++stats.static_emulated;
+          break;
+        case StaticTriage::kNotRun:
+          break;
+      }
+      if (a.proxy.static_mismatch != 0) {
+        ++stats.static_mismatches;
+        for (const std::uint8_t bit :
+             {kMismatchReachability, kMismatchSlot, kMismatchTarget}) {
+          if ((a.proxy.static_mismatch & bit) != 0) {
+            ++stats.static_mismatch_bits[bit];
+          }
+        }
+      }
+    }
     if (!a.proxy.is_proxy()) continue;
     ++stats.proxies;
     if (!a.has_source && !a.has_tx) ++stats.hidden_proxies;

@@ -173,6 +173,16 @@ struct PipelineConfig {
   /// bytecode — infinite loops, unbounded recursion — halts here).
   std::uint64_t emulation_step_limit = 200'000;
 
+  // ---- static triage tier -----------------------------------------------
+  /// CFG recovery + DELEGATECALL provenance before phase-2 emulation:
+  /// statically-dead DELEGATECALL and byte-exact EIP-1167 blobs skip
+  /// emulation (only on a proof of equivalence — verdicts are bit-identical
+  /// either way, tested), and with cross_check every emulated contract's
+  /// verdict is audited against the static claims (mismatches surface in
+  /// LandscapeStats / the text report). Both default on.
+  static_analysis::StaticTierConfig static_tier{.enabled = true,
+                                                .cross_check = true};
+
   // ---- observability ----------------------------------------------------
   TelemetryConfig telemetry{};
 };
@@ -233,6 +243,19 @@ struct LandscapeStats {
   std::uint64_t pair_cache_hits = 0;
   std::uint64_t pair_cache_misses = 0;
   std::uint64_t pair_cache_waits = 0;
+
+  // ---- static triage tier (all-zero when static_tier.enabled is false) --
+  /// Unique blobs triaged per outcome. *_skipped_* blobs paid zero
+  /// emulation steps; static_emulated went through the full probe.
+  std::uint64_t static_skipped_absent = 0;   // no DELEGATECALL opcode
+  std::uint64_t static_skipped_dead = 0;     // provably-dead DELEGATECALL
+  std::uint64_t static_skipped_minimal = 0;  // byte-exact EIP-1167
+  std::uint64_t static_emulated = 0;
+  /// Emulated blobs whose static claims the emulation contradicted
+  /// (cross_check only; an always-zero invariant on sound corpora).
+  std::uint64_t static_mismatches = 0;
+  /// Mismatch taxonomy keyed by the kMismatch* bit value.
+  std::map<std::uint8_t, std::uint64_t> static_mismatch_bits;
 
   // ---- latency distributions (telemetry; all-zero when disabled) --------
   /// Phase-B wall time per contract, nanoseconds (count = contracts that
@@ -393,6 +416,9 @@ class AnalysisPipeline {
   std::uint64_t last_pair_hits_ = 0;
   std::uint64_t last_pair_misses_ = 0;
   std::uint64_t last_pair_waits_ = 0;
+  /// Static-tier totals over the last run's unique blobs (gauge mirrors).
+  std::uint64_t last_static_skips_ = 0;
+  std::uint64_t last_static_mismatches_ = 0;
 };
 
 }  // namespace proxion::core

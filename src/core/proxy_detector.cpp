@@ -27,6 +27,18 @@ std::string_view to_string(ProxyStandard s) noexcept {
   return "?";
 }
 
+std::string_view to_string(StaticTriage t) noexcept {
+  switch (t) {
+    case StaticTriage::kNotRun: return "not-run";
+    case StaticTriage::kEmulated: return "emulated";
+    case StaticTriage::kSkippedNoDelegatecall: return "skip-no-delegatecall";
+    case StaticTriage::kSkippedDeadDelegatecall:
+      return "skip-dead-delegatecall";
+    case StaticTriage::kSkippedMinimalProxy: return "skip-minimal-proxy";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Watches the emulated execution for (a) DELEGATECALLs issued by the tested
@@ -144,7 +156,7 @@ ProxyReport ProxyDetector::analyze_code(const Address& contract,
     return analyze_code(contract, code, evm::code_hash(code));
   }
   const evm::Disassembly dis(code);
-  return analyze_disassembled(contract, code, dis);
+  return analyze_disassembled(contract, code, dis, nullptr);
 }
 
 ProxyReport ProxyDetector::analyze_code(const Address& contract,
@@ -153,20 +165,100 @@ ProxyReport ProxyDetector::analyze_code(const Address& contract,
   if (code.empty()) return ProxyReport{};
   if (cache_ == nullptr) {
     const evm::Disassembly dis(code);
-    return analyze_disassembled(contract, code, dis);
+    return analyze_disassembled(contract, code, dis, &code_hash);
   }
   const auto dis = cache_->disassembly(code_hash, code);
-  return analyze_disassembled(contract, code, *dis);
+  return analyze_disassembled(contract, code, *dis, &code_hash);
 }
 
-ProxyReport ProxyDetector::analyze_disassembled(const Address& contract,
-                                                BytesView code,
-                                                const evm::Disassembly& dis) {
+std::uint8_t ProxyDetector::static_vs_emulation_mismatch(
+    const static_analysis::StaticReport& st, const ProxyReport& emulated) {
+  // One-sided oracle: only a *complete* CFG makes claims strong enough for
+  // emulation to contradict. (The converse direction — statically reachable
+  // but not executed by this probe — is expected: static reachability is
+  // "for SOME input", the probe is one input.)
+  if (!st.cfg.complete) return 0;
+  std::uint8_t bits = 0;
+  if (st.provably_no_delegatecall && emulated.delegatecall_executed) {
+    bits |= kMismatchReachability;
+  }
+  if (emulated.is_proxy()) {
+    const auto sites = st.reachable_sites();
+    if (!sites.empty()) {
+      using static_analysis::TargetClass;
+      const bool all_storage =
+          std::all_of(sites.begin(), sites.end(), [](const auto& s) {
+            return s.target_class == TargetClass::kStorageSlot;
+          });
+      const bool all_hardcoded =
+          std::all_of(sites.begin(), sites.end(), [](const auto& s) {
+            return s.target_class == TargetClass::kHardcoded;
+          });
+      if (emulated.logic_source == LogicSource::kStorageSlot && all_storage &&
+          std::none_of(sites.begin(), sites.end(), [&](const auto& s) {
+            return s.slot == emulated.logic_slot;
+          })) {
+        bits |= kMismatchSlot;
+      }
+      if (all_hardcoded &&
+          std::none_of(sites.begin(), sites.end(), [&](const auto& s) {
+            return s.address == emulated.logic_address;
+          })) {
+        bits |= kMismatchTarget;
+      }
+    }
+  }
+  return bits;
+}
+
+ProxyReport ProxyDetector::analyze_disassembled(
+    const Address& contract, BytesView code, const evm::Disassembly& dis,
+    const crypto::Hash256* code_hash) {
   ProxyReport report;
 
   // ---- Phase 1: opcode prefilter (§4.1) --------------------------------
   report.has_delegatecall_opcode = dis.contains(evm::Opcode::DELEGATECALL);
-  if (!report.has_delegatecall_opcode) return report;
+  if (!report.has_delegatecall_opcode) {
+    if (config_.static_tier.enabled) {
+      report.static_triage = StaticTriage::kSkippedNoDelegatecall;
+    }
+    return report;
+  }
+
+  // ---- Static triage tier (CFG recovery + provenance) -------------------
+  std::shared_ptr<const static_analysis::StaticReport> st_owned;
+  const static_analysis::StaticReport* st = nullptr;
+  if (config_.static_tier.enabled) {
+    if (cache_ != nullptr && code_hash != nullptr) {
+      st_owned = cache_->static_report(*code_hash, code);
+    } else {
+      st_owned = std::make_shared<const static_analysis::StaticReport>(
+          static_analysis::analyze(dis));
+    }
+    st = st_owned.get();
+
+    if (st->minimal_proxy_target.has_value()) {
+      // Byte-exact EIP-1167 runtime: the fallback unconditionally forwards
+      // the full calldata to the embedded address — equivalent to what the
+      // probe emulation would witness, minus the emulation steps.
+      report.static_triage = StaticTriage::kSkippedMinimalProxy;
+      report.verdict = ProxyVerdict::kProxy;
+      report.delegatecall_executed = true;
+      report.calldata_forwarded = true;
+      report.logic_address = *st->minimal_proxy_target;
+      report.logic_source = LogicSource::kHardcoded;
+      report.standard = classify(report, code);
+      return report;
+    }
+    if (st->skip_dead(config_.emulation_gas, config_.step_limit)) {
+      // No DELEGATECALL can execute on any input and the probe provably
+      // halts cleanly within budget: emulation would report exactly the
+      // default (kNotProxy, no delegatecall) — skip it.
+      report.static_triage = StaticTriage::kSkippedDeadDelegatecall;
+      return report;
+    }
+    report.static_triage = StaticTriage::kEmulated;
+  }
 
   // ---- Phase 2: emulation with crafted call data (§4.2) -----------------
   report.probe_selector = craft_probe_selector(contract, dis);
@@ -232,6 +324,10 @@ ProxyReport ProxyDetector::analyze_disassembled(const Address& contract,
   }
 
   report.standard = classify(report, code);
+
+  if (st != nullptr && config_.static_tier.cross_check) {
+    report.static_mismatch = static_vs_emulation_mismatch(*st, report);
+  }
   return report;
 }
 

@@ -21,6 +21,7 @@
 #include "evm/host.h"
 #include "evm/interpreter.h"
 #include "evm/types.h"
+#include "static/provenance.h"
 
 namespace proxion::core {
 
@@ -51,8 +52,27 @@ enum class ProxyStandard : std::uint8_t {
   kOther,     // storage-based but non-standard slot (incl. slot 0)
 };
 
+/// How the static triage tier routed this contract (kNotRun when the tier
+/// is disabled). Skips never change verdicts: they fire only when the static
+/// pass *proved* what emulation would conclude (see DESIGN.md).
+enum class StaticTriage : std::uint8_t {
+  kNotRun,
+  kEmulated,                  // static pass ran, emulation still required
+  kSkippedNoDelegatecall,     // phase-1 absence, recorded by the tier
+  kSkippedDeadDelegatecall,   // every DELEGATECALL provably unreachable
+  kSkippedMinimalProxy,       // byte-exact EIP-1167 runtime
+};
+
 std::string_view to_string(ProxyVerdict v) noexcept;
 std::string_view to_string(ProxyStandard s) noexcept;
+std::string_view to_string(StaticTriage t) noexcept;
+
+// static_mismatch bits: typed disagreement between the static pass and the
+// emulated verdict (only ever set when the recovered CFG was complete — an
+// incomplete CFG makes no claim emulation could contradict).
+inline constexpr std::uint8_t kMismatchReachability = 1u << 0;
+inline constexpr std::uint8_t kMismatchSlot = 1u << 1;
+inline constexpr std::uint8_t kMismatchTarget = 1u << 2;
 
 struct ProxyReport {
   ProxyVerdict verdict = ProxyVerdict::kNotProxy;
@@ -65,6 +85,10 @@ struct ProxyReport {
   LogicSource logic_source = LogicSource::kNone;
   U256 logic_slot;         // meaningful iff logic_source == kStorageSlot
   ProxyStandard standard = ProxyStandard::kNotProxy;
+
+  /// Static-tier routing + cross-check outcome for this contract.
+  StaticTriage static_triage = StaticTriage::kNotRun;
+  std::uint8_t static_mismatch = 0;  // kMismatch* bits
 
   std::uint32_t probe_selector = 0;  // the crafted selector used
   /// Interpreter steps the phase-2 probe emulation consumed (0 when the
@@ -88,6 +112,9 @@ struct ProxyDetectorConfig {
   int max_call_depth = 64;
   /// Calldata appended after the probe selector (function "arguments").
   std::size_t probe_argument_bytes = 32;
+  /// Static triage tier (CFG recovery + DELEGATECALL provenance). Disabled
+  /// by default for standalone detector use; the pipeline turns it on.
+  static_analysis::StaticTierConfig static_tier;
 };
 
 class ProxyDetector {
@@ -116,9 +143,18 @@ class ProxyDetector {
   static std::uint32_t craft_probe_selector(const Address& contract,
                                             const evm::Disassembly& dis);
 
+  /// Typed disagreement between a (complete) static report and an emulated
+  /// proxy report; 0 when the static pass made no contradicted claim.
+  /// Exposed for the cross-check tests.
+  static std::uint8_t static_vs_emulation_mismatch(
+      const static_analysis::StaticReport& st, const ProxyReport& emulated);
+
  private:
+  /// `code_hash` may be null (no cache key precomputed); with a cache and a
+  /// hash the static report is memoized per blob.
   ProxyReport analyze_disassembled(const Address& contract, BytesView code,
-                                   const evm::Disassembly& dis);
+                                   const evm::Disassembly& dis,
+                                   const crypto::Hash256* code_hash);
 
   evm::Host& state_;
   ProxyDetectorConfig config_;

@@ -64,6 +64,29 @@ std::string render_landscape_text(const LandscapeStats& stats) {
         << " breaker trips\n";
   }
   out << "unique proxy codebases: " << stats.unique_proxy_codehashes << "\n";
+  const std::uint64_t static_triaged =
+      stats.static_skipped_absent + stats.static_skipped_dead +
+      stats.static_skipped_minimal + stats.static_emulated;
+  if (static_triaged > 0) {
+    const std::uint64_t skips = static_triaged - stats.static_emulated;
+    out << "static tier:         " << skips << "/" << static_triaged
+        << " blobs skipped emulation (" << pct(skips, static_triaged)
+        << "%): absent=" << stats.static_skipped_absent
+        << " dead=" << stats.static_skipped_dead
+        << " eip1167=" << stats.static_skipped_minimal << "\n";
+    if (stats.static_mismatches > 0) {
+      out << "static mismatches:   " << stats.static_mismatches
+          << " (static vs emulation disagreement —";
+      for (const auto& [bit, count] : stats.static_mismatch_bits) {
+        out << ' '
+            << (bit == kMismatchReachability
+                    ? "reachability"
+                    : bit == kMismatchSlot ? "slot" : "target")
+            << "=" << count;
+      }
+      out << ")\n";
+    }
+  }
   if (stats.diamonds_recovered > 0) {
     out << "diamonds recovered (tx-hint probing): "
         << stats.diamonds_recovered << "\n";

@@ -477,6 +477,67 @@ Bytes ContractFactory::deep_recursion_contract() {
   return a.assemble();
 }
 
+Bytes ContractFactory::push_data_delegatecall_contract() {
+  // Every 0xf4 byte sits inside a PUSH32 immediate, so the linear sweep
+  // (which skips push data) sees no DELEGATECALL instruction anywhere.
+  U256 f4_word{};
+  for (int limb = 0; limb < 4; ++limb) {
+    // 0xf4f4...f4 across the full word.
+    f4_word = (f4_word << U256{64}) | U256{0xf4f4f4f4f4f4f4f4ull};
+  }
+  Assembler a;
+  a.push(f4_word, 32);
+  push_zero(a);
+  a.op(Opcode::MSTORE);
+  a.push(U256{32}, 1);
+  push_zero(a);
+  a.op(Opcode::RETURN);
+  return a.assemble();
+}
+
+Bytes ContractFactory::dead_delegatecall_contract() {
+  // Entry unconditionally jumps over an island holding a complete (and
+  // perfectly well-formed) DELEGATECALL sequence. The island has no
+  // JUMPDEST, so no input can ever reach it — but the linear sweep still
+  // disassembles it, defeating the §4.1 opcode prefilter. Everything
+  // actually reachable is constant, acyclic, and clean-halting: the static
+  // tier's dead-skip proof applies in full.
+  Assembler a;
+  a.push_label("live").op(Opcode::JUMP);
+  // -- dead island (no jumpdest) --
+  push_zero(a);  // retSize
+  push_zero(a);  // retOffset
+  push_zero(a);  // argsSize
+  push_zero(a);  // argsOffset
+  a.push_address(Address::from_label("dead.logic"));
+  a.op(Opcode::GAS).op(Opcode::DELEGATECALL).op(Opcode::POP);
+  a.op(Opcode::STOP);
+  // -- live path --
+  a.jumpdest("live");
+  a.push(U256{0x1234}, 2);
+  push_zero(a);
+  a.op(Opcode::MSTORE);
+  a.push(U256{32}, 1);
+  push_zero(a);
+  a.op(Opcode::RETURN);
+  return a.assemble();
+}
+
+Bytes ContractFactory::computed_jump_contract(const U256& slot) {
+  // target = fallback + (calldataload(0) & 1): lands exactly on the
+  // fallback JUMPDEST for any calldata whose 32nd byte is even — including
+  // the detector's probe — but the operand is calldata-tainted, so the
+  // abstract stack must leave the jump unresolved and the tier must defer
+  // to emulation, which then witnesses a genuine forwarding DELEGATECALL.
+  Assembler a;
+  push_zero(a);
+  a.op(Opcode::CALLDATALOAD);
+  a.push(U256{1}, 1).op(Opcode::AND);
+  a.push_label("fallback").op(Opcode::ADD).op(Opcode::JUMP);
+  emit_delegate_fallback_from_slot(a, slot);
+  return a.assemble();
+}
+
 Bytes ContractFactory::honeypot_proxy(const U256& logic_slot,
                                       std::uint32_t colliding_selector) {
   // Listing 1: the proxy function shadows the logic's lure (same selector)

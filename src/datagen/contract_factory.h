@@ -121,6 +121,24 @@ class ContractFactory {
   /// Self-CALL loop: unbounded recursion into its own code.
   static Bytes deep_recursion_contract();
 
+  /// Adversarial fixtures for the static triage tier ----------------------
+
+  /// Non-proxy whose only 0xf4 bytes live inside PUSH immediates: the linear
+  /// sweep must NOT see a DELEGATECALL instruction (phase-1 absent), so both
+  /// the opcode prefilter and the static tier skip it identically.
+  static Bytes push_data_delegatecall_contract();
+  /// A real DELEGATECALL instruction stranded in a block no path from pc 0
+  /// reaches (island behind an unconditional JUMP, no JUMPDEST). The opcode
+  /// prefilter forces emulation, but the static tier proves the site dead
+  /// and the probe clean-terminating — the strongest legitimate skip.
+  static Bytes dead_delegatecall_contract();
+  /// A genuine forwarding proxy reachable only through a calldata-derived
+  /// computed jump the abstract stack cannot resolve: the static tier MUST
+  /// report an incomplete CFG and fall back to emulation (a wrong skip here
+  /// would flip the verdict from proxy to non-proxy, so the fallback test is
+  /// maximally sensitive). Reads the logic address from `slot`.
+  static Bytes computed_jump_contract(const evm::U256& slot);
+
   /// Paper Listing 1 — the honeypot pair. The proxy's dispatcher carries a
   /// function whose selector equals `colliding_selector` (the logic's lure).
   static Bytes honeypot_proxy(const evm::U256& logic_slot,

@@ -1,0 +1,118 @@
+#include "static/provenance.h"
+
+#include <algorithm>
+#include <array>
+
+#include "obs/metrics.h"
+
+namespace proxion::static_analysis {
+
+namespace {
+
+// EIP-1167 minimal-proxy runtime: prefix + 20-byte logic address + tail,
+// exactly 45 bytes. Matched byte-exactly — near-misses go through emulation.
+constexpr std::array<std::uint8_t, 10> kEip1167Prefix = {
+    0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73};
+constexpr std::array<std::uint8_t, 15> kEip1167Tail = {
+    0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d,
+    0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3};
+constexpr std::size_t kEip1167Size =
+    kEip1167Prefix.size() + 20 + kEip1167Tail.size();
+
+std::optional<evm::Address> match_eip1167(evm::BytesView code) {
+  if (code.size() != kEip1167Size) return std::nullopt;
+  if (!std::equal(kEip1167Prefix.begin(), kEip1167Prefix.end(),
+                  code.begin())) {
+    return std::nullopt;
+  }
+  if (!std::equal(kEip1167Tail.begin(), kEip1167Tail.end(),
+                  code.begin() + kEip1167Prefix.size() + 20)) {
+    return std::nullopt;
+  }
+  evm::Address logic;
+  std::copy_n(code.begin() + kEip1167Prefix.size(), logic.bytes.size(),
+              logic.bytes.begin());
+  return logic;
+}
+
+DelegatecallSite classify(const DelegatecallFact& fact) {
+  DelegatecallSite site;
+  site.pc = fact.pc;
+  site.reachable = fact.reachable;
+  if (!fact.reachable) return site;  // never executed: class stays kUnknown
+  switch (fact.target.kind) {
+    case AbstractValue::Kind::kConst:
+      site.target_class = TargetClass::kHardcoded;
+      site.address = evm::Address::from_word(fact.target.payload);
+      break;
+    case AbstractValue::Kind::kStorage:
+      site.target_class = TargetClass::kStorageSlot;
+      site.slot = fact.target.payload;
+      break;
+    case AbstractValue::Kind::kCalldata:
+      site.target_class = TargetClass::kCalldata;
+      break;
+    case AbstractValue::Kind::kUnknown:
+      site.target_class = TargetClass::kUnknown;
+      break;
+  }
+  return site;
+}
+
+}  // namespace
+
+std::string_view to_string(TargetClass c) noexcept {
+  switch (c) {
+    case TargetClass::kHardcoded: return "hardcoded";
+    case TargetClass::kStorageSlot: return "storage-slot";
+    case TargetClass::kCalldata: return "calldata";
+    case TargetClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::vector<DelegatecallSite> StaticReport::reachable_sites() const {
+  std::vector<DelegatecallSite> out;
+  for (const DelegatecallSite& s : sites) {
+    if (s.reachable) out.push_back(s);
+  }
+  return out;
+}
+
+StaticReport analyze(const evm::Disassembly& dis, const CfgOptions& options) {
+  StaticReport report;
+  report.cfg = recover_cfg(dis, options);
+  const Cfg& cfg = report.cfg;
+
+  report.sites.reserve(cfg.delegatecalls.size());
+  for (const DelegatecallFact& fact : cfg.delegatecalls) {
+    report.sites.push_back(classify(fact));
+    report.any_reachable_delegatecall |= fact.reachable;
+  }
+  report.has_delegatecall = !report.sites.empty();
+  report.provably_no_delegatecall =
+      cfg.complete && !report.any_reachable_delegatecall;
+
+  bool any_reachable_fault = false;
+  for (const CfgBlock& b : cfg.blocks) {
+    any_reachable_fault |= b.reachable && b.may_fault;
+  }
+  report.provably_clean_termination =
+      cfg.complete && !cfg.has_reachable_cycle && !any_reachable_fault &&
+      !cfg.external_call_reachable && !cfg.unsafe_terminator_reachable &&
+      cfg.memory_bounded;
+
+  report.minimal_proxy_target = match_eip1167(dis.code());
+
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& blocks_recovered =
+      reg.counter("static.cfg.blocks_recovered");
+  static obs::Counter& unresolved_jumps =
+      reg.counter("static.cfg.unresolved_jumps");
+  blocks_recovered.add(cfg.blocks.size());
+  unresolved_jumps.add(cfg.unresolved_jump_count());
+
+  return report;
+}
+
+}  // namespace proxion::static_analysis
