@@ -5,30 +5,76 @@
 // landscape_trace.json, loadable in Perfetto (https://ui.perfetto.dev) or
 // chrome://tracing — showing the three phases and per-contract
 // sub-analyses.
+//
+// Durable-sweep operations (see README "Operating a durable sweep"):
+//   --checkpoint <path>   stream the sweep through the checkpoint journal
+//   --shard-size <n>      contracts per shard (default 1024)
+//   --max-shards <n>      stop after n shards (simulates a kill; resume later)
+//   --resume              continue a checkpointed sweep from its journal
+//   --incremental         re-sweep only contracts whose fingerprint changed
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.h"
 #include "datagen/population.h"
+#include "store/durable_sweep.h"
 
 using namespace proxion;
 
-int main() {
-  datagen::PopulationSpec spec;
-  spec.total_contracts = 4'000;  // keep the example snappy
-  std::printf("generating a synthetic Ethereum population (~%u contracts, "
-              "2015-2023)...\n",
-              spec.total_contracts);
-  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
-  std::printf("  deployed %zu contracts across %llu blocks\n\n",
-              pop.contracts.size(),
-              static_cast<unsigned long long>(pop.chain->height()));
+namespace {
 
-  core::PipelineConfig config;
-  config.telemetry.trace_path = "landscape_trace.json";
-  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
-  const auto reports = pipeline.run(pop.sweep_inputs());
-  auto stats = pipeline.summarize(reports);
+struct Options {
+  std::string checkpoint;  // empty = classic monolithic run
+  std::size_t shard_size = 1024;
+  std::size_t max_shards = 0;
+  bool resume = false;
+  bool incremental = false;
+};
 
+bool parse_options(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--checkpoint") {
+      const char* v = value("--checkpoint");
+      if (v == nullptr) return false;
+      opt.checkpoint = v;
+    } else if (arg == "--shard-size") {
+      const char* v = value("--shard-size");
+      if (v == nullptr) return false;
+      opt.shard_size = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-shards") {
+      const char* v = value("--max-shards");
+      if (v == nullptr) return false;
+      opt.max_shards = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--incremental") {
+      opt.incremental = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: landscape_survey [--checkpoint <journal> "
+                   "[--shard-size N] [--max-shards N] [--resume | "
+                   "--incremental]]\n");
+      return false;
+    }
+  }
+  if ((opt.resume || opt.incremental) && opt.checkpoint.empty()) {
+    std::fprintf(stderr, "--resume/--incremental require --checkpoint\n");
+    return false;
+  }
+  return true;
+}
+
+void print_stats(const core::LandscapeStats& stats) {
   std::printf("Proxion sweep results:\n");
   std::printf("  contracts analyzed:        %llu\n",
               static_cast<unsigned long long>(stats.total_contracts));
@@ -51,6 +97,13 @@ int main() {
               static_cast<unsigned long long>(stats.static_skipped_minimal),
               static_cast<unsigned long long>(stats.static_emulated),
               static_cast<unsigned long long>(stats.static_mismatches));
+  if (stats.sweep_shards > 0) {
+    std::printf("  durable sweep:             %llu shards, %llu replayed "
+                "from journal, %llu re-analyzed\n",
+                static_cast<unsigned long long>(stats.sweep_shards),
+                static_cast<unsigned long long>(stats.journal_replayed),
+                static_cast<unsigned long long>(stats.incremental_reanalyzed));
+  }
 
   std::printf("\n  standards:\n");
   for (const auto& [standard, count] : stats.by_standard) {
@@ -91,6 +144,60 @@ int main() {
                static_cast<unsigned long long>(stats.rpc_latency_ns.count));
   std::fprintf(stderr, "    steps/probe:  p50=%.0f p99=%.0f\n",
                stats.emulation_steps.p50, stats.emulation_steps.p99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_options(argc, argv, opt)) return 2;
+
+  datagen::PopulationSpec spec;
+  spec.total_contracts = 4'000;  // keep the example snappy
+  std::printf("generating a synthetic Ethereum population (~%u contracts, "
+              "2015-2023)...\n",
+              spec.total_contracts);
+  datagen::Population pop = datagen::PopulationGenerator().generate(spec);
+  std::printf("  deployed %zu contracts across %llu blocks\n\n",
+              pop.contracts.size(),
+              static_cast<unsigned long long>(pop.chain->height()));
+
+  core::PipelineConfig config;
+  config.telemetry.trace_path = "landscape_trace.json";
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+
+  if (!opt.checkpoint.empty()) {
+    store::DurableSweepConfig sweep_config;
+    sweep_config.journal_path = opt.checkpoint;
+    sweep_config.shard_size = opt.shard_size;
+    sweep_config.max_shards = opt.max_shards;
+    store::DurableSweep sweep(pipeline, *pop.chain, &pop.sources, sweep_config);
+    const std::vector<core::SweepInput> inputs = pop.sweep_inputs();
+    store::DurableSweepResult result =
+        opt.incremental ? sweep.incremental(inputs)
+        : opt.resume    ? sweep.resume(inputs)
+                        : sweep.run(inputs);
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "durable sweep failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    if (!result.complete) {
+      std::printf("sweep stopped after %llu shard(s) (%llu contracts "
+                  "committed to %s); rerun with --resume to finish\n",
+                  static_cast<unsigned long long>(result.shards_run),
+                  static_cast<unsigned long long>(result.recomputed),
+                  opt.checkpoint.c_str());
+      return 0;
+    }
+    print_stats(result.stats);
+    std::printf("\nThe same sweep drives every bench/bench_* reproduction "
+                "binary at larger scale.\n");
+    return 0;
+  }
+
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  auto stats = pipeline.summarize(reports);
+  print_stats(stats);
   std::fprintf(stderr, "\n  span trace: landscape_trace.json (%llu spans, %llu "
                "dropped) — open in https://ui.perfetto.dev\n",
                static_cast<unsigned long long>(stats.trace_spans_recorded),

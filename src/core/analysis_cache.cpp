@@ -85,6 +85,13 @@ AnalysisCache::static_report(const crypto::Hash256& code_hash,
   return entry->static_report;
 }
 
+void AnalysisCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->map.clear();
+  }
+}
+
 AnalysisCacheStats AnalysisCache::stats() const {
   AnalysisCacheStats s;
   s.disassembly_hits = disassembly_hits_.value();

@@ -85,6 +85,13 @@ class AnalysisCache {
     return static_cast<unsigned>(shards_.size());
   }
 
+  /// Drops every cached entry. Requires quiescence (no concurrent accessor
+  /// calls). The hit/miss counters keep their lifetime totals; `entries`
+  /// stays "distinct code hashes ever seen". The durable sharded sweep
+  /// calls this between shards so peak memory tracks the shard, not the
+  /// population — correctness is unaffected (pure caches).
+  void clear();
+
  private:
   struct Entry {
     std::mutex mu;
@@ -193,6 +200,16 @@ class StripedOnceMap {
   std::uint64_t misses() const noexcept { return misses_.value(); }
   /// Number of times a caller blocked on another thread's in-flight compute.
   std::uint64_t waits() const noexcept { return waits_.value(); }
+
+  /// Drops every entry. Requires quiescence — a concurrent get_or_compute()
+  /// holding an in-flight marker would be left waiting on an erased slot.
+  /// Counters keep their lifetime totals.
+  void clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      s->map.clear();
+    }
+  }
 
   std::size_t size() const {
     std::size_t n = 0;

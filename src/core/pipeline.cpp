@@ -1,15 +1,43 @@
 #include "core/pipeline.h"
 
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
 
+#include "core/report.h"
 #include "crypto/keccak.h"
 
 namespace proxion::core {
 
 namespace {
+
+/// Debug-mode enforcement of the external-serialization contract: entering
+/// run()/resume()/summarize() while another is in flight on the same
+/// pipeline trips the assert. Release builds compile this to nothing.
+class ReentrancyGuard {
+ public:
+  explicit ReentrancyGuard(std::atomic<bool>& busy) : busy_(busy) {
+#ifndef NDEBUG
+    const bool was_busy = busy_.exchange(true, std::memory_order_acquire);
+    assert(!was_busy &&
+           "AnalysisPipeline::run/resume/summarize must be externally "
+           "serialized per instance");
+#endif
+  }
+  ~ReentrancyGuard() {
+#ifndef NDEBUG
+    busy_.store(false, std::memory_order_release);
+#endif
+  }
+
+  ReentrancyGuard(const ReentrancyGuard&) = delete;
+  ReentrancyGuard& operator=(const ReentrancyGuard&) = delete;
+
+ private:
+  [[maybe_unused]] std::atomic<bool>& busy_;
+};
 
 std::string hash_key(const crypto::Hash256& h) {
   return std::string(reinterpret_cast<const char*>(h.data()), h.size());
@@ -122,11 +150,13 @@ util::ThreadPool& AnalysisPipeline::pool() {
 
 std::vector<ContractAnalysis> AnalysisPipeline::run(
     const std::vector<SweepInput>& inputs) {
+  ReentrancyGuard guard(busy_);
   return run_internal(inputs, nullptr);
 }
 
 std::size_t AnalysisPipeline::resume(const std::vector<SweepInput>& inputs,
                                      std::vector<ContractAnalysis>& reports) {
+  ReentrancyGuard guard(busy_);
   if (reports.size() != inputs.size()) {
     throw std::invalid_argument(
         "resume: reports must come from a run over the same inputs");
@@ -242,15 +272,24 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   };
 
   // ---- §7.1 source propagation: first verified address per code hash ----
-  std::unordered_map<std::string, Address> source_donor;
-  if (config_.propagate_source_by_code_hash && sources_ != nullptr) {
+  // The donor overlay (sharded sweeps) replaces the run-local construction:
+  // a shard sees only its member contracts, but the donor for a code hash is
+  // defined over the whole population, so the driver precomputes the global
+  // map once and injects it here.
+  std::unordered_map<std::string, Address> run_local_donor;
+  if (donor_overlay_.empty() && config_.propagate_source_by_code_hash &&
+      sources_ != nullptr) {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       if (!blobs[i]) continue;
       if (sources_->has_source(inputs[i].address)) {
-        source_donor.emplace(key_of(i), inputs[i].address);
+        run_local_donor.emplace(key_of(i), inputs[i].address);
       }
     }
   }
+  const std::unordered_map<std::string, Address>& source_donor =
+      (config_.propagate_source_by_code_hash && !donor_overlay_.empty())
+          ? donor_overlay_
+          : run_local_donor;
   auto with_source_donor = [&](const std::string& hash,
                                const Address& original) {
     if (sources_ != nullptr && sources_->has_source(original)) {
@@ -522,80 +561,15 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
 
 LandscapeStats AnalysisPipeline::summarize(
     const std::vector<ContractAnalysis>& reports) const {
-  LandscapeStats stats;
-  stats.total_contracts = reports.size();
+  ReentrancyGuard guard(busy_);
+  LandscapeAccumulator acc;
+  for (const ContractAnalysis& a : reports) acc.add(a);
+  LandscapeStats stats = acc.take();
+  annotate_run_stats(stats);
+  return stats;
+}
 
-  for (const ContractAnalysis& a : reports) {
-    if (a.error) {
-      // Quarantined: partial analysis, excluded from landscape aggregates
-      // until a resume pass clears it.
-      ++stats.quarantined;
-      ++stats.errors_by_kind[a.error->kind];
-      continue;
-    }
-    if (a.proxy.verdict == ProxyVerdict::kEmulationError) {
-      ++stats.emulation_errors;
-      if (a.proxy.halt == evm::HaltReason::kStepLimit) {
-        // Adversarial bytecode that ran into the emulator's step fuse —
-        // distinct in the taxonomy from blobs that merely fault.
-        ++stats.errors_by_kind[ErrorKind::kEmulationLimit];
-      }
-    }
-    if (a.diamond.is_diamond) ++stats.diamonds_recovered;
-    if (!a.deduplicated) {
-      // Static-tier triage per unique blob: clones share their
-      // representative's triage, so counting them again would overstate the
-      // emulation work the tier saved.
-      switch (a.proxy.static_triage) {
-        case StaticTriage::kSkippedNoDelegatecall:
-          ++stats.static_skipped_absent;
-          break;
-        case StaticTriage::kSkippedDeadDelegatecall:
-          ++stats.static_skipped_dead;
-          break;
-        case StaticTriage::kSkippedMinimalProxy:
-          ++stats.static_skipped_minimal;
-          break;
-        case StaticTriage::kEmulated:
-          ++stats.static_emulated;
-          break;
-        case StaticTriage::kNotRun:
-          break;
-      }
-      if (a.proxy.static_mismatch != 0) {
-        ++stats.static_mismatches;
-        for (const std::uint8_t bit :
-             {kMismatchReachability, kMismatchSlot, kMismatchTarget}) {
-          if ((a.proxy.static_mismatch & bit) != 0) {
-            ++stats.static_mismatch_bits[bit];
-          }
-        }
-      }
-    }
-    if (!a.proxy.is_proxy()) continue;
-    ++stats.proxies;
-    if (!a.has_source && !a.has_tx) ++stats.hidden_proxies;
-    if (!a.deduplicated) ++stats.unique_proxy_codehashes;
-    ++stats.by_standard[a.proxy.standard];
-    ++stats.proxies_by_year[a.year];
-    if (!a.logic_history.logic_addresses.empty()) {
-      ++stats.pairs_by_source[{a.has_source, a.logic_has_source}];
-    }
-    if (a.function_collision) {
-      ++stats.function_collisions;
-      ++stats.function_collisions_by_year[a.year];
-    }
-    if (a.storage_collision) {
-      ++stats.storage_collisions;
-      ++stats.storage_collisions_by_year[a.year];
-    }
-    if (a.storage_collision_exploitable) {
-      ++stats.exploitable_storage_collisions;
-    }
-    ++stats.upgrade_histogram[a.logic_history.upgrade_events];
-    stats.total_upgrade_events += a.logic_history.upgrade_events;
-  }
-  stats.analyzed_contracts = stats.total_contracts - stats.quarantined;
+void AnalysisPipeline::annotate_run_stats(LandscapeStats& stats) const {
   stats.get_storage_at_calls = rpc().get_storage_at_calls();
   if (resilient_) {
     stats.rpc_retries = resilient_->retries();
@@ -603,8 +577,9 @@ LandscapeStats AnalysisPipeline::summarize(
     stats.rpc_giveups = resilient_->giveups();
     stats.breaker_trips = resilient_->breaker().trips();
   }
-  if (!reports.empty()) {
-    stats.ms_per_contract = last_run_ms_ / static_cast<double>(reports.size());
+  if (stats.total_contracts > 0) {
+    stats.ms_per_contract =
+        last_run_ms_ / static_cast<double>(stats.total_contracts);
   }
   stats.phase_fetch_ms = last_fetch_ms_;
   stats.phase_proxy_ms = last_proxy_ms_;
@@ -622,7 +597,29 @@ LandscapeStats AnalysisPipeline::summarize(
     stats.trace_spans_recorded = tracer_->recorded();
     stats.trace_spans_dropped = tracer_->dropped();
   }
-  return stats;
+}
+
+void AnalysisPipeline::shed_cross_run_state() {
+  if (blob_cache_) blob_cache_->clear();
+  if (verdict_cache_) verdict_cache_->clear();
+  if (cache_) cache_->clear();
+}
+
+bool AnalysisPipeline::seed_verdict(const crypto::Hash256& code_hash,
+                                    const Address& representative,
+                                    const ProxyReport& report) {
+  if (!verdict_cache_) return false;
+  verdict_cache_->get_or_compute(
+      verdict_key(hash_key(code_hash), representative), [&] { return report; });
+  return true;
+}
+
+void AnalysisPipeline::set_source_donor_overlay(
+    std::vector<std::pair<crypto::Hash256, Address>> donors) {
+  donor_overlay_.clear();
+  for (const auto& [hash, address] : donors) {
+    donor_overlay_.emplace(hash_key(hash), address);
+  }
 }
 
 }  // namespace proxion::core

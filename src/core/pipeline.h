@@ -13,12 +13,14 @@
 // run to retry only the quarantined set.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/archive_node.h"
@@ -212,6 +214,16 @@ struct LandscapeStats {
   std::uint64_t get_storage_at_calls = 0;
   double ms_per_contract = 0.0;
 
+  // ---- durable sharded sweep accounting (zero for monolithic run()) -----
+  /// Shards the durable driver ran (or replayed) to produce these stats.
+  std::uint64_t sweep_shards = 0;
+  /// Contracts whose reports were replayed from the checkpoint journal
+  /// instead of being recomputed (resume / incremental modes).
+  std::uint64_t journal_replayed = 0;
+  /// Contracts the incremental mode re-analyzed because their
+  /// (code hash, implementation-slot head) fingerprint changed.
+  std::uint64_t incremental_reanalyzed = 0;
+
   // ---- fault / coverage accounting --------------------------------------
   /// Contracts whose reports carry an ErrorRecord (excluded from the
   /// aggregates above: the sweep's coverage is partial until resume()
@@ -290,11 +302,14 @@ class AnalysisPipeline {
   /// watchdog, internal error) is returned with `error` set rather than
   /// aborting the run; see resume().
   ///
-  /// Concurrency: the parallelism lives *inside* a run (the pool reads the
-  /// chain concurrently, which must therefore be read-safe). run() and
-  /// summarize() themselves must be externally serialized per pipeline
-  /// instance — concurrent run() calls on one AnalysisPipeline race on the
-  /// per-run pair memo and the timing fields.
+  /// Concurrency contract: the parallelism lives *inside* a run (the pool
+  /// reads the chain concurrently, which must therefore be read-safe).
+  /// run(), resume(), and summarize() must be EXTERNALLY SERIALIZED per
+  /// pipeline instance — concurrent calls on one AnalysisPipeline race on
+  /// the per-run pair memo, the run-scoped histograms, and the timing
+  /// fields. Debug builds enforce this with a re-entrancy guard (assert);
+  /// release builds do not check. Distinct AnalysisPipeline instances are
+  /// independent and may run concurrently over a read-safe chain.
   std::vector<ContractAnalysis> run(const std::vector<SweepInput>& inputs);
 
   /// Checkpoint/resume: retries only the quarantined contracts of a prior
@@ -309,8 +324,43 @@ class AnalysisPipeline {
                      std::vector<ContractAnalysis>& reports);
 
   /// Aggregates reports into the landscape statistics. Quarantined reports
-  /// count toward `quarantined` / `errors_by_kind` only.
+  /// count toward `quarantined` / `errors_by_kind` only. Same external-
+  /// serialization contract as run() — it reads the run-scoped counters.
   LandscapeStats summarize(const std::vector<ContractAnalysis>& reports) const;
+
+  /// Copies the pipeline-scoped perf/coverage fields of the LAST run into
+  /// `stats`: phase wall times, cache + pair-memo counters, resilience
+  /// totals, RPC call counts, latency histogram summaries, and tracer
+  /// accounting. summarize() = LandscapeAccumulator over the reports + this.
+  /// Exposed for the durable sharded driver, which aggregates reports
+  /// incrementally across shards and only needs the annotation step.
+  void annotate_run_stats(LandscapeStats& stats) const;
+
+  /// Drops every cross-run memo keyed per address or per code hash — the
+  /// address->blob map, the (code hash, address) verdict memo, and the
+  /// artifact cache entries — so peak memory tracks the working set instead
+  /// of the population. The sharded driver calls this between shards; with
+  /// code-hash-affine shards the dropped state would not have hit again
+  /// anyway. Requires quiescence (no run in flight). Results are unaffected:
+  /// these are pure caches.
+  void shed_cross_run_state();
+
+  /// Pre-seeds the cross-run verdict memo with a known-good ProxyReport for
+  /// (code_hash, representative). The incremental sweep uses this to skip
+  /// Phase A emulation for journaled contracts whose bytecode did not
+  /// change; the caller must patch slot-read fields (logic_address) to the
+  /// current chain head first, exactly as Phase B's dedup re-read would.
+  /// No-op (returns false) when dedup or the analysis cache is off.
+  bool seed_verdict(const crypto::Hash256& code_hash,
+                    const Address& representative, const ProxyReport& report);
+
+  /// Replaces the run-local §7.1 source-donor map with a caller-provided
+  /// one for subsequent runs (empty map = back to run-local construction).
+  /// The sharded driver passes the whole-population donor map so a shard
+  /// containing a clone still resolves the same donor a monolithic run
+  /// would, keeping sharded results bit-identical to unsharded ones.
+  void set_source_donor_overlay(
+      std::vector<std::pair<crypto::Hash256, Address>> donors);
 
   /// The artifact cache (null when config.use_analysis_cache is false).
   /// Exposed for benches/tests that inspect hit/miss accounting.
@@ -408,6 +458,15 @@ class AnalysisPipeline {
   /// verdict/pair memos it assumes the chain is not mutated between runs
   /// (only kept when the analysis cache is enabled).
   std::unique_ptr<CodeBlobMap> blob_cache_;
+
+  /// §7.1 donor overlay (code-hash key -> donor address); empty = build the
+  /// donor map run-locally from the inputs, the monolithic default.
+  std::unordered_map<std::string, Address> donor_overlay_;
+
+  /// Debug-only re-entrancy guard for the external-serialization contract
+  /// (run/resume/summarize must not overlap on one instance). mutable so
+  /// the const summarize() can participate.
+  mutable std::atomic<bool> busy_{false};
 
   double last_run_ms_ = 0.0;
   double last_fetch_ms_ = 0.0;

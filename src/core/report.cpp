@@ -37,6 +37,84 @@ void latency_line(std::ostringstream& out, const char* label,
 
 }  // namespace
 
+void LandscapeAccumulator::add(const ContractAnalysis& a) {
+  LandscapeStats& stats = stats_;
+  ++stats.total_contracts;
+  if (a.error) {
+    // Quarantined: partial analysis, excluded from landscape aggregates
+    // until a resume pass clears it.
+    ++stats.quarantined;
+    ++stats.errors_by_kind[a.error->kind];
+    return;
+  }
+  if (a.proxy.verdict == ProxyVerdict::kEmulationError) {
+    ++stats.emulation_errors;
+    if (a.proxy.halt == evm::HaltReason::kStepLimit) {
+      // Adversarial bytecode that ran into the emulator's step fuse —
+      // distinct in the taxonomy from blobs that merely fault.
+      ++stats.errors_by_kind[ErrorKind::kEmulationLimit];
+    }
+  }
+  if (a.diamond.is_diamond) ++stats.diamonds_recovered;
+  if (!a.deduplicated) {
+    // Static-tier triage per unique blob: clones share their
+    // representative's triage, so counting them again would overstate the
+    // emulation work the tier saved.
+    switch (a.proxy.static_triage) {
+      case StaticTriage::kSkippedNoDelegatecall:
+        ++stats.static_skipped_absent;
+        break;
+      case StaticTriage::kSkippedDeadDelegatecall:
+        ++stats.static_skipped_dead;
+        break;
+      case StaticTriage::kSkippedMinimalProxy:
+        ++stats.static_skipped_minimal;
+        break;
+      case StaticTriage::kEmulated:
+        ++stats.static_emulated;
+        break;
+      case StaticTriage::kNotRun:
+        break;
+    }
+    if (a.proxy.static_mismatch != 0) {
+      ++stats.static_mismatches;
+      for (const std::uint8_t bit :
+           {kMismatchReachability, kMismatchSlot, kMismatchTarget}) {
+        if ((a.proxy.static_mismatch & bit) != 0) {
+          ++stats.static_mismatch_bits[bit];
+        }
+      }
+    }
+  }
+  if (!a.proxy.is_proxy()) return;
+  ++stats.proxies;
+  if (!a.has_source && !a.has_tx) ++stats.hidden_proxies;
+  if (!a.deduplicated) ++stats.unique_proxy_codehashes;
+  ++stats.by_standard[a.proxy.standard];
+  ++stats.proxies_by_year[a.year];
+  if (!a.logic_history.logic_addresses.empty()) {
+    ++stats.pairs_by_source[{a.has_source, a.logic_has_source}];
+  }
+  if (a.function_collision) {
+    ++stats.function_collisions;
+    ++stats.function_collisions_by_year[a.year];
+  }
+  if (a.storage_collision) {
+    ++stats.storage_collisions;
+    ++stats.storage_collisions_by_year[a.year];
+  }
+  if (a.storage_collision_exploitable) {
+    ++stats.exploitable_storage_collisions;
+  }
+  ++stats.upgrade_histogram[a.logic_history.upgrade_events];
+  stats.total_upgrade_events += a.logic_history.upgrade_events;
+}
+
+LandscapeStats LandscapeAccumulator::take() {
+  stats_.analyzed_contracts = stats_.total_contracts - stats_.quarantined;
+  return std::move(stats_);
+}
+
 std::string render_landscape_text(const LandscapeStats& stats) {
   std::ostringstream out;
   out.setf(std::ios::fixed);
@@ -55,6 +133,15 @@ std::string render_landscape_text(const LandscapeStats& stats) {
     out << "error taxonomy:";
     for (const auto& [kind, count] : stats.errors_by_kind) {
       out << "  " << to_string(kind) << "=" << count;
+    }
+    out << "\n";
+  }
+  if (stats.sweep_shards > 0) {
+    out << "durable sweep:       " << stats.sweep_shards << " shards, "
+        << stats.journal_replayed << " replayed from journal";
+    if (stats.incremental_reanalyzed > 0) {
+      out << ", " << stats.incremental_reanalyzed
+          << " re-analyzed (incremental)";
     }
     out << "\n";
   }

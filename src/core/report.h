@@ -9,6 +9,24 @@
 
 namespace proxion::core {
 
+/// Streaming aggregation of `ContractAnalysis` reports into `LandscapeStats`.
+/// One `add()` per report, in any order, from one thread; `take()` finalizes
+/// the derived fields. `AnalysisPipeline::summarize()` is exactly
+/// accumulate-over-reports + `annotate_run_stats()`, and the durable sharded
+/// sweep feeds the same accumulator one shard at a time so the whole-run
+/// aggregates never require the whole-run reports in memory.
+class LandscapeAccumulator {
+ public:
+  void add(const ContractAnalysis& report);
+  std::uint64_t added() const noexcept { return stats_.total_contracts; }
+  /// Finalizes (analyzed_contracts) and returns the aggregate. The
+  /// accumulator is left in a moved-from state; make a fresh one per sweep.
+  LandscapeStats take();
+
+ private:
+  LandscapeStats stats_;
+};
+
 /// Multi-line human-readable summary of a sweep (§7 headline numbers).
 std::string render_landscape_text(const LandscapeStats& stats);
 

@@ -149,6 +149,12 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 Registry::Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   Snapshot snap;

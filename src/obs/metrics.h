@@ -204,6 +204,11 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Read-only lookup without creating: null when no histogram of that name
+  /// was ever registered. The durable sharded driver uses this to merge a
+  /// pipeline's per-shard histogram snapshots into sweep-wide percentiles.
+  const Histogram* find_histogram(const std::string& name) const;
+
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::int64_t> gauges;

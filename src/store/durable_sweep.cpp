@@ -1,0 +1,402 @@
+#include "store/durable_sweep.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/report.h"
+
+namespace proxion::store {
+
+namespace {
+
+using core::ContractAnalysis;
+using core::SweepInput;
+using evm::Address;
+using evm::U256;
+
+struct HashKey {
+  std::size_t operator()(const crypto::Hash256& h) const noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(out); ++i) out = (out << 8) | h[i];
+    return out;
+  }
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Low-160-bit mask: how the EVM (and Phase B's dedup re-read) turns a
+/// storage word into an address.
+Address masked_head(const U256& word) {
+  return Address::from_word(word & ((U256{1} << U256{160}) - U256{1}));
+}
+
+}  // namespace
+
+DurableSweep::DurableSweep(core::AnalysisPipeline& pipeline,
+                           chain::Blockchain& chain,
+                           const sourcemeta::SourceRepository* sources,
+                           DurableSweepConfig config)
+    : pipeline_(pipeline),
+      chain_(chain),
+      sources_(sources),
+      config_(std::move(config)),
+      metrics_(config_.registry != nullptr ? *config_.registry
+                                           : obs::Registry::global()) {}
+
+DurableSweepResult DurableSweep::run(const std::vector<SweepInput>& inputs) {
+  return sweep(inputs, Mode::kFresh);
+}
+
+DurableSweepResult DurableSweep::resume(const std::vector<SweepInput>& inputs) {
+  return sweep(inputs, Mode::kResume);
+}
+
+DurableSweepResult DurableSweep::incremental(
+    const std::vector<SweepInput>& inputs) {
+  return sweep(inputs, Mode::kIncremental);
+}
+
+DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
+                                       Mode mode) {
+  DurableSweepResult result;
+
+  // ---- fingerprint the population ---------------------------------------
+  // One code fetch + keccak per input; the blob is dropped immediately, so
+  // this phase holds 32 bytes per contract — population *metadata* may be
+  // O(N), it is the per-contract artifacts that must stay O(shard).
+  std::vector<crypto::Hash256> hashes(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    hashes[i] = evm::code_hash(chain_.code_at(inputs[i].address));
+  }
+
+  // ---- hash-affine grouping (first-occurrence order) --------------------
+  std::vector<Group> groups;
+  {
+    std::unordered_map<crypto::Hash256, std::size_t, HashKey> index_of;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto [it, inserted] = index_of.try_emplace(hashes[i], groups.size());
+      if (inserted) groups.push_back(Group{hashes[i], {}});
+      groups[it->second].members.push_back(i);
+    }
+  }
+
+  // ---- replay the journal (resume / incremental) ------------------------
+  // Last-wins per address: a record appended by a later resume/incremental
+  // pass supersedes the original.
+  std::unordered_map<Address, ContractRecord, evm::AddressHasher> records;
+  std::uint64_t prior_shards = 0;
+  std::uint64_t prior_contracts = 0;
+  bool journal_present = false;
+  if (mode != Mode::kFresh) {
+    if (std::optional<JournalReplay> replay = read_journal(config_.journal_path)) {
+      journal_present = true;
+      metrics_.counter("store.journal.frames_replayed").add(replay->frames.size());
+      metrics_.counter("store.journal.crc_failures").add(replay->crc_failures);
+      if (replay->tail_dropped) {
+        metrics_.counter("store.journal.truncated_tails").add(1);
+      }
+      for (const JournalFrame& frame : replay->frames) {
+        switch (frame.type) {
+          case RecordType::kContract:
+            if (std::optional<ContractRecord> rec =
+                    decode_contract_record(frame.payload)) {
+              records[rec->analysis.address] = std::move(*rec);
+            }
+            break;
+          case RecordType::kShardCommit:
+            if (std::optional<ShardCommitRecord> rec =
+                    decode_shard_commit(frame.payload)) {
+              ++prior_shards;
+              prior_contracts += rec->contracts;
+            }
+            break;
+          case RecordType::kSweepBegin:
+          case RecordType::kSweepEnd:
+            break;
+        }
+      }
+    }
+  }
+  const Mode effective =
+      (mode != Mode::kFresh && !journal_present) ? Mode::kFresh : mode;
+
+  // ---- plan: replay vs recompute per contract ---------------------------
+  std::uint64_t upgraded = 0;
+  Plan plan;
+  plan.prior_shards = prior_shards;
+  std::unordered_set<std::size_t> dedup_patch;
+  std::unordered_map<crypto::Hash256, Seed, HashKey> seeds;
+  if (effective == Mode::kFresh) {
+    plan.rerun_groups = groups;
+  } else {
+    for (const Group& group : groups) {
+      // Per-member disposition against the journaled fingerprints.
+      std::vector<std::size_t> rerun;
+      std::vector<const ContractRecord*> keep;
+      for (const std::size_t i : group.members) {
+        const auto it = records.find(inputs[i].address);
+        const ContractRecord* rec = it == records.end() ? nullptr : &it->second;
+        const bool healthy = rec != nullptr && !rec->analysis.error &&
+                             rec->code_hash == hashes[i];
+        bool reusable = healthy;
+        if (healthy && effective == Mode::kIncremental &&
+            rec->analysis.proxy.logic_source == core::LogicSource::kStorageSlot) {
+          // Same code, but has the implementation slot moved? The journaled
+          // logic_address IS the masked head at analysis time.
+          const Address head = masked_head(chain_.get_storage(
+              inputs[i].address, rec->analysis.proxy.logic_slot));
+          if (head != rec->analysis.proxy.logic_address) {
+            reusable = false;
+            ++upgraded;
+          }
+        }
+        if (reusable) {
+          keep.push_back(rec);
+        } else {
+          rerun.push_back(i);
+        }
+      }
+      if (rerun.empty()) {
+        for (const ContractRecord* rec : keep) plan.replayed.push_back(*rec);
+        continue;
+      }
+      if (effective == Mode::kResume) {
+        // Resume recomputes incomplete groups WHOLE: the journal may have
+        // been cut mid-group (or hold a quarantined member), and dedup
+        // metadata must converge to a fault-free full run's.
+        plan.rerun_groups.push_back(group);
+        continue;
+      }
+      // Incremental: keep the unchanged members, re-run the rest.
+      for (const ContractRecord* rec : keep) plan.replayed.push_back(*rec);
+      if (group.members.front() != rerun.front()) {
+        // The group's global-first representative was replayed; everything
+        // re-run here must journal as a dedup clone or the unique-codehash
+        // count would double.
+        for (const std::size_t i : rerun) dedup_patch.insert(i);
+      }
+      // Seed Phase A from any healthy same-code record so unchanged
+      // bytecode is never re-emulated; patch slot-read fields to the
+      // sub-run representative's CURRENT head, exactly as Phase B's dedup
+      // re-read would.
+      const ContractRecord* donor = nullptr;
+      for (const std::size_t i : group.members) {
+        const auto it = records.find(inputs[i].address);
+        if (it != records.end() && !it->second.analysis.error &&
+            it->second.code_hash == group.hash) {
+          donor = &it->second;
+          break;
+        }
+      }
+      if (donor != nullptr) {
+        Seed seed;
+        seed.hash = group.hash;
+        seed.representative = inputs[rerun.front()].address;
+        seed.report = donor->analysis.proxy;
+        if (seed.report.logic_source == core::LogicSource::kStorageSlot) {
+          seed.report.logic_address = masked_head(chain_.get_storage(
+              seed.representative, seed.report.logic_slot));
+        }
+        seeds.emplace(group.hash, std::move(seed));
+      }
+      plan.rerun_groups.push_back(Group{group.hash, std::move(rerun)});
+    }
+  }
+
+  metrics_.counter("store.sweep.contracts_upgraded").add(upgraded);
+
+  // ---- open the journal -------------------------------------------------
+  std::optional<JournalWriter> writer =
+      effective == Mode::kFresh ? JournalWriter::create(config_.journal_path)
+                                : JournalWriter::open_append(config_.journal_path);
+  if (!writer) {
+    result.error = "cannot open checkpoint journal: " + config_.journal_path;
+    return result;
+  }
+  if (effective == Mode::kFresh) {
+    const std::vector<std::uint8_t> begin = encode_sweep_begin(
+        {inputs.size(), static_cast<std::uint64_t>(config_.shard_size)});
+    if (!writer->append(RecordType::kSweepBegin, begin)) {
+      result.error = "journal append failed";
+      return result;
+    }
+  }
+
+  // ---- global §7.1 donor overlay ----------------------------------------
+  // Built over the WHOLE population so every shard resolves the same donors
+  // a monolithic run would (first verified address per code hash wins).
+  {
+    std::vector<std::pair<crypto::Hash256, Address>> donors;
+    if (sources_ != nullptr) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (sources_->has_source(inputs[i].address)) {
+          donors.emplace_back(hashes[i], inputs[i].address);
+        }
+      }
+    }
+    pipeline_.set_source_donor_overlay(std::move(donors));
+  }
+
+  // ---- pack rerun groups into shards (groups are atomic) ----------------
+  std::vector<std::vector<const Group*>> shards;
+  for (const Group& group : plan.rerun_groups) {
+    std::size_t current = 0;
+    if (!shards.empty()) {
+      for (const Group* g : shards.back()) current += g->members.size();
+    }
+    if (shards.empty() || (config_.shard_size > 0 && current >= config_.shard_size)) {
+      shards.emplace_back();
+    }
+    shards.back().push_back(&group);
+  }
+
+  // ---- replayed reports feed the aggregates directly --------------------
+  core::LandscapeAccumulator acc;
+  for (const ContractRecord& rec : plan.replayed) acc.add(rec.analysis);
+  result.replayed = plan.replayed.size();
+  metrics_.counter("store.sweep.contracts_replayed").add(result.replayed);
+
+  // ---- per-shard streaming loop -----------------------------------------
+  obs::HistogramSnapshot sum_contract_ns, sum_rpc_ns, sum_steps;
+  double sum_fetch_ms = 0, sum_proxy_ms = 0, sum_pairs_ms = 0;
+  std::uint64_t sum_pair_hits = 0, sum_pair_misses = 0, sum_pair_waits = 0;
+  obs::Histogram& h_flush = metrics_.histogram("store.journal.flush_ns");
+  std::uint64_t shard_index = plan.prior_shards;
+  std::uint64_t contracts_committed = prior_contracts;
+  bool stopped = false;
+
+  for (const std::vector<const Group*>& shard : shards) {
+    if (config_.max_shards != 0 && result.shards_run >= config_.max_shards) {
+      stopped = true;
+      break;
+    }
+    std::vector<SweepInput> shard_inputs;
+    std::vector<std::size_t> shard_globals;
+    for (const Group* group : shard) {
+      if (const auto it = seeds.find(group->hash); it != seeds.end()) {
+        // Seeded AFTER the previous shard's shed (which empties the verdict
+        // memo) and before this run, so it is alive exactly when needed.
+        pipeline_.seed_verdict(it->second.hash, it->second.representative,
+                               it->second.report);
+      }
+      for (const std::size_t i : group->members) {
+        shard_inputs.push_back(inputs[i]);
+        shard_globals.push_back(i);
+      }
+    }
+
+    std::vector<ContractAnalysis> reports = pipeline_.run(shard_inputs);
+
+    // Per-run perf accounting, summed across shards (the pipeline resets
+    // its run-scoped histograms/timers at every run entry).
+    core::LandscapeStats shard_annot;
+    pipeline_.annotate_run_stats(shard_annot);
+    sum_fetch_ms += shard_annot.phase_fetch_ms;
+    sum_proxy_ms += shard_annot.phase_proxy_ms;
+    sum_pairs_ms += shard_annot.phase_pairs_ms;
+    sum_pair_hits += shard_annot.pair_cache_hits;
+    sum_pair_misses += shard_annot.pair_cache_misses;
+    sum_pair_waits += shard_annot.pair_cache_waits;
+    const obs::Registry& preg = pipeline_.registry();
+    if (const obs::Histogram* h = preg.find_histogram("sweep.contract_latency_ns")) {
+      sum_contract_ns.merge(h->snapshot());
+    }
+    if (const obs::Histogram* h = preg.find_histogram("sweep.rpc_latency_ns")) {
+      sum_rpc_ns.merge(h->snapshot());
+    }
+    if (const obs::Histogram* h = preg.find_histogram("sweep.emulation_steps")) {
+      sum_steps.merge(h->snapshot());
+    }
+
+    // Flush the shard: contract records, then the commit frame, one fsync —
+    // the commit frame's presence in the valid prefix implies its records'.
+    const std::uint64_t bytes_before = writer->size_bytes();
+    bool ok = true;
+    for (std::size_t j = 0; j < reports.size() && ok; ++j) {
+      ContractAnalysis& report = reports[j];
+      const std::size_t gi = shard_globals[j];
+      if (dedup_patch.contains(gi)) report.deduplicated = true;
+      acc.add(report);
+      ok = writer->append(RecordType::kContract, encode_contract_record(
+                              {report, hashes[gi]}));
+    }
+    ok = ok && writer->append(RecordType::kShardCommit,
+                              encode_shard_commit({shard_index, reports.size()}));
+    const std::uint64_t t0 = now_ns();
+    ok = ok && writer->sync();
+    h_flush.record(now_ns() - t0);
+    contracts_committed += reports.size();
+    Manifest manifest;
+    manifest.committed_bytes = writer->size_bytes();
+    manifest.shards_committed = shard_index + 1;
+    manifest.contracts_committed = contracts_committed;
+    ok = ok && store_manifest(manifest_path_for(config_.journal_path), manifest);
+    if (!ok) {
+      result.error = "journal commit failed for shard " +
+                     std::to_string(shard_index);
+      return result;
+    }
+    metrics_.counter("store.journal.frames_written").add(reports.size() + 1);
+    metrics_.counter("store.journal.bytes_written")
+        .add(writer->size_bytes() - bytes_before);
+    metrics_.counter("store.sweep.shards_committed").add(1);
+    metrics_.counter("store.sweep.contracts_recomputed").add(reports.size());
+    result.recomputed += reports.size();
+    ++result.shards_run;
+    ++shard_index;
+
+    // Bounded memory: everything keyed per address/hash goes; the next
+    // shard is hash-disjoint, so nothing dropped here would have hit.
+    if (config_.shed_between_shards) pipeline_.shed_cross_run_state();
+  }
+
+  // ---- finish -----------------------------------------------------------
+  result.complete = !stopped;
+  if (result.complete) {
+    bool ok = writer->append(RecordType::kSweepEnd,
+                             encode_sweep_end({inputs.size()})) &&
+              writer->sync();
+    Manifest manifest;
+    manifest.committed_bytes = writer->size_bytes();
+    manifest.shards_committed = shard_index;
+    manifest.contracts_committed = contracts_committed;
+    manifest.complete = true;
+    ok = ok && store_manifest(manifest_path_for(config_.journal_path), manifest);
+    if (!ok) {
+      result.error = "journal finalization failed";
+      return result;
+    }
+  }
+
+  core::LandscapeStats stats = acc.take();
+  pipeline_.annotate_run_stats(stats);
+  stats.phase_fetch_ms = sum_fetch_ms;
+  stats.phase_proxy_ms = sum_proxy_ms;
+  stats.phase_pairs_ms = sum_pairs_ms;
+  stats.pair_cache_hits = sum_pair_hits;
+  stats.pair_cache_misses = sum_pair_misses;
+  stats.pair_cache_waits = sum_pair_waits;
+  stats.contract_latency_ns = sum_contract_ns.summary();
+  stats.rpc_latency_ns = sum_rpc_ns.summary();
+  stats.emulation_steps = sum_steps.summary();
+  stats.ms_per_contract =
+      result.recomputed > 0
+          ? (sum_fetch_ms + sum_proxy_ms + sum_pairs_ms) /
+                static_cast<double>(result.recomputed)
+          : 0.0;
+  stats.sweep_shards = plan.prior_shards + result.shards_run;
+  stats.journal_replayed = result.replayed;
+  stats.incremental_reanalyzed =
+      effective == Mode::kIncremental ? result.recomputed : 0;
+  result.stats = std::move(stats);
+  return result;
+}
+
+}  // namespace proxion::store

@@ -1,0 +1,147 @@
+// The durable sharded sweep driver: converts AnalysisPipeline's batch
+// run() into a restartable streaming system. It partitions the population
+// into code-hash-affine shards, runs each through the pipeline, flushes the
+// per-contract results to the checkpoint journal (journal.h), and frees the
+// pipeline's cross-run memos between shards so peak memory is O(shard), not
+// O(population). Three entry points:
+//
+//   run()         — fresh sweep into a new journal
+//   resume()      — replay the journal's completed work, recompute the rest
+//   incremental() — diff journaled (code hash, impl-slot head) fingerprints
+//                   against current chain state; re-analyze only new or
+//                   changed contracts (upgraded proxies skip Phase A
+//                   emulation via a seeded verdict and re-run the pair
+//                   phase only)
+//
+// Bit-identity with a monolithic pipeline.run() over the same inputs rests
+// on three invariants this driver maintains:
+//   1. shards are code-hash-affine with hash groups in first-occurrence
+//      order, so a group's dedup representative is the same global-first
+//      contract a monolithic run picks;
+//   2. the §7.1 source-donor map is computed over the WHOLE population and
+//      injected as an overlay, so a shard resolves the same donors a
+//      monolithic run would even when a logic blob's donor lives in another
+//      shard;
+//   3. resume recomputes incomplete hash groups WHOLE (never a partial
+//      group), so representative choice and dedup metadata converge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "sourcemeta/source.h"
+#include "store/journal.h"
+#include "store/records.h"
+
+namespace proxion::store {
+
+struct DurableSweepConfig {
+  /// Checkpoint journal path; the manifest lives at `<path>.manifest`.
+  std::string journal_path = "sweep.journal";
+  /// Target contracts per shard. Hash groups are never split, so a shard
+  /// can exceed this by one group's size minus one (the documented
+  /// shard-slack); a group larger than the target gets a shard to itself.
+  /// 0 = one shard for everything (degenerates to a monolithic run + one
+  /// commit).
+  std::size_t shard_size = 1024;
+  /// Stop (journal committed, sweep incomplete) after this many shards;
+  /// 0 = no limit. This is the deterministic stand-in for `kill -9` in the
+  /// resume tests and benches — the on-disk state is the same one a crash
+  /// after the Nth commit leaves behind.
+  std::size_t max_shards = 0;
+  /// Drop the pipeline's cross-run memos between shards (the bounded-memory
+  /// contract). Off trades memory back for cross-shard cache hits.
+  bool shed_between_shards = true;
+  /// Metrics sink for the store.journal.* / store.sweep.* counters and the
+  /// flush-latency histogram. Null = obs::Registry::global().
+  obs::Registry* registry = nullptr;
+};
+
+struct DurableSweepResult {
+  core::LandscapeStats stats;
+  /// Shards executed by THIS call (not counting journal-replayed shards).
+  std::uint64_t shards_run = 0;
+  /// Contracts whose reports came from the journal, zero pipeline work.
+  std::uint64_t replayed = 0;
+  /// Contracts run through the pipeline by this call.
+  std::uint64_t recomputed = 0;
+  /// True when the whole population is covered (kSweepEnd journaled).
+  /// False after a max_shards stop — call resume() to finish.
+  bool complete = false;
+  /// Non-empty on journal I/O failure; stats are then meaningless.
+  std::string error;
+};
+
+class DurableSweep {
+ public:
+  /// `pipeline` and `chain` must outlive the driver; `sources` may be null
+  /// (it feeds the global §7.1 donor overlay and must be the same
+  /// repository the pipeline was built with). The driver is the journal's
+  /// single writer; one sweep call runs at a time.
+  DurableSweep(core::AnalysisPipeline& pipeline, chain::Blockchain& chain,
+               const sourcemeta::SourceRepository* sources,
+               DurableSweepConfig config);
+
+  /// Fresh sweep: creates/truncates the journal and sweeps `inputs`.
+  DurableSweepResult run(const std::vector<core::SweepInput>& inputs);
+
+  /// Crash-safe resume: replays the journal's valid prefix, feeds completed
+  /// hash groups straight to the aggregates (zero recomputation), and
+  /// re-runs every group that is missing members or carries a quarantined
+  /// record — whole, so dedup metadata converges (see file comment).
+  /// A missing journal degrades to run().
+  DurableSweepResult resume(const std::vector<core::SweepInput>& inputs);
+
+  /// Incremental re-sweep against a possibly-mutated chain: a journaled
+  /// contract is reused iff its code hash matches the chain's current code
+  /// AND (for storage-slot proxies) its implementation-slot head is
+  /// unchanged. Upgraded proxies (same code, new head) re-enter the
+  /// pipeline with their Phase A verdict pre-seeded, so only logic-history
+  /// + pair collision work is redone. New, code-changed, and quarantined
+  /// contracts re-analyze in full. A missing journal degrades to run().
+  DurableSweepResult incremental(const std::vector<core::SweepInput>& inputs);
+
+ private:
+  enum class Mode { kFresh, kResume, kIncremental };
+
+  /// One code-hash group: member input indices in input order (the first is
+  /// the global dedup representative).
+  struct Group {
+    crypto::Hash256 hash{};
+    std::vector<std::size_t> members;
+  };
+
+  /// A Phase-A verdict to pre-seed before the owning shard runs (built from
+  /// the journaled report, slot head already patched to current chain
+  /// state).
+  struct Seed {
+    crypto::Hash256 hash{};
+    evm::Address representative;
+    core::ProxyReport report;
+  };
+
+  /// What a sweep call decided to do with each contract: journal-reused
+  /// records (fed straight to the accumulator) vs groups with members to
+  /// recompute (mixed incremental groups keep their unchanged members in
+  /// `replayed`).
+  struct Plan {
+    std::vector<ContractRecord> replayed;
+    std::vector<Group> rerun_groups;
+    std::uint64_t prior_shards = 0;  // shard commits already journaled
+  };
+
+  DurableSweepResult sweep(const std::vector<core::SweepInput>& inputs,
+                           Mode mode);
+
+  core::AnalysisPipeline& pipeline_;
+  chain::Blockchain& chain_;
+  const sourcemeta::SourceRepository* sources_;
+  DurableSweepConfig config_;
+  obs::Registry& metrics_;
+};
+
+}  // namespace proxion::store

@@ -1,0 +1,247 @@
+#include "store/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "store/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PROXION_HAVE_FSYNC 1
+#endif
+
+namespace proxion::store {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool flush_and_fsync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifdef PROXION_HAVE_FSYNC
+  if (::fsync(::fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+std::vector<std::uint8_t> header_bytes() {
+  std::vector<std::uint8_t> h(kJournalMagic, kJournalMagic + kJournalMagicSize);
+  put_u16(h, kJournalVersion);
+  put_u16(h, 0);  // reserved
+  return h;
+}
+
+/// Reads the whole file; empty optional on open failure.
+std::optional<std::vector<std::uint8_t>> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+bool valid_record_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(RecordType::kSweepBegin) &&
+         t <= static_cast<std::uint8_t>(RecordType::kSweepEnd);
+}
+
+}  // namespace
+
+std::optional<JournalWriter> JournalWriter::create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return std::nullopt;
+  const std::vector<std::uint8_t> h = header_bytes();
+  if (std::fwrite(h.data(), 1, h.size(), f) != h.size()) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  return JournalWriter(f, h.size());
+}
+
+std::optional<JournalWriter> JournalWriter::open_append(
+    const std::string& path) {
+  // Scan first: appending must start after the last VALID frame, not after
+  // whatever torn bytes a crash left at the tail.
+  std::optional<JournalReplay> replay = read_journal(path);
+  if (!replay) return std::nullopt;
+  // "r+b" preserves existing content; "ab" would pin writes to EOF and make
+  // tail truncation impossible.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return std::nullopt;
+  if (std::fseek(f, static_cast<long>(replay->valid_bytes), SEEK_SET) != 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  return JournalWriter(f, replay->valid_bytes);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      offset_(other.offset_),
+      frames_(other.frames_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    offset_ = other.offset_;
+    frames_ = other.frames_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool JournalWriter::append(RecordType type,
+                           std::span<const std::uint8_t> payload) {
+  if (file_ == nullptr || payload.size() > kMaxFramePayload) return false;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  std::uint32_t crc = crc32c(&frame[4], 1 + payload.size());
+  put_u32(frame, crc);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return false;
+  }
+  offset_ += frame.size();
+  ++frames_;
+  return true;
+}
+
+bool JournalWriter::sync() {
+  return file_ != nullptr && flush_and_fsync(file_);
+}
+
+std::optional<JournalReplay> read_journal(const std::string& path) {
+  const std::optional<std::vector<std::uint8_t>> bytes = slurp(path);
+  if (!bytes) return std::nullopt;
+  const std::vector<std::uint8_t>& b = *bytes;
+  if (b.size() < kJournalHeaderSize ||
+      std::memcmp(b.data(), kJournalMagic, kJournalMagicSize) != 0) {
+    return std::nullopt;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(b[kJournalMagicSize]) |
+      static_cast<std::uint16_t>(b[kJournalMagicSize + 1]) << 8;
+  if (version != kJournalVersion) return std::nullopt;
+
+  JournalReplay out;
+  std::size_t pos = kJournalHeaderSize;
+  while (pos + kFrameOverhead <= b.size()) {
+    const std::uint32_t len = get_u32(&b[pos]);
+    if (len > kMaxFramePayload || pos + kFrameOverhead + len > b.size()) {
+      break;  // torn tail: the length field outruns the file
+    }
+    const std::uint8_t type = b[pos + 4];
+    const std::uint32_t want = get_u32(&b[pos + 5 + len]);
+    const std::uint32_t got = crc32c(&b[pos + 4], 1 + len);
+    if (got != want) {
+      ++out.crc_failures;
+      break;
+    }
+    if (!valid_record_type(type)) break;
+    JournalFrame frame;
+    frame.type = static_cast<RecordType>(type);
+    frame.payload.assign(b.begin() + static_cast<std::ptrdiff_t>(pos + 5),
+                         b.begin() + static_cast<std::ptrdiff_t>(pos + 5 + len));
+    out.frames.push_back(std::move(frame));
+    pos += kFrameOverhead + len;
+  }
+  out.valid_bytes = pos;
+  out.tail_dropped = pos < b.size();
+  return out;
+}
+
+std::string manifest_path_for(const std::string& journal_path) {
+  return journal_path + ".manifest";
+}
+
+// Manifest wire format: fixed little-endian block + trailing CRC32C, small
+// enough that the write-temp-then-rename protocol makes torn states
+// unobservable (the CRC only defends against bit rot / foreign files).
+//   u16 version  u16 flags(bit0=complete)  u64 committed_bytes
+//   u64 shards_committed  u64 contracts_committed  u32 crc32c(all prior)
+
+std::optional<Manifest> load_manifest(const std::string& path) {
+  const std::optional<std::vector<std::uint8_t>> bytes = slurp(path);
+  if (!bytes) return std::nullopt;
+  const std::vector<std::uint8_t>& b = *bytes;
+  constexpr std::size_t kBody = 2 + 2 + 8 + 8 + 8;
+  if (b.size() != kBody + 4) return std::nullopt;
+  if (crc32c(b.data(), kBody) != get_u32(&b[kBody])) return std::nullopt;
+  Manifest m;
+  m.version = static_cast<std::uint16_t>(b[0]) |
+              static_cast<std::uint16_t>(b[1]) << 8;
+  if (m.version != kJournalVersion) return std::nullopt;
+  m.complete = (b[2] & 1u) != 0;
+  m.committed_bytes = get_u64(&b[4]);
+  m.shards_committed = get_u64(&b[12]);
+  m.contracts_committed = get_u64(&b[20]);
+  return m;
+}
+
+bool store_manifest(const std::string& path, const Manifest& m) {
+  std::vector<std::uint8_t> b;
+  put_u16(b, m.version);
+  put_u16(b, m.complete ? 1 : 0);
+  put_u64(b, m.committed_bytes);
+  put_u64(b, m.shards_committed);
+  put_u64(b, m.contracts_committed);
+  put_u32(b, crc32c(b.data(), b.size()));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(b.data(), 1, b.size(), f) == b.size() &&
+                     flush_and_fsync(f);
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace proxion::store

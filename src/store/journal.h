@@ -1,0 +1,141 @@
+// The checkpoint journal: an append-only, CRC32C-framed record log that
+// makes the landscape sweep restartable. Layering (see ARCHITECTURE.md):
+// this file knows only about byte frames — what goes *inside* a frame is
+// records.h's business, and when frames get written is durable_sweep.h's.
+//
+// On-disk layout (normative spec: docs/CHECKPOINT_FORMAT.md):
+//
+//   file   := header frame*
+//   header := magic[8]="PROXJRNL" u16 version(LE) u16 reserved=0
+//   frame  := u32 payload_len(LE) u8 type payload[payload_len]
+//             u32 crc32c(type || payload)(LE)
+//
+// Recovery contract: a reader scans frames from the header forward and
+// stops at the first structurally-truncated or CRC-failing frame — the
+// valid prefix is the journal's content (torn tails from a crash mid-append
+// are dropped, never propagated). Alongside the journal lives a manifest
+// (journal path + ".manifest") rewritten via write-temp-then-rename after
+// every shard commit, so "how much of the journal is a committed sweep
+// state" survives any crash: rename(2) is atomic on POSIX.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace proxion::store {
+
+inline constexpr std::size_t kJournalMagicSize = 8;
+inline constexpr char kJournalMagic[kJournalMagicSize + 1] = "PROXJRNL";
+inline constexpr std::uint16_t kJournalVersion = 1;
+/// header = magic + version + reserved.
+inline constexpr std::size_t kJournalHeaderSize = kJournalMagicSize + 4;
+/// Frame overhead around the payload: length + type + checksum.
+inline constexpr std::size_t kFrameOverhead = 4 + 1 + 4;
+/// Fuse against absurd length fields in corrupted frames (a frame claiming
+/// more than this is treated as the start of a torn tail).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;  // 256 MiB
+
+/// Frame types (payload schemas in records.h / CHECKPOINT_FORMAT.md).
+enum class RecordType : std::uint8_t {
+  kSweepBegin = 1,   // population size + shard geometry
+  kContract = 2,     // one ContractAnalysis + its code-hash fingerprint
+  kShardCommit = 3,  // shard index + contract count became durable
+  kSweepEnd = 4,     // the sweep covered the whole population
+};
+
+/// Append-side handle. Not thread-safe: the durable sweep driver is the
+/// single writer (the parallelism lives inside the pipeline, not here).
+class JournalWriter {
+ public:
+  /// Creates/truncates `path` and writes a fresh header.
+  static std::optional<JournalWriter> create(const std::string& path);
+  /// Opens an existing journal for appending. Fails (nullopt) when the file
+  /// is missing or its header is not a compatible journal header. Appends
+  /// after the last *valid* frame, truncating any torn tail first so a
+  /// resumed journal never carries a corrupt middle.
+  static std::optional<JournalWriter> open_append(const std::string& path);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Buffers one frame. Returns false on I/O error.
+  bool append(RecordType type, std::span<const std::uint8_t> payload);
+  /// Flushes buffered frames and fsyncs the file: everything appended so
+  /// far is durable after this returns true. Called at shard commits — not
+  /// per record — so the sync cost amortizes over the shard.
+  bool sync();
+
+  /// Bytes in the journal including the header (append position).
+  std::uint64_t size_bytes() const noexcept { return offset_; }
+  std::uint64_t frames_appended() const noexcept { return frames_; }
+
+ private:
+  JournalWriter(std::FILE* f, std::uint64_t offset) : file_(f), offset_(offset) {}
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+/// One decoded frame.
+struct JournalFrame {
+  RecordType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Outcome of a full journal scan: the valid frame prefix plus how the scan
+/// ended (cleanly at EOF, or at a torn/corrupt tail that was dropped).
+struct JournalReplay {
+  std::vector<JournalFrame> frames;
+  /// Byte offset just past the last valid frame (= header size for an empty
+  /// journal). A writer resuming here overwrites only garbage.
+  std::uint64_t valid_bytes = 0;
+  /// True when bytes existed past valid_bytes (torn tail or corruption).
+  bool tail_dropped = false;
+  /// Frames whose CRC failed (counts at most 1 today: the scan stops there).
+  std::uint64_t crc_failures = 0;
+};
+
+/// Scans `path` and returns the valid frame prefix. nullopt when the file
+/// does not exist or its header is not a compatible journal header (a
+/// *corrupt header* is unrecoverable by design — the manifest still names
+/// the sweep state, but the data must be re-swept).
+std::optional<JournalReplay> read_journal(const std::string& path);
+
+/// Committed sweep state, stored next to the journal and replaced
+/// atomically (write temp + fsync + rename) after every shard commit.
+struct Manifest {
+  std::uint16_t version = kJournalVersion;
+  /// Journal size (bytes, incl. header) when this state was committed.
+  /// Frames beyond it are valid-but-uncommitted (crash after journal sync,
+  /// before manifest rename); replay accepts them — they hold completed,
+  /// deterministic analyses — and the next commit re-covers them.
+  std::uint64_t committed_bytes = 0;
+  std::uint64_t shards_committed = 0;
+  std::uint64_t contracts_committed = 0;
+  /// True once kSweepEnd was journaled: the population was fully covered.
+  bool complete = false;
+
+  friend bool operator==(const Manifest&, const Manifest&) = default;
+};
+
+/// The manifest path convention: `<journal path>.manifest`.
+std::string manifest_path_for(const std::string& journal_path);
+
+/// Loads a manifest; nullopt when missing or its self-checksum fails (a
+/// torn manifest write is impossible under the rename protocol, so a bad
+/// checksum means external corruption — caller should treat the sweep as
+/// never-committed).
+std::optional<Manifest> load_manifest(const std::string& path);
+
+/// Atomically replaces `path` with `m` (temp file + fsync + rename).
+bool store_manifest(const std::string& path, const Manifest& m);
+
+}  // namespace proxion::store

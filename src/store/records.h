@@ -1,0 +1,75 @@
+// Payload schemas for the journal's frame types: how a ContractAnalysis
+// (plus its incremental-sweep fingerprint) and the sweep/shard bookkeeping
+// records serialize to bytes. Everything is fixed little-endian with
+// length-prefixed sequences — the normative byte-level description lives in
+// docs/CHECKPOINT_FORMAT.md; this header is its implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "crypto/keccak.h"
+
+namespace proxion::store {
+
+/// One journaled contract: the full analysis plus the fingerprint the
+/// incremental sweep diffs against current chain state. The code hash is
+/// stored explicitly; the implementation-slot head needs no extra field —
+/// for slot-based proxies `analysis.proxy.logic_address` IS the masked head
+/// value the slot held at analysis time.
+struct ContractRecord {
+  core::ContractAnalysis analysis;
+  crypto::Hash256 code_hash{};
+
+  friend bool operator==(const ContractRecord&, const ContractRecord&) = default;
+};
+
+std::vector<std::uint8_t> encode_contract_record(const ContractRecord& rec);
+/// nullopt on any structural violation (short buffer, trailing bytes,
+/// out-of-range enum) — a CRC-valid frame can still be rejected here if it
+/// was written by a future schema.
+std::optional<ContractRecord> decode_contract_record(
+    std::span<const std::uint8_t> payload);
+
+/// kSweepBegin payload: the population geometry the journal was opened for.
+struct SweepBeginRecord {
+  std::uint64_t population = 0;
+  std::uint64_t shard_size = 0;
+
+  friend bool operator==(const SweepBeginRecord&,
+                         const SweepBeginRecord&) = default;
+};
+
+std::vector<std::uint8_t> encode_sweep_begin(const SweepBeginRecord& rec);
+std::optional<SweepBeginRecord> decode_sweep_begin(
+    std::span<const std::uint8_t> payload);
+
+/// kShardCommit payload: all of shard `shard_index`'s contract records
+/// precede this frame and are durable (the writer synced before appending).
+struct ShardCommitRecord {
+  std::uint64_t shard_index = 0;
+  std::uint64_t contracts = 0;
+
+  friend bool operator==(const ShardCommitRecord&,
+                         const ShardCommitRecord&) = default;
+};
+
+std::vector<std::uint8_t> encode_shard_commit(const ShardCommitRecord& rec);
+std::optional<ShardCommitRecord> decode_shard_commit(
+    std::span<const std::uint8_t> payload);
+
+/// kSweepEnd payload: total contracts covered when the sweep finished.
+struct SweepEndRecord {
+  std::uint64_t contracts = 0;
+
+  friend bool operator==(const SweepEndRecord&, const SweepEndRecord&) = default;
+};
+
+std::vector<std::uint8_t> encode_sweep_end(const SweepEndRecord& rec);
+std::optional<SweepEndRecord> decode_sweep_end(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace proxion::store

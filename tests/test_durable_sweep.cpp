@@ -1,0 +1,361 @@
+// End-to-end tests for the durable sharded sweep: bit-identity with a
+// monolithic run, kill-at-mid-sweep + resume with zero recomputation of
+// committed work, torn-tail recovery, incremental re-sweep after an
+// upgrade wave, and quarantine healing through the journal.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "datagen/population.h"
+#include "store/durable_sweep.h"
+#include "store/journal.h"
+#include "store/records.h"
+
+namespace {
+
+using namespace proxion;
+
+namespace fs = std::filesystem;
+
+std::string temp_journal(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "proxion_sweep_tests";
+  fs::create_directories(dir);
+  const fs::path p = dir / name;
+  fs::remove(p);
+  fs::remove(store::manifest_path_for(p.string()));
+  return p.string();
+}
+
+datagen::Population make_population(std::uint32_t n = 900) {
+  datagen::PopulationSpec spec;
+  spec.total_contracts = n;
+  return datagen::PopulationGenerator().generate(spec);
+}
+
+/// The deterministic analysis aggregates: everything except wall-clock and
+/// cache-effectiveness accounting, which legitimately differ between a
+/// monolithic and a sharded execution of the same sweep.
+void expect_same_verdicts(const core::LandscapeStats& a,
+                          const core::LandscapeStats& b) {
+  EXPECT_EQ(a.total_contracts, b.total_contracts);
+  EXPECT_EQ(a.proxies, b.proxies);
+  EXPECT_EQ(a.emulation_errors, b.emulation_errors);
+  EXPECT_EQ(a.hidden_proxies, b.hidden_proxies);
+  EXPECT_EQ(a.unique_proxy_codehashes, b.unique_proxy_codehashes);
+  EXPECT_EQ(a.function_collisions, b.function_collisions);
+  EXPECT_EQ(a.storage_collisions, b.storage_collisions);
+  EXPECT_EQ(a.exploitable_storage_collisions, b.exploitable_storage_collisions);
+  EXPECT_EQ(a.diamonds_recovered, b.diamonds_recovered);
+  EXPECT_EQ(a.by_standard, b.by_standard);
+  EXPECT_EQ(a.proxies_by_year, b.proxies_by_year);
+  EXPECT_EQ(a.function_collisions_by_year, b.function_collisions_by_year);
+  EXPECT_EQ(a.storage_collisions_by_year, b.storage_collisions_by_year);
+  EXPECT_EQ(a.pairs_by_source, b.pairs_by_source);
+  EXPECT_EQ(a.upgrade_histogram, b.upgrade_histogram);
+  EXPECT_EQ(a.total_upgrade_events, b.total_upgrade_events);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.analyzed_contracts, b.analyzed_contracts);
+  EXPECT_EQ(a.errors_by_kind, b.errors_by_kind);
+}
+
+TEST(DurableSweep, MatchesMonolithicRun) {
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline mono(*pop.chain, &pop.sources, config);
+  const auto mono_stats = mono.summarize(mono.run(inputs));
+
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("match.journal");
+  sc.shard_size = 200;
+  store::DurableSweep sweep(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult result = sweep.run(inputs);
+
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.replayed, 0u);
+  EXPECT_EQ(result.recomputed, inputs.size());
+  EXPECT_GT(result.shards_run, 1u);
+  expect_same_verdicts(result.stats, mono_stats);
+  EXPECT_EQ(result.stats.sweep_shards, result.shards_run);
+
+  const auto manifest =
+      store::load_manifest(store::manifest_path_for(sc.journal_path));
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_TRUE(manifest->complete);
+  EXPECT_EQ(manifest->contracts_committed, inputs.size());
+}
+
+TEST(DurableSweep, KillMidSweepThenResumeIsBitIdentical) {
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline mono(*pop.chain, &pop.sources, config);
+  const auto mono_stats = mono.summarize(mono.run(inputs));
+
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("kill.journal");
+  sc.shard_size = 150;
+  sc.max_shards = 2;  // deterministic stand-in for `kill -9` after 2 commits
+  store::DurableSweep killed(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult partial = killed.run(inputs);
+  ASSERT_TRUE(partial.error.empty()) << partial.error;
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.shards_run, 2u);
+  ASSERT_GT(partial.recomputed, 0u);
+  ASSERT_LT(partial.recomputed, inputs.size());
+
+  const auto mid_manifest =
+      store::load_manifest(store::manifest_path_for(sc.journal_path));
+  ASSERT_TRUE(mid_manifest.has_value());
+  EXPECT_FALSE(mid_manifest->complete);
+  EXPECT_EQ(mid_manifest->contracts_committed, partial.recomputed);
+
+  sc.max_shards = 0;
+  store::DurableSweep resumed(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult result = resumed.resume(inputs);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.complete);
+  // Zero recomputation of committed work: every journaled contract replays.
+  EXPECT_EQ(result.replayed, partial.recomputed);
+  EXPECT_EQ(result.recomputed, inputs.size() - partial.recomputed);
+  expect_same_verdicts(result.stats, mono_stats);
+  EXPECT_EQ(result.stats.journal_replayed, result.replayed);
+  EXPECT_EQ(result.stats.incremental_reanalyzed, 0u);
+
+  const auto manifest =
+      store::load_manifest(store::manifest_path_for(sc.journal_path));
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_TRUE(manifest->complete);
+}
+
+TEST(DurableSweep, ResumeSurvivesTornTail) {
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline mono(*pop.chain, &pop.sources, config);
+  const auto mono_stats = mono.summarize(mono.run(inputs));
+
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("torn.journal");
+  sc.shard_size = 150;
+  sc.max_shards = 3;
+  store::DurableSweep killed(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult partial = killed.run(inputs);
+  ASSERT_TRUE(partial.error.empty()) << partial.error;
+  ASSERT_FALSE(partial.complete);
+
+  // A crash mid-append leaves a torn frame past the last commit; fake one.
+  {
+    std::ofstream out(sc.journal_path,
+                      std::ios::binary | std::ios::app);
+    const char torn[] = {0x40, 0x00, 0x00, 0x00, 0x02, 0x11, 0x22};
+    out.write(torn, sizeof(torn));
+  }
+
+  sc.max_shards = 0;
+  store::DurableSweep resumed(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult result = resumed.resume(inputs);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.replayed, partial.recomputed);
+  expect_same_verdicts(result.stats, mono_stats);
+
+  // The healed journal reads back clean end to end.
+  const auto replay = store::read_journal(sc.journal_path);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_FALSE(replay->tail_dropped);
+  EXPECT_EQ(replay->frames.back().type, store::RecordType::kSweepEnd);
+}
+
+TEST(DurableSweep, IncrementalWithoutChangesRecomputesNothing) {
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("steady.journal");
+  sc.shard_size = 200;
+  store::DurableSweep sweep(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult first = sweep.run(inputs);
+  ASSERT_TRUE(first.error.empty()) << first.error;
+
+  const store::DurableSweepResult second = sweep.incremental(inputs);
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.recomputed, 0u);
+  EXPECT_EQ(second.replayed, inputs.size());
+  EXPECT_EQ(second.stats.incremental_reanalyzed, 0u);
+  expect_same_verdicts(second.stats, first.stats);
+}
+
+TEST(DurableSweep, IncrementalAfterUpgradeWaveReanalyzesOnlyChanges) {
+  datagen::Population pop = make_population(1'200);
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("wave.journal");
+  sc.shard_size = 250;
+  store::DurableSweep sweep(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult base = sweep.run(inputs);
+  ASSERT_TRUE(base.error.empty()) << base.error;
+
+  // Upgrade wave: repoint k EIP-1967 proxies at a different logic contract.
+  const evm::U256 eip1967_slot = evm::U256::from_hex(
+      "360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc");
+  evm::Address new_logic;
+  for (const auto& c : pop.contracts) {
+    if (c.archetype == datagen::Archetype::kToken) {
+      new_logic = c.address;  // any non-proxy contract with code will do
+      break;
+    }
+  }
+  ASSERT_FALSE(new_logic.is_zero());
+  std::vector<evm::Address> upgraded;
+  pop.chain->mine_block();
+  for (const auto& c : pop.contracts) {
+    if (upgraded.size() >= 5) break;
+    if (c.archetype != datagen::Archetype::kEip1967Proxy) continue;
+    if (c.logic_truth == new_logic) continue;
+    pop.chain->set_storage(c.address, eip1967_slot, new_logic.to_word());
+    upgraded.push_back(c.address);
+  }
+  ASSERT_EQ(upgraded.size(), 5u);
+  pop.chain->mine_block();
+
+  const store::DurableSweepResult inc = sweep.incremental(inputs);
+  ASSERT_TRUE(inc.error.empty()) << inc.error;
+  EXPECT_TRUE(inc.complete);
+  // Only the upgraded proxies re-enter the pipeline; the other ~1200 replay.
+  EXPECT_EQ(inc.recomputed, upgraded.size());
+  EXPECT_EQ(inc.replayed, inputs.size() - upgraded.size());
+  EXPECT_EQ(inc.stats.incremental_reanalyzed, upgraded.size());
+
+  // The merged result equals a from-scratch sweep of the mutated chain.
+  core::AnalysisPipeline fresh(*pop.chain, &pop.sources, config);
+  const auto fresh_stats = fresh.summarize(fresh.run(inputs));
+  expect_same_verdicts(inc.stats, fresh_stats);
+  // The wave's upgrade events are visible in the merged histogram.
+  EXPECT_EQ(inc.stats.total_upgrade_events,
+            base.stats.total_upgrade_events + upgraded.size());
+}
+
+TEST(DurableSweep, ResumeRetriesQuarantinedRecords) {
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("sick.journal");
+  sc.shard_size = 200;
+  store::DurableSweep sweep(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult base = sweep.run(inputs);
+  ASSERT_TRUE(base.error.empty()) << base.error;
+  const auto clean_stats = base.stats;
+
+  // Append a quarantined duplicate for one contract, as a crash-adjacent
+  // RPC outage would have journaled. Last-wins: it supersedes the healthy
+  // record already in the journal.
+  const auto replay = store::read_journal(sc.journal_path);
+  ASSERT_TRUE(replay.has_value());
+  std::vector<store::ContractRecord> journaled;
+  for (const auto& frame : replay->frames) {
+    if (frame.type != store::RecordType::kContract) continue;
+    auto rec = store::decode_contract_record(frame.payload);
+    ASSERT_TRUE(rec.has_value());
+    journaled.push_back(std::move(*rec));
+  }
+  auto group_size = [&](const crypto::Hash256& h) {
+    std::size_t n = 0;
+    for (const auto& r : journaled) n += r.code_hash == h ? 1 : 0;
+    return n;
+  };
+  // A proxy from a small clone family, so the whole-group recompute below
+  // has a known, tight size.
+  std::optional<store::ContractRecord> victim;
+  for (const auto& rec : journaled) {
+    if (rec.analysis.proxy.verdict == core::ProxyVerdict::kProxy &&
+        group_size(rec.code_hash) <= 8) {
+      victim = rec;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.has_value());
+  const std::size_t victim_group = group_size(victim->code_hash);
+  victim->analysis.error = core::ErrorRecord{core::ErrorKind::kRpcExhausted,
+                                             "pairs", "injected outage"};
+  {
+    auto writer = store::JournalWriter::open_append(sc.journal_path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(store::RecordType::kContract,
+                               store::encode_contract_record(*victim)));
+    ASSERT_TRUE(writer->sync());
+  }
+
+  const store::DurableSweepResult healed = sweep.resume(inputs);
+  ASSERT_TRUE(healed.error.empty()) << healed.error;
+  EXPECT_TRUE(healed.complete);
+  // The victim's whole hash group re-ran (dedup metadata must converge);
+  // everything else replayed.
+  EXPECT_EQ(healed.recomputed, victim_group);
+  EXPECT_EQ(healed.replayed + healed.recomputed, inputs.size());
+  EXPECT_EQ(healed.stats.quarantined, 0u);
+  expect_same_verdicts(healed.stats, clean_stats);
+}
+
+TEST(DurableSweep, ShedBetweenShardsDoesNotChangeResults) {
+  datagen::Population pop = make_population(600);
+  const auto inputs = pop.sweep_inputs();
+  core::PipelineConfig config;
+
+  core::AnalysisPipeline p1(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("shed_on.journal");
+  sc.shard_size = 100;
+  const auto shed_on =
+      store::DurableSweep(p1, *pop.chain, &pop.sources, sc).run(inputs);
+  ASSERT_TRUE(shed_on.error.empty()) << shed_on.error;
+
+  core::AnalysisPipeline p2(*pop.chain, &pop.sources, config);
+  sc.journal_path = temp_journal("shed_off.journal");
+  sc.shed_between_shards = false;
+  const auto shed_off =
+      store::DurableSweep(p2, *pop.chain, &pop.sources, sc).run(inputs);
+  ASSERT_TRUE(shed_off.error.empty()) << shed_off.error;
+
+  expect_same_verdicts(shed_on.stats, shed_off.stats);
+}
+
+TEST(DurableSweep, ShardSizeZeroDegeneratesToOneShard) {
+  datagen::Population pop = make_population(300);
+  const auto inputs = pop.sweep_inputs();
+  core::PipelineConfig config;
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("mono.journal");
+  sc.shard_size = 0;
+  const auto result =
+      store::DurableSweep(piped, *pop.chain, &pop.sources, sc).run(inputs);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.shards_run, 1u);
+  EXPECT_EQ(result.recomputed, inputs.size());
+}
+
+}  // namespace

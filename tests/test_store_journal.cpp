@@ -1,0 +1,294 @@
+// Torture tests for the checkpoint journal: frame round-trips, empty and
+// missing journals, truncated tails, corrupted CRC frames, record
+// serialization fidelity, and the manifest's atomic-replace protocol.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/crc32.h"
+#include "store/journal.h"
+#include "store/records.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::store;
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test path under the build tree's temp dir.
+std::string temp_path(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "proxion_journal_tests";
+  fs::create_directories(dir);
+  const fs::path p = dir / name;
+  fs::remove(p);
+  fs::remove(manifest_path_for(p.string()));
+  return p.string();
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+/// A ContractAnalysis exercising every serialized field.
+ContractRecord full_record() {
+  ContractRecord rec;
+  core::ContractAnalysis& a = rec.analysis;
+  a.address = evm::Address::from_label("journal-test-proxy");
+  a.year = 2021;
+  a.has_source = true;
+  a.has_tx = false;
+  a.deduplicated = true;
+  a.function_collision = true;
+  a.storage_collision = true;
+  a.storage_collision_exploitable = false;
+  a.logic_has_source = true;
+  a.proxy.verdict = core::ProxyVerdict::kProxy;
+  a.proxy.has_delegatecall_opcode = true;
+  a.proxy.delegatecall_executed = true;
+  a.proxy.calldata_forwarded = true;
+  a.proxy.halt = evm::HaltReason::kReturn;
+  a.proxy.logic_address = evm::Address::from_label("journal-test-logic");
+  a.proxy.logic_source = core::LogicSource::kStorageSlot;
+  a.proxy.logic_slot = evm::U256::from_hex(
+      "360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc");
+  a.proxy.standard = core::ProxyStandard::kEip1967;
+  a.proxy.static_triage = core::StaticTriage::kEmulated;
+  a.proxy.static_mismatch = core::kMismatchSlot;
+  a.proxy.probe_selector = 0xDEADBEEF;
+  a.proxy.emulation_steps = 12'345;
+  a.logic_history.logic_addresses = {
+      evm::Address::from_label("logic-v1"), evm::Address::from_label("logic-v2")};
+  a.logic_history.upgrade_events = 1;
+  a.logic_history.api_calls = 26;
+  a.diamond.is_diamond = true;
+  a.diamond.routed_selectors = {0x11223344u, 0x55667788u};
+  a.diamond.facets = {evm::Address::from_label("facet-a")};
+  static const std::vector<std::uint8_t> blob{0x60, 0x80, 0x60, 0x40};
+  rec.code_hash = crypto::keccak256(blob);
+  return rec;
+}
+
+TEST(Crc32c, KnownVector) {
+  // The CRC-32C check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(s, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, SeedChainsAcrossBuffers) {
+  const char* s = "123456789";
+  const std::uint32_t split = crc32c(s + 4, 5, crc32c(s, 4));
+  EXPECT_EQ(split, crc32c(s, 9));
+}
+
+TEST(Journal, FrameRoundTrip) {
+  const std::string path = temp_path("roundtrip.journal");
+  {
+    auto writer = JournalWriter::create(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(RecordType::kSweepBegin,
+                               encode_sweep_begin({100, 16})));
+    ASSERT_TRUE(writer->append(RecordType::kContract,
+                               encode_contract_record(full_record())));
+    ASSERT_TRUE(writer->append(RecordType::kShardCommit,
+                               encode_shard_commit({0, 1})));
+    ASSERT_TRUE(writer->append(RecordType::kSweepEnd, encode_sweep_end({100})));
+    ASSERT_TRUE(writer->sync());
+  }
+  const auto replay = read_journal(path);
+  ASSERT_TRUE(replay.has_value());
+  ASSERT_EQ(replay->frames.size(), 4u);
+  EXPECT_FALSE(replay->tail_dropped);
+  EXPECT_EQ(replay->crc_failures, 0u);
+
+  const auto begin = decode_sweep_begin(replay->frames[0].payload);
+  ASSERT_TRUE(begin.has_value());
+  EXPECT_EQ(begin->population, 100u);
+  EXPECT_EQ(begin->shard_size, 16u);
+
+  const auto rec = decode_contract_record(replay->frames[1].payload);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, full_record());  // field-for-field, incl. nested reports
+
+  const auto commit = decode_shard_commit(replay->frames[2].payload);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->contracts, 1u);
+
+  const auto end = decode_sweep_end(replay->frames[3].payload);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(end->contracts, 100u);
+}
+
+TEST(Journal, QuarantinedRecordRoundTrip) {
+  ContractRecord rec = full_record();
+  rec.analysis.error = core::ErrorRecord{core::ErrorKind::kRpcExhausted,
+                                         "pairs", "breaker open"};
+  const auto decoded = decode_contract_record(encode_contract_record(rec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(Journal, EmptyJournalIsValid) {
+  const std::string path = temp_path("empty.journal");
+  { ASSERT_TRUE(JournalWriter::create(path).has_value()); }
+  const auto replay = read_journal(path);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->frames.empty());
+  EXPECT_EQ(replay->valid_bytes, kJournalHeaderSize);
+  EXPECT_FALSE(replay->tail_dropped);
+}
+
+TEST(Journal, MissingFileIsNullopt) {
+  const std::string path = temp_path("missing.journal");
+  EXPECT_FALSE(read_journal(path).has_value());
+  EXPECT_FALSE(JournalWriter::open_append(path).has_value());
+}
+
+TEST(Journal, GarbageHeaderIsNullopt) {
+  const std::string path = temp_path("garbage.journal");
+  write_file(path, {'n', 'o', 't', 'a', 'j', 'r', 'n', 'l', 1, 0, 0, 0});
+  EXPECT_FALSE(read_journal(path).has_value());
+}
+
+TEST(Journal, TruncatedTailIsDropped) {
+  const std::string path = temp_path("torn.journal");
+  {
+    auto writer = JournalWriter::create(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(RecordType::kContract,
+                               encode_contract_record(full_record())));
+    ASSERT_TRUE(writer->append(RecordType::kShardCommit,
+                               encode_shard_commit({0, 1})));
+    ASSERT_TRUE(writer->sync());
+  }
+  // Tear the last frame mid-way, as a crash mid-write would.
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  const std::size_t torn_size = bytes.size() - 5;
+  bytes.resize(torn_size);
+  write_file(path, bytes);
+
+  const auto replay = read_journal(path);
+  ASSERT_TRUE(replay.has_value());
+  ASSERT_EQ(replay->frames.size(), 1u);  // the commit frame is gone
+  EXPECT_TRUE(replay->tail_dropped);
+  EXPECT_LT(replay->valid_bytes, torn_size);
+
+  // Appending resumes AFTER the valid prefix: the torn bytes are overwritten
+  // and the journal reads back clean.
+  {
+    auto writer = JournalWriter::open_append(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(RecordType::kShardCommit,
+                               encode_shard_commit({0, 1})));
+    ASSERT_TRUE(writer->sync());
+  }
+  const auto healed = read_journal(path);
+  ASSERT_TRUE(healed.has_value());
+  ASSERT_EQ(healed->frames.size(), 2u);
+  EXPECT_EQ(healed->frames[1].type, RecordType::kShardCommit);
+}
+
+TEST(Journal, CorruptedCrcStopsReplay) {
+  const std::string path = temp_path("bitrot.journal");
+  std::uint64_t first_frame_end = 0;
+  {
+    auto writer = JournalWriter::create(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(RecordType::kSweepBegin,
+                               encode_sweep_begin({10, 4})));
+    first_frame_end = writer->size_bytes();
+    ASSERT_TRUE(writer->append(RecordType::kContract,
+                               encode_contract_record(full_record())));
+    ASSERT_TRUE(writer->append(RecordType::kShardCommit,
+                               encode_shard_commit({0, 1})));
+    ASSERT_TRUE(writer->sync());
+  }
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[first_frame_end + 20] ^= 0xFF;  // flip a payload byte of frame 2
+  write_file(path, bytes);
+
+  const auto replay = read_journal(path);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->frames.size(), 1u);  // replay stops at the bad frame
+  EXPECT_EQ(replay->crc_failures, 1u);
+  EXPECT_TRUE(replay->tail_dropped);
+}
+
+TEST(Journal, RejectsOversizedLengthField) {
+  const std::string path = temp_path("hostile.journal");
+  { ASSERT_TRUE(JournalWriter::create(path).has_value()); }
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  // A frame claiming a ~4 GiB payload must read as a torn tail, not an
+  // allocation.
+  for (int i = 0; i < 4; ++i) bytes.push_back(0xFF);
+  bytes.push_back(2);
+  write_file(path, bytes);
+  const auto replay = read_journal(path);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->frames.empty());
+  EXPECT_TRUE(replay->tail_dropped);
+}
+
+TEST(Journal, DecodeRejectsTrailingBytes) {
+  std::vector<std::uint8_t> payload = encode_contract_record(full_record());
+  payload.push_back(0x00);
+  EXPECT_FALSE(decode_contract_record(payload).has_value());
+  payload.pop_back();
+  payload.pop_back();
+  EXPECT_FALSE(decode_contract_record(payload).has_value());
+}
+
+TEST(Journal, DecodeRejectsOutOfRangeEnum) {
+  std::vector<std::uint8_t> payload = encode_contract_record(full_record());
+  // Byte 25 is the verdict (20 address + 4 year + 1 flags).
+  payload[25] = 0x77;
+  EXPECT_FALSE(decode_contract_record(payload).has_value());
+}
+
+TEST(Manifest, RoundTripAndAtomicReplace) {
+  const std::string path = temp_path("m.journal") + ".manifest";
+  Manifest m;
+  m.committed_bytes = 4'096;
+  m.shards_committed = 3;
+  m.contracts_committed = 1'234;
+  m.complete = false;
+  ASSERT_TRUE(store_manifest(path, m));
+  auto loaded = load_manifest(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, m);
+
+  // Replacement is all-or-nothing: the new state fully supersedes.
+  m.shards_committed = 4;
+  m.complete = true;
+  ASSERT_TRUE(store_manifest(path, m));
+  loaded = load_manifest(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, m);
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(Manifest, CorruptionIsRejected) {
+  const std::string path = temp_path("bad.journal") + ".manifest";
+  Manifest m;
+  m.committed_bytes = 99;
+  ASSERT_TRUE(store_manifest(path, m));
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[4] ^= 0x01;
+  write_file(path, bytes);
+  EXPECT_FALSE(load_manifest(path).has_value());
+  EXPECT_FALSE(load_manifest(path + ".nope").has_value());
+}
+
+}  // namespace

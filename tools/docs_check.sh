@@ -1,0 +1,52 @@
+#!/bin/sh
+# Docs consistency gate (CI "docs" job):
+#   1. every relative markdown link in *.md and docs/*.md resolves to a file
+#      that exists in the repo (external http(s)/mailto links are skipped);
+#   2. every PipelineConfig knob documented in README.md's knob table exists
+#      in src/core/pipeline.h (dotted knobs like `static_tier.enabled` are
+#      checked by their leaf member name).
+# Pure POSIX sh + grep/sed/awk; no network, no build required.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. relative markdown links ------------------------------------------
+for f in *.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  links=$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//; s/#.*//') || true
+  for link in $links; do
+    case "$link" in
+      http://* | https://* | mailto:* | '') continue ;;
+    esac
+    if [ ! -e "$dir/$link" ] && [ ! -e "$link" ]; then
+      echo "docs_check: broken link in $f -> $link" >&2
+      fail=1
+    fi
+  done
+done
+
+# ---- 2. README PipelineConfig knobs vs pipeline.h ------------------------
+knobs=$(awk '/^\| Knob \| Default \| Meaning \|/ { in_table = 1; next }
+             in_table && !/^\|/ { in_table = 0 }
+             in_table' README.md |
+  sed -n 's/^| `\([^`]*\)`.*/\1/p')
+if [ -z "$knobs" ]; then
+  echo "docs_check: could not find the PipelineConfig knob table in README.md" >&2
+  fail=1
+fi
+for knob in $knobs; do
+  leaf=${knob##*.}
+  if ! grep -q -w "$leaf" src/core/pipeline.h; then
+    echo "docs_check: README documents PipelineConfig knob '$knob' but" \
+      "'$leaf' does not appear in src/core/pipeline.h" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs_check: all markdown links resolve;" \
+    "all $(echo "$knobs" | wc -l | tr -d ' ') documented knobs exist"
+fi
+exit "$fail"
