@@ -1,9 +1,10 @@
 // The telemetry overhead contract, measured. Microbenches pin the per-op
 // cost of the primitives (counter add, histogram record, disabled span = one
 // null-pointer branch), and the macro section sweeps the bench population
-// three ways — telemetry off, histograms on (the default), full span
-// tracing with export — reporting the relative overhead and dumping the
-// registry snapshot of the traced sweep into BENCH_results.json.
+// four ways — telemetry off, histograms on (the default), full span
+// tracing with export, and 1-in-8 sampled tracing — reporting the relative
+// overhead and dumping the registry snapshot of the traced sweep into
+// BENCH_results.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -95,8 +96,18 @@ void macro_section() {
   core::LandscapeStats traced_stats;
   const double traced_ms = timed_sweep(traced, &traced_stats);
 
+  // Sampled tracing: 1-in-8 spans kept. Sampled-out spans skip the clock
+  // read and argument formatting entirely, so this leg measures how close
+  // sampling brings full tracing back to the histograms-only cost.
+  core::PipelineConfig sampled = traced;
+  sampled.telemetry.trace_path = BenchResults::path() + ".trace_sampled.json";
+  sampled.telemetry.span_sample_every_n = 8;
+  core::LandscapeStats sampled_stats;
+  const double sampled_ms = timed_sweep(sampled, &sampled_stats);
+
   const double on_overhead = 100.0 * (on_ms - off_ms) / off_ms;
   const double traced_overhead = 100.0 * (traced_ms - off_ms) / off_ms;
+  const double sampled_overhead = 100.0 * (sampled_ms - off_ms) / off_ms;
 
   heading("sweep overhead: telemetry off vs histograms vs full tracing");
   row("telemetry OFF", fmt(off_ms, " ms"));
@@ -104,6 +115,10 @@ void macro_section() {
   row("  overhead vs OFF", fmt(on_overhead, "%"));
   row("span tracing + export", fmt(traced_ms, " ms"));
   row("  overhead vs OFF", fmt(traced_overhead, "%"));
+  row("span tracing, 1-in-8 sampled", fmt(sampled_ms, " ms"));
+  row("  overhead vs OFF", fmt(sampled_overhead, "%"));
+  row("spans recorded (sampled sweep)",
+      std::to_string(sampled_stats.trace_spans_recorded));
   row("spans recorded (traced sweep)",
       std::to_string(traced_stats.trace_spans_recorded) + " (" +
           std::to_string(traced_stats.trace_spans_dropped) + " dropped)");
@@ -119,6 +134,10 @@ void macro_section() {
   results.set("sweep_tracing_ms", traced_ms);
   results.set("histogram_overhead_pct", on_overhead);
   results.set("tracing_overhead_pct", traced_overhead);
+  results.set("sweep_tracing_sampled_ms", sampled_ms);
+  results.set("tracing_sampled_overhead_pct", sampled_overhead);
+  results.set("trace_spans_recorded_sampled",
+              static_cast<double>(sampled_stats.trace_spans_recorded));
   results.set("trace_spans_recorded",
               static_cast<double>(traced_stats.trace_spans_recorded));
   results.set("trace_spans_dropped",

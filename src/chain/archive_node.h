@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "chain/blockchain.h"
 #include "obs/metrics.h"
@@ -51,6 +53,13 @@ class RpcError : public std::runtime_error {
   RpcErrorKind kind_;
 };
 
+/// One eth_getStorageAt probe, for the batched read path.
+struct StorageQuery {
+  Address account;
+  U256 slot;
+  std::uint64_t block = 0;
+};
+
 /// Abstract archive-node endpoint. Query methods may throw RpcError; the
 /// counters are forwarded through decorators so callers always observe the
 /// innermost facade's totals.
@@ -61,6 +70,22 @@ class IArchiveNode {
   /// eth_getStorageAt(account, slot, block).
   virtual U256 get_storage_at(const Address& account, const U256& slot,
                               std::uint64_t block) const = 0;
+
+  /// Batched eth_getStorageAt: results[i] answers queries[i]. The default
+  /// implementation loops the scalar call; decorators override it to apply
+  /// their policy to the whole batch (one retry ladder, one trace span, one
+  /// coalescing pass) instead of per element. On throw, no partial results
+  /// are returned — callers retry or fail the whole batch.
+  virtual std::vector<U256> get_storage_at_many(
+      std::span<const StorageQuery> queries) const {
+    std::vector<U256> out;
+    out.reserve(queries.size());
+    for (const StorageQuery& q : queries) {
+      out.push_back(get_storage_at(q.account, q.slot, q.block));
+    }
+    return out;
+  }
+
   /// eth_getCode at the latest block.
   virtual Bytes get_code(const Address& account) const = 0;
   virtual std::uint64_t latest_block() const = 0;
@@ -97,6 +122,21 @@ class ArchiveNode final : public IArchiveNode {
     get_storage_at_calls_.add(1);
     detail::global_storage_calls().add(1);
     return chain_.storage_at(account, slot, block);
+  }
+
+  /// Batched eth_getStorageAt: one counter add for the whole batch, then the
+  /// in-process chain answers each query (still one storage lookup per query
+  /// — a real JSON-RPC backend would answer these in a single round trip).
+  std::vector<U256> get_storage_at_many(
+      std::span<const StorageQuery> queries) const override {
+    get_storage_at_calls_.add(queries.size());
+    detail::global_storage_calls().add(queries.size());
+    std::vector<U256> out;
+    out.reserve(queries.size());
+    for (const StorageQuery& q : queries) {
+      out.push_back(chain_.storage_at(q.account, q.slot, q.block));
+    }
+    return out;
   }
 
   /// eth_getCode at the latest block. Counted.

@@ -1,5 +1,7 @@
 #include "chain/fault_injection.h"
 
+#include <exception>
+
 namespace proxion::chain {
 
 namespace {
@@ -88,6 +90,34 @@ U256 FaultInjectingArchiveNode::get_storage_at(const Address& account,
     maybe_fault(mix_request(seed, kStorageTag, account, slot, block));
   }
   return inner_.get_storage_at(account, slot, block);
+}
+
+std::vector<U256> FaultInjectingArchiveNode::get_storage_at_many(
+    std::span<const StorageQuery> queries) const {
+  std::uint64_t seed;
+  bool armed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seed = profile_.seed;
+    armed = profile_.fault_get_storage_at && profile_.total_rate() > 0.0;
+  }
+  if (armed) {
+    // Fault decisions are per request key, identical to the scalar path.
+    // One batch attempt consumes the fault budget of EVERY armed key (a
+    // batched RPC round-trips each element once), so a retried batch heals
+    // in the same number of attempts as the scalar path would per key; the
+    // first fault still aborts the whole batch before the backend is asked.
+    std::exception_ptr first;
+    for (const StorageQuery& q : queries) {
+      try {
+        maybe_fault(mix_request(seed, kStorageTag, q.account, q.slot, q.block));
+      } catch (const RpcError&) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+  return inner_.get_storage_at_many(queries);
 }
 
 Bytes FaultInjectingArchiveNode::get_code(const Address& account) const {

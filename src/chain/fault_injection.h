@@ -49,6 +49,11 @@ class FaultInjectingArchiveNode final : public IArchiveNode {
 
   U256 get_storage_at(const Address& account, const U256& slot,
                       std::uint64_t block) const override;
+  /// Every query draws its per-request fault decision (same keys as the
+  /// scalar path) BEFORE the inner batch runs, so a faulty element fails the
+  /// batch without the backend returning partial results.
+  std::vector<U256> get_storage_at_many(
+      std::span<const StorageQuery> queries) const override;
   Bytes get_code(const Address& account) const override;
   std::uint64_t latest_block() const override { return inner_.latest_block(); }
 

@@ -43,6 +43,14 @@ class ResilientArchiveNode final : public IArchiveNode {
       return inner_.get_storage_at(account, slot, block);
     });
   }
+  /// The whole batch rides one retry ladder: a mid-batch failure retries the
+  /// batch from the top (the inner call returns no partial results).
+  std::vector<U256> get_storage_at_many(
+      std::span<const StorageQuery> queries) const override {
+    return with_retries("get_storage_at_many", [&] {
+      return inner_.get_storage_at_many(queries);
+    });
+  }
   Bytes get_code(const Address& account) const override {
     return with_retries("get_code", [&] { return inner_.get_code(account); });
   }

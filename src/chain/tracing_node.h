@@ -35,6 +35,20 @@ class TracingArchiveNode final : public IArchiveNode {
     return timed("rpc:get_storage_at",
                  [&] { return inner_.get_storage_at(account, slot, block); });
   }
+  /// One histogram sample and one span for the whole batch (arg n = batch
+  /// size); per-element spans would dominate the cost being measured.
+  std::vector<U256> get_storage_at_many(
+      std::span<const StorageQuery> queries) const override {
+    const std::uint64_t start = clock_();
+    try {
+      auto result = inner_.get_storage_at_many(queries);
+      finish_batch(start, static_cast<std::int64_t>(queries.size()));
+      return result;
+    } catch (...) {
+      finish_batch(start, static_cast<std::int64_t>(queries.size()));
+      throw;
+    }
+  }
   Bytes get_code(const Address& account) const override {
     return timed("rpc:get_code", [&] { return inner_.get_code(account); });
   }
@@ -65,7 +79,19 @@ class TracingArchiveNode final : public IArchiveNode {
   void finish(const char* name, std::uint64_t start, bool ok) const {
     const std::uint64_t dur = clock_() - start;
     if (latency_ != nullptr) latency_->record(dur);
-    if (tracer_ != nullptr) tracer_->record(name, start, dur, "ok", ok ? 1 : 0);
+    // sample_this_span() runs before any argument marshalling so sampled-out
+    // spans cost one TLS decrement, not a record() call.
+    if (tracer_ != nullptr && tracer_->sample_this_span()) {
+      tracer_->record(name, start, dur, "ok", ok ? 1 : 0);
+    }
+  }
+
+  void finish_batch(std::uint64_t start, std::int64_t n) const {
+    const std::uint64_t dur = clock_() - start;
+    if (latency_ != nullptr) latency_->record(dur);
+    if (tracer_ != nullptr && tracer_->sample_this_span()) {
+      tracer_->record("rpc:get_storage_at_many", start, dur, "n", n);
+    }
   }
 
   const IArchiveNode& inner_;

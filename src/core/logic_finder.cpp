@@ -7,54 +7,6 @@ namespace proxion::core {
 
 namespace {
 
-/// Memoizing wrapper: Algorithm 1 revisits range endpoints, and the client
-/// caches those responses rather than re-querying the archive node.
-class CachedSlotReader {
- public:
-  CachedSlotReader(const chain::IArchiveNode& node, const Address& proxy,
-                   const U256& slot)
-      : node_(node), proxy_(proxy), slot_(slot) {}
-
-  U256 at(std::uint64_t block) {
-    const auto it = cache_.find(block);
-    if (it != cache_.end()) return it->second;
-    const U256 v = node_.get_storage_at(proxy_, slot_, block);
-    ++api_calls_;
-    cache_.emplace(block, v);
-    return v;
-  }
-
-  std::uint64_t api_calls() const noexcept { return api_calls_; }
-
- private:
-  const chain::IArchiveNode& node_;
-  Address proxy_;
-  U256 slot_;
-  std::map<std::uint64_t, U256> cache_;
-  std::uint64_t api_calls_ = 0;
-};
-
-void partition(CachedSlotReader& reader, std::uint64_t lower,
-               std::uint64_t upper,
-               std::vector<std::pair<std::uint64_t, U256>>& values) {
-  const U256 v_lower = reader.at(lower);
-  const U256 v_upper = reader.at(upper);
-  if (v_lower == v_upper) {
-    // Algorithm 1's core assumption: logic addresses are unique through
-    // history, so equal endpoint values mean no change inside the range.
-    values.emplace_back(lower, v_lower);
-    return;
-  }
-  if (upper == lower + 1) {
-    values.emplace_back(lower, v_lower);
-    values.emplace_back(upper, v_upper);
-    return;
-  }
-  const std::uint64_t mid = lower + (upper - lower) / 2;
-  partition(reader, lower, mid, values);
-  partition(reader, mid + 1, upper, values);
-}
-
 LogicHistory summarize(std::vector<std::pair<std::uint64_t, U256>> values,
                        std::uint64_t api_calls) {
   std::sort(values.begin(), values.end(),
@@ -98,10 +50,65 @@ LogicHistory LogicFinder::find(const Address& proxy,
     return history;
   }
 
-  CachedSlotReader reader(node_, proxy, report.logic_slot);
+  // Algorithm 1, run breadth-first: instead of recursing one range at a
+  // time, all open ranges of the current depth emit their uncached
+  // endpoints as ONE batched get_storage_at_many probe — the archive stack
+  // (retry ladder, trace span, coalescer pass) then handles a frontier per
+  // round trip instead of a call per endpoint. The ranges visited, the
+  // heights probed, and api_calls are exactly those of the recursive
+  // formulation (endpoints are memoized in `cache` just as the recursive
+  // client memoized re-visited endpoints), so LogicHistory is bit-identical.
+  std::map<std::uint64_t, U256> cache;
+  std::uint64_t api_calls = 0;
   std::vector<std::pair<std::uint64_t, U256>> values;
-  partition(reader, 0, node_.latest_block(), values);
-  return summarize(std::move(values), reader.api_calls());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> open = {
+      {0, node_.latest_block()}};
+
+  while (!open.empty()) {
+    // The probe frontier: endpoints of every open range not yet fetched.
+    std::vector<std::uint64_t> need;
+    for (const auto& [lo, hi] : open) {
+      if (cache.find(lo) == cache.end()) need.push_back(lo);
+      if (cache.find(hi) == cache.end()) need.push_back(hi);
+    }
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
+    if (!need.empty()) {
+      std::vector<chain::StorageQuery> batch;
+      batch.reserve(need.size());
+      for (const std::uint64_t b : need) {
+        batch.push_back({proxy, report.logic_slot, b});
+      }
+      const std::vector<U256> fetched = node_.get_storage_at_many(batch);
+      for (std::size_t i = 0; i < need.size(); ++i) {
+        cache.emplace(need[i], fetched[i]);
+      }
+      // Paper semantics: api_calls counts distinct heights the search needed
+      // (§6.1's ~26 per proxy), independent of how the archive stack
+      // coalesces or batches them.
+      api_calls += need.size();
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> next;
+    for (const auto& [lo, hi] : open) {
+      const U256& v_lo = cache.at(lo);
+      const U256& v_hi = cache.at(hi);
+      if (v_lo == v_hi) {
+        // Algorithm 1's core assumption: logic addresses are unique through
+        // history, so equal endpoint values mean no change inside the range.
+        values.emplace_back(lo, v_lo);
+      } else if (hi == lo + 1) {
+        values.emplace_back(lo, v_lo);
+        values.emplace_back(hi, v_hi);
+      } else {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        next.emplace_back(lo, mid);
+        next.emplace_back(mid + 1, hi);
+      }
+    }
+    open = std::move(next);
+  }
+  return summarize(std::move(values), api_calls);
 }
 
 LogicHistory LogicFinder::find_naive(const Address& proxy,

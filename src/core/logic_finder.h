@@ -1,7 +1,11 @@
 // Finding every logic contract ever associated with a proxy (§4.3,
-// Algorithm 1): a recursive binary search over blockchain history that
+// Algorithm 1): a binary-partition search over blockchain history that
 // queries the archive node's getStorageAt only where the slot value changes,
 // needing ~log2(blocks) * upgrades calls instead of one call per block.
+// The search runs breadth-first and emits each depth's probe frontier as a
+// single get_storage_at_many batch, so the archive decorator stack (retries,
+// tracing, coalescing) pays per frontier instead of per endpoint; the probe
+// set and resulting LogicHistory are identical to the recursive formulation.
 #pragma once
 
 #include <cstdint>

@@ -110,12 +110,18 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
         !config_.telemetry.events_path.empty()) {
       tracer_ = std::make_unique<obs::Tracer>(
           clock_, config_.telemetry.trace_ring_capacity);
+      const std::size_t every = config_.telemetry.span_sample_every_n;
+      tracer_->set_sample_every(
+          static_cast<std::uint32_t>(every == 0 ? 1 : every));
     }
   }
 
-  // Archive decorator stack, innermost out: backend -> tracing -> resilient.
-  // Tracing sits under the retry layer so every *attempt* (including the
-  // ones a retry absorbs) is a latency sample and a span.
+  // Archive decorator stack, innermost out: backend -> tracing -> resilient
+  // -> coalescing. Tracing sits under the retry layer so every *attempt*
+  // (including the ones a retry absorbs) is a latency sample and a span; the
+  // coalescer sits outermost so its cache hits skip the retry ladder, the
+  // trace spans, and the backend call counters entirely — what the counters
+  // report is true backend probe volume.
   const chain::IArchiveNode* wire = backend_;
   if (h_rpc_ != nullptr || tracer_ != nullptr) {
     tracing_node_ = std::make_unique<chain::TracingArchiveNode>(
@@ -125,6 +131,11 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
   if (config_.enable_retries) {
     resilient_ = std::make_unique<chain::ResilientArchiveNode>(
         *wire, config_.retry, config_.breaker);
+    wire = resilient_.get();
+  }
+  if (config_.coalesce_archive_reads) {
+    coalescer_ = std::make_unique<chain::CoalescingArchiveNode>(
+        *wire, config_.coalescer_shards == 0 ? 1 : config_.coalescer_shards);
   }
   const unsigned shards = config_.cache_shards == 0 ? 1 : config_.cache_shards;
   if (config_.use_analysis_cache) {
@@ -544,6 +555,17 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
       registry_.gauge("sweep.rpc.breaker_trips")
           .set(static_cast<std::int64_t>(resilient_->breaker().trips()));
     }
+    if (coalescer_) {
+      const chain::CoalescingArchiveNode::Stats cs = coalescer_->stats();
+      registry_.gauge("sweep.coalescer.exact_hits")
+          .set(static_cast<std::int64_t>(cs.exact_hits));
+      registry_.gauge("sweep.coalescer.interval_hits")
+          .set(static_cast<std::int64_t>(cs.interval_hits));
+      registry_.gauge("sweep.coalescer.misses")
+          .set(static_cast<std::int64_t>(cs.misses));
+      registry_.gauge("sweep.coalescer.inflight_waits")
+          .set(static_cast<std::int64_t>(cs.inflight_waits));
+    }
   }
   // Trace files are written after t_end so export cost never pollutes the
   // phase timings; the parallel_for joins above provide the quiescence the
@@ -603,6 +625,10 @@ void AnalysisPipeline::shed_cross_run_state() {
   if (blob_cache_) blob_cache_->clear();
   if (verdict_cache_) verdict_cache_->clear();
   if (cache_) cache_->clear();
+  // The coalescer's sealed observations assume the chain was not mutated;
+  // shedding is exactly the moment that assumption is surrendered (the
+  // durable driver may feed a mutated chain into the next pass).
+  if (coalescer_) coalescer_->clear();
 }
 
 bool AnalysisPipeline::seed_verdict(const crypto::Hash256& code_hash,

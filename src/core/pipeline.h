@@ -25,6 +25,7 @@
 
 #include "chain/archive_node.h"
 #include "chain/blockchain.h"
+#include "chain/coalescing_node.h"
 #include "chain/resilient_node.h"
 #include "chain/tracing_node.h"
 #include "core/analysis_cache.h"
@@ -121,6 +122,13 @@ struct TelemetryConfig {
   /// Histograms are never sampled — percentiles stay exact over the
   /// population; sampling only thins the trace timeline.
   std::size_t sample_every_n = 1;
+  /// Tracer-level span sampling: keep only every n-th span per recording
+  /// thread (1 = all, the default). Unlike sample_every_n (which selects
+  /// whole contracts), this thins every span family — phases, per-contract,
+  /// and rpc:* spans — and the sampled-out spans skip clock reads and
+  /// argument formatting entirely (the PR-3 tracing-overhead fix). The
+  /// first span per thread is always kept.
+  std::size_t span_sample_every_n = 1;
   /// Completed spans retained per recording thread before the ring wraps.
   std::size_t trace_ring_capacity = 1 << 15;
   /// Monotonic nanosecond clock for spans and latency stopwatches; empty =
@@ -162,6 +170,14 @@ struct PipelineConfig {
   /// Wrap the backend in ResilientArchiveNode (retry + breaker). Off, every
   /// RpcError immediately quarantines its contract (kRpcTransient).
   bool enable_retries = true;
+  /// Wrap the archive stack in a CoalescingArchiveNode (outermost layer):
+  /// identical (account, slot, height) probes dedup in flight, and sealed
+  /// observations answer interval-covered probes from cache. Results are
+  /// bit-identical either way (tested); off reproduces the raw probe volume
+  /// for ablations. The cache is dropped by shed_cross_run_state().
+  bool coalesce_archive_reads = true;
+  /// Lock shards of the coalescer's slot-timeline cache (clamped to >= 1).
+  unsigned coalescer_shards = 16;
   /// Backoff shape for retried archive RPCs.
   util::RetryPolicy retry{};
   /// Per-backend circuit breaker (trips on consecutive failures, half-opens
@@ -372,6 +388,12 @@ class AnalysisPipeline {
     return resilient_.get();
   }
 
+  /// The coalescing layer (null when coalesce_archive_reads is false).
+  /// Exposed for tests/benches inspecting hit/miss accounting.
+  const chain::CoalescingArchiveNode* coalescing_node() const noexcept {
+    return coalescer_.get();
+  }
+
   /// This pipeline's metric registry (per-instance, distinct from
   /// obs::Registry::global()): the sweep histograms plus end-of-run gauge
   /// snapshots of the cache/resilience totals. Exposed for benches that dump
@@ -409,9 +431,13 @@ class AnalysisPipeline {
 
   util::ThreadPool& pool();
   /// The backend every archive RPC goes through. Decorator stack, outermost
-  /// first: resilient (retry/breaker) -> tracing (per-attempt latency/spans)
-  /// -> raw backend; each layer is present only when configured.
+  /// first: coalescing (probe dedup + interval cache; its hits never touch
+  /// the layers below, so retries/tracing/counters only see true backend
+  /// probes) -> resilient (retry/breaker) -> tracing (per-attempt
+  /// latency/spans) -> raw backend; each layer is present only when
+  /// configured.
   const chain::IArchiveNode& rpc() const noexcept {
+    if (coalescer_) return *coalescer_;
     if (resilient_) return *resilient_;
     if (tracing_node_) return *tracing_node_;
     return *backend_;
@@ -422,6 +448,7 @@ class AnalysisPipeline {
   chain::IArchiveNode* backend_ = nullptr;  // config override or &node_
   std::unique_ptr<chain::TracingArchiveNode> tracing_node_;
   std::unique_ptr<chain::ResilientArchiveNode> resilient_;
+  std::unique_ptr<chain::CoalescingArchiveNode> coalescer_;
   const sourcemeta::SourceRepository* sources_;
   PipelineConfig config_;
 

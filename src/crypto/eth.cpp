@@ -1,7 +1,13 @@
 #include "crypto/eth.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace proxion::crypto {
 namespace {
@@ -15,12 +21,103 @@ Hash256 minus_one(Hash256 h) noexcept {
   return h;
 }
 
-}  // namespace
+// Process-wide prototype -> selector memo, sharded to keep lock contention
+// negligible under the sweep's parallel_for. Size-capped as a safety valve:
+// real corpora carry a few thousand distinct prototypes, so the cap is never
+// reached in practice, but a hostile source set cannot grow the map without
+// bound — once a shard is full, new prototypes are hashed without insertion.
+struct SelectorMemo {
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kMaxPerShard = (1u << 16) / kShards;
 
-Selector selector_of(std::string_view prototype) {
+  // Transparent hashing so lookups take string_view without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, Selector, StringHash, std::equal_to<>> map;
+  };
+
+  std::atomic<bool> enabled{true};
+  Shard shards[kShards];
+
+  Shard& shard_for(std::string_view key) noexcept {
+    return shards[std::hash<std::string_view>{}(key) % kShards];
+  }
+
+  void clear() {
+    for (Shard& s : shards) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+    }
+  }
+};
+
+SelectorMemo& selector_memo() noexcept {
+  static SelectorMemo* memo = new SelectorMemo;  // leaked: process lifetime
+  return *memo;
+}
+
+obs::Counter& memo_hits() noexcept {
+  static obs::Counter& c =
+      obs::Registry::global().counter("crypto.selector_memo.hits");
+  return c;
+}
+
+obs::Counter& memo_misses() noexcept {
+  static obs::Counter& c =
+      obs::Registry::global().counter("crypto.selector_memo.misses");
+  return c;
+}
+
+Selector hash_selector(std::string_view prototype) {
   const Hash256 h = keccak256(prototype);
   return {h[0], h[1], h[2], h[3]};
 }
+
+}  // namespace
+
+Selector selector_of(std::string_view prototype) {
+  SelectorMemo& memo = selector_memo();
+  if (!memo.enabled.load(std::memory_order_relaxed)) {
+    return hash_selector(prototype);
+  }
+  SelectorMemo::Shard& shard = memo.shard_for(prototype);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(prototype);
+    if (it != shard.map.end()) {
+      memo_hits().add(1);
+      return it->second;
+    }
+  }
+  memo_misses().add(1);
+  const Selector sel = hash_selector(prototype);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() < SelectorMemo::kMaxPerShard) {
+      shard.map.emplace(std::string(prototype), sel);
+    }
+  }
+  return sel;
+}
+
+void set_selector_memo_enabled(bool enabled) {
+  SelectorMemo& memo = selector_memo();
+  memo.enabled.store(enabled, std::memory_order_relaxed);
+  if (!enabled) memo.clear();
+}
+
+bool selector_memo_enabled() noexcept {
+  return selector_memo().enabled.load(std::memory_order_relaxed);
+}
+
+void clear_selector_memo() { selector_memo().clear(); }
 
 std::uint32_t selector_u32(std::string_view prototype) {
   return selector_u32(selector_of(prototype));

@@ -18,7 +18,18 @@ using Selector = std::array<std::uint8_t, 4>;
 
 /// 4-byte function selector: first four bytes of keccak256(prototype).
 /// The prototype is the canonical signature, e.g. "transfer(address,uint256)".
+/// Backed by a process-wide memo keyed by prototype string: repeated calls
+/// for the same signature never re-hash (source corpora mention the same
+/// handful of prototypes across thousands of contracts). Hit/miss counts are
+/// published as crypto.selector_memo.hits / crypto.selector_memo.misses.
 Selector selector_of(std::string_view prototype);
+
+/// Enables/disables the selector memo (enabled by default). Disabling also
+/// clears it; used by benchmarks to measure the memo's effect.
+void set_selector_memo_enabled(bool enabled);
+bool selector_memo_enabled() noexcept;
+/// Drops every memoized selector (the toggle state is unchanged).
+void clear_selector_memo();
 
 /// Selector packed into a uint32 (big-endian), convenient as a map key.
 std::uint32_t selector_u32(std::string_view prototype);

@@ -25,6 +25,10 @@ constexpr std::uint64_t rotl64(std::uint64_t x, unsigned n) noexcept {
   return (x << n) | (x >> (64 - n));
 }
 
+}  // namespace
+
+namespace detail {
+
 void keccak_f1600(std::array<std::uint64_t, 25>& a) noexcept {
   for (int round = 0; round < kRounds; ++round) {
     // Theta
@@ -61,7 +65,7 @@ void keccak_f1600(std::array<std::uint64_t, 25>& a) noexcept {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 Keccak256::Keccak256() noexcept = default;
 
@@ -71,7 +75,7 @@ void Keccak256::absorb_block() noexcept {
     std::memcpy(&lane, buffer_.data() + i * 8, 8);  // little-endian hosts only
     state_[i] ^= lane;
   }
-  keccak_f1600(state_);
+  detail::keccak_f1600(state_);
   buffered_ = 0;
 }
 
@@ -105,6 +109,12 @@ obs::Counter& invocation_counter() noexcept {
 std::uint64_t keccak_invocations() noexcept {
   return invocation_counter().value();
 }
+
+namespace detail {
+void count_keccak_digests(std::uint64_t n) noexcept {
+  invocation_counter().add(n);
+}
+}  // namespace detail
 
 Hash256 Keccak256::finalize() noexcept {
   invocation_counter().add(1);

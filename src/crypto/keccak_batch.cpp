@@ -1,0 +1,291 @@
+// Batched multi-lane Keccak-256.
+//
+// keccak256_many() hashes independent messages kKeccakLanes (4) at a time
+// through one interleaved keccak-f[1600] permutation. The interleaved state
+// is word-major / lane-minor: st[word * kKeccakLanes + lane], i.e. the four
+// copies of state word w sit in adjacent u64s — exactly one 256-bit vector
+// register per word, so the AVX2 kernel loads/stores each word with a single
+// instruction and the portable kernel below expresses the same thing as
+// 4-wide SWAR structs the compiler can auto-vectorize.
+//
+// Messages are grouped by padded block count (floor(len/136) + 1); lanes in a
+// sweep must agree on block count so every lane absorbs and permutes in
+// lockstep. Leftover groups of one message fall back to the scalar reference.
+// Every path is bit-identical to detail::keccak_f1600 by construction (same
+// round constants, same rho/pi schedules) and verified in test_keccak.cpp.
+//
+// Backend selection happens once per process: the AVX2 kernel (separate TU
+// compiled with -mavx2, present only under PROXION_SIMD=ON) is used when the
+// CPU reports AVX2 at runtime, otherwise the portable SWAR kernel.
+#include "crypto/keccak.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace proxion::crypto {
+namespace detail {
+
+#if defined(PROXION_SIMD_AVX2)
+// Defined in keccak_batch_avx2.cpp (compiled with -mavx2).
+void keccak_f1600_x4_avx2(std::uint64_t* st) noexcept;
+bool keccak_avx2_supported() noexcept;
+#endif
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kPi[24] = {10, 7,  11, 17, 18, 3,  5,  16, 8,  21, 24, 4,
+                         15, 23, 19, 13, 12, 2,  20, 14, 22, 9,  6,  1};
+constexpr int kRho[24] = {1,  3,  6,  10, 15, 21, 28, 36, 45, 55, 2,  14,
+                          27, 41, 56, 8,  25, 43, 62, 18, 39, 61, 20, 44};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned n) noexcept {
+  return (x << n) | (x >> (64 - n));
+}
+
+// One u64 per lane; the compiler vectorizes the element-wise ops.
+struct V4 {
+  std::uint64_t v[kKeccakLanes];
+};
+
+inline V4 operator^(const V4& a, const V4& b) noexcept {
+  return {{a.v[0] ^ b.v[0], a.v[1] ^ b.v[1], a.v[2] ^ b.v[2], a.v[3] ^ b.v[3]}};
+}
+
+inline V4& operator^=(V4& a, const V4& b) noexcept {
+  for (std::size_t i = 0; i < kKeccakLanes; ++i) a.v[i] ^= b.v[i];
+  return a;
+}
+
+/// ~a & b (the chi nonlinearity; matches _mm256_andnot_si256 operand order).
+inline V4 andn(const V4& a, const V4& b) noexcept {
+  return {{~a.v[0] & b.v[0], ~a.v[1] & b.v[1], ~a.v[2] & b.v[2],
+           ~a.v[3] & b.v[3]}};
+}
+
+inline V4 rotl(const V4& a, unsigned n) noexcept {
+  return {{rotl64(a.v[0], n), rotl64(a.v[1], n), rotl64(a.v[2], n),
+           rotl64(a.v[3], n)}};
+}
+
+}  // namespace
+
+/// Portable 4-lane permutation over the interleaved state (25 * 4 u64,
+/// word-major). Same round structure as the scalar keccak_f1600.
+void keccak_f1600_x4_swar(std::uint64_t* st) noexcept {
+  V4 a[25];
+  std::memcpy(a, st, sizeof(a));
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    V4 c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const V4 d = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 25; y += 5) a[x + y] ^= d;
+    }
+    // Rho + Pi
+    V4 last = a[1];
+    for (int i = 0; i < 24; ++i) {
+      const int j = kPi[i];
+      const V4 tmp = a[j];
+      a[j] = rotl(last, static_cast<unsigned>(kRho[i]));
+      last = tmp;
+    }
+    // Chi
+    for (int y = 0; y < 25; y += 5) {
+      V4 row[5];
+      for (int x = 0; x < 5; ++x) row[x] = a[y + x];
+      for (int x = 0; x < 5; ++x) {
+        a[y + x] = row[x] ^ andn(row[(x + 1) % 5], row[(x + 2) % 5]);
+      }
+    }
+    // Iota
+    const std::uint64_t rc = kRoundConstants[round];
+    for (std::size_t l = 0; l < kKeccakLanes; ++l) a[0].v[l] ^= rc;
+  }
+  std::memcpy(st, a, sizeof(a));
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kRate = 136;  // 1088-bit rate of Keccak-256
+
+using PermX4 = void (*)(std::uint64_t*) noexcept;
+
+struct Backend {
+  PermX4 perm;
+  const char* name;
+};
+
+Backend pick_backend() noexcept {
+#if defined(PROXION_SIMD_AVX2)
+  if (detail::keccak_avx2_supported()) {
+    return {detail::keccak_f1600_x4_avx2, "avx2"};
+  }
+#endif
+  return {detail::keccak_f1600_x4_swar, "swar"};
+}
+
+const Backend& backend() noexcept {
+  static const Backend b = pick_backend();
+  return b;
+}
+
+/// Padded block count: Keccak's 0x01..0x80 padding always adds at least one
+/// byte, so an exact-multiple message still gains a final all-padding block.
+constexpr std::size_t blocks_of(std::size_t len) noexcept {
+  return len / kRate + 1;
+}
+
+/// Hashes `lanes` (2..kKeccakLanes) messages of identical padded block count
+/// through the interleaved permutation. Unused lanes stay zero (harmless —
+/// their output is never read).
+void hash_lanes(const std::uint8_t* const* data, const std::size_t* len,
+                std::size_t lanes, std::size_t nblocks, Hash256* out) {
+  alignas(32) std::uint64_t st[25 * kKeccakLanes] = {};
+  std::uint8_t block[kRate];
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t off = b * kRate;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t remaining = len[l] - off;
+      if (remaining >= kRate) {
+        std::memcpy(block, data[l] + off, kRate);
+      } else {
+        if (remaining > 0) std::memcpy(block, data[l] + off, remaining);
+        std::memset(block + remaining, 0, kRate - remaining);
+        block[remaining] = 0x01;  // multi-rate padding start
+        block[kRate - 1] |= 0x80;
+      }
+      for (std::size_t w = 0; w < kRate / 8; ++w) {
+        std::uint64_t word = 0;
+        std::memcpy(&word, block + w * 8, 8);  // little-endian hosts only
+        st[w * kKeccakLanes + l] ^= word;
+      }
+    }
+    backend().perm(st);
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t w = 0; w < Hash256{}.size() / 8; ++w) {
+      std::memcpy(out[l].data() + w * 8, &st[w * kKeccakLanes + l], 8);
+    }
+  }
+}
+
+/// Scalar reference without the per-digest counter bump (the batch entry
+/// points count all inputs in one add).
+Hash256 hash_scalar_uncounted(const std::uint8_t* data, std::size_t len) {
+  std::array<std::uint64_t, 25> state{};
+  std::uint8_t block[kRate];
+  const std::size_t nblocks = blocks_of(len);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t off = b * kRate;
+    const std::size_t remaining = len - off;
+    if (remaining >= kRate) {
+      std::memcpy(block, data + off, kRate);
+    } else {
+      if (remaining > 0) std::memcpy(block, data + off, remaining);
+      std::memset(block + remaining, 0, kRate - remaining);
+      block[remaining] = 0x01;
+      block[kRate - 1] |= 0x80;
+    }
+    for (std::size_t w = 0; w < kRate / 8; ++w) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, block + w * 8, 8);
+      state[w] ^= word;
+    }
+    detail::keccak_f1600(state);
+  }
+  Hash256 out{};
+  std::memcpy(out.data(), state.data(), out.size());
+  return out;
+}
+
+/// Shared driver: groups inputs by padded block count (a stable sort of
+/// indices — digests land back in input order regardless), sweeps full and
+/// partial lane groups through the interleaved kernel, and counts every
+/// digest in one registry add.
+std::vector<Hash256> many_impl(const std::uint8_t* const* datas,
+                               const std::size_t* lens, std::size_t n) {
+  std::vector<Hash256> out(n);
+  if (n == 0) return out;
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return blocks_of(lens[a]) < blocks_of(lens[b]);
+                   });
+
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t nb = blocks_of(lens[order[i]]);
+    std::size_t j = i + 1;
+    while (j < n && j - i < kKeccakLanes && blocks_of(lens[order[j]]) == nb) {
+      ++j;
+    }
+    const std::size_t lanes = j - i;
+    if (lanes >= 2) {
+      const std::uint8_t* data[kKeccakLanes] = {};
+      std::size_t len[kKeccakLanes] = {};
+      Hash256 res[kKeccakLanes];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        data[l] = datas[order[i + l]];
+        len[l] = lens[order[i + l]];
+      }
+      hash_lanes(data, len, lanes, nb, res);
+      for (std::size_t l = 0; l < lanes; ++l) out[order[i + l]] = res[l];
+    } else {
+      out[order[i]] =
+          hash_scalar_uncounted(datas[order[i]], lens[order[i]]);
+    }
+    i = j;
+  }
+
+  detail::count_keccak_digests(n);
+  return out;
+}
+
+}  // namespace
+
+const char* keccak_batch_backend() noexcept { return backend().name; }
+
+std::vector<Hash256> keccak256_many(
+    std::span<const std::vector<std::uint8_t>> inputs) {
+  std::vector<const std::uint8_t*> datas(inputs.size());
+  std::vector<std::size_t> lens(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    datas[i] = inputs[i].data();
+    lens[i] = inputs[i].size();
+  }
+  return many_impl(datas.data(), lens.data(), inputs.size());
+}
+
+std::vector<Hash256> keccak256_many(
+    std::span<const std::span<const std::uint8_t>> inputs) {
+  std::vector<const std::uint8_t*> datas(inputs.size());
+  std::vector<std::size_t> lens(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    datas[i] = inputs[i].data();
+    lens[i] = inputs[i].size();
+  }
+  return many_impl(datas.data(), lens.data(), inputs.size());
+}
+
+}  // namespace proxion::crypto

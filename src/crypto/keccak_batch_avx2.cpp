@@ -1,0 +1,96 @@
+// AVX2 4-lane keccak-f[1600] kernel. This TU is compiled with -mavx2 and is
+// only part of the build under PROXION_SIMD=ON; nothing here runs unless the
+// CPU reports AVX2 at runtime (keccak_avx2_supported), so the rest of the
+// binary stays baseline-ISA clean.
+//
+// State layout matches keccak_batch.cpp: word-major / lane-minor, so the four
+// copies of state word w are st[w*4 .. w*4+3] — one 256-bit register per word.
+#include <cstdint>
+
+#if defined(PROXION_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace proxion::crypto::detail {
+
+#if defined(PROXION_SIMD_AVX2)
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kPi[24] = {10, 7,  11, 17, 18, 3,  5,  16, 8,  21, 24, 4,
+                         15, 23, 19, 13, 12, 2,  20, 14, 22, 9,  6,  1};
+constexpr int kRho[24] = {1,  3,  6,  10, 15, 21, 28, 36, 45, 55, 2,  14,
+                          27, 41, 56, 8,  25, 43, 62, 18, 39, 61, 20, 44};
+
+inline __m256i rotl(__m256i x, int n) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi64(x, n), _mm256_srli_epi64(x, 64 - n));
+}
+
+}  // namespace
+
+bool keccak_avx2_supported() noexcept {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+void keccak_f1600_x4_avx2(std::uint64_t* st) noexcept {
+  __m256i a[25];
+  for (int w = 0; w < 25; ++w) {
+    a[w] = _mm256_load_si256(reinterpret_cast<const __m256i*>(st + w * 4));
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    __m256i c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_xor_si256(a[x], a[x + 5]),
+                           _mm256_xor_si256(a[x + 10], a[x + 15])),
+          a[x + 20]);
+    }
+    for (int x = 0; x < 5; ++x) {
+      const __m256i d =
+          _mm256_xor_si256(c[(x + 4) % 5], rotl(c[(x + 1) % 5], 1));
+      for (int y = 0; y < 25; y += 5) a[x + y] = _mm256_xor_si256(a[x + y], d);
+    }
+    // Rho + Pi
+    __m256i last = a[1];
+    for (int i = 0; i < 24; ++i) {
+      const int j = kPi[i];
+      const __m256i tmp = a[j];
+      a[j] = rotl(last, kRho[i]);
+      last = tmp;
+    }
+    // Chi
+    for (int y = 0; y < 25; y += 5) {
+      __m256i row[5];
+      for (int x = 0; x < 5; ++x) row[x] = a[y + x];
+      for (int x = 0; x < 5; ++x) {
+        a[y + x] = _mm256_xor_si256(
+            row[x], _mm256_andnot_si256(row[(x + 1) % 5], row[(x + 2) % 5]));
+      }
+    }
+    // Iota
+    a[0] = _mm256_xor_si256(
+        a[0], _mm256_set1_epi64x(
+                  static_cast<long long>(kRoundConstants[round])));
+  }
+  for (int w = 0; w < 25; ++w) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(st + w * 4), a[w]);
+  }
+}
+
+#endif  // PROXION_SIMD_AVX2
+
+}  // namespace proxion::crypto::detail

@@ -62,13 +62,25 @@ std::unordered_set<std::uint32_t> valid_jumpdests(BytesView code) {
 
 }  // namespace
 
+// The hot frame containers (operand stack, byte-addressed memory, return-
+// data buffer) draw from the transaction's bump arena: allocation is a
+// pointer bump, deallocation a no-op, and the whole transaction's scratch is
+// reclaimed in one arena reset at the next top-level execute(). `code`,
+// `jumpdests`, and `logs` stay heap-allocated — code is usually a cheap copy
+// of host-owned bytes, and logs outlive the frame inside ExecResult.
 struct Interpreter::Frame {
+  explicit Frame(util::Arena& arena)
+      : stack(util::ArenaAllocator<U256>(&arena)),
+        memory(util::ArenaAllocator<std::uint8_t>(&arena)),
+        last_return_data(util::ArenaAllocator<std::uint8_t>(&arena)) {}
+
   CallParams params;
   Bytes code;
   std::unordered_set<std::uint32_t> jumpdests;
-  std::vector<U256> stack;
-  Bytes memory;
-  Bytes last_return_data;
+  std::vector<U256, util::ArenaAllocator<U256>> stack;
+  std::vector<std::uint8_t, util::ArenaAllocator<std::uint8_t>> memory;
+  std::vector<std::uint8_t, util::ArenaAllocator<std::uint8_t>>
+      last_return_data;
   std::vector<LogRecord> logs;
   std::uint64_t pc = 0;
   std::int64_t gas = 0;
@@ -87,7 +99,14 @@ std::int64_t Interpreter::slot_access_surcharge(const Address& a,
 }
 
 ExecResult Interpreter::execute(const CallParams& params) {
-  Frame frame;
+  if (params.depth == 0 && access_ == &owned_access_state_) {
+    // True top-level entry (not a sub-interpreter sharing our state): no
+    // frame is alive, so the previous transaction's arena scratch can be
+    // reclaimed wholesale before this frame starts allocating.
+    arena_->reset();
+  }
+
+  Frame frame(*arena_);
   frame.params = params;
   frame.code = host_.get_code(params.code_address);
   frame.jumpdests = valid_jumpdests(frame.code);
@@ -130,7 +149,11 @@ ExecResult Interpreter::execute_create(const Address& creator,
   params.gas = gas;
   params.depth = depth;
 
-  Frame frame;
+  if (depth == 0 && access_ == &owned_access_state_) {
+    arena_->reset();  // same top-level contract as execute()
+  }
+
+  Frame frame(*arena_);
   frame.params = params;
   frame.code.assign(init_code.begin(), init_code.end());
   frame.jumpdests = valid_jumpdests(frame.code);
@@ -802,7 +825,7 @@ ExecResult Interpreter::run_frame(Frame& f) {
           if (!charge(static_cast<std::int64_t>(pre->gas_cost))) {
             return halt(HaltReason::kOutOfGas);
           }
-          f.last_return_data = pre->output;
+          f.last_return_data.assign(pre->output.begin(), pre->output.end());
           const std::uint64_t copy_len = std::min<std::uint64_t>(
               out_size.fits_u64() ? out_size.low64() : 0,
               f.last_return_data.size());
@@ -818,6 +841,7 @@ ExecResult Interpreter::run_frame(Frame& f) {
         sub_interp.steps_ = steps_;
         sub_interp.observer_ = observer_;
         sub_interp.access_ = access_;  // same transaction, same warm sets
+        sub_interp.arena_ = arena_;    // same transaction, same scratch arena
         const ExecResult sub_result = sub_interp.execute(sub);
         steps_ = sub_interp.steps_;
 
@@ -829,7 +853,8 @@ ExecResult Interpreter::run_frame(Frame& f) {
           return halt(HaltReason::kStepLimit);
         }
 
-        f.last_return_data = sub_result.return_data;
+        f.last_return_data.assign(sub_result.return_data.begin(),
+                                  sub_result.return_data.end());
         for (const auto& log : sub_result.logs) f.logs.push_back(log);
 
         // Copy return data into the caller-specified output window.
@@ -880,6 +905,7 @@ ExecResult Interpreter::run_frame(Frame& f) {
         sub_interp.steps_ = steps_;
         sub_interp.observer_ = observer_;
         sub_interp.access_ = access_;
+        sub_interp.arena_ = arena_;
         const std::uint64_t available =
             static_cast<std::uint64_t>(std::max<std::int64_t>(f.gas, 0));
         const ExecResult sub_result = sub_interp.execute_create(
@@ -897,7 +923,8 @@ ExecResult Interpreter::run_frame(Frame& f) {
 
         f.last_return_data.clear();  // per EIP-211, CREATE clears it on success
         if (sub_result.halt == HaltReason::kRevert) {
-          f.last_return_data = sub_result.return_data;
+          f.last_return_data.assign(sub_result.return_data.begin(),
+                                    sub_result.return_data.end());
         }
         push(sub_result.halt == HaltReason::kReturn ? target.to_word()
                                                     : U256{});

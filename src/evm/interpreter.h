@@ -18,6 +18,7 @@
 
 #include "evm/host.h"
 #include "evm/types.h"
+#include "util/arena.h"
 
 namespace proxion::evm {
 
@@ -183,6 +184,14 @@ class Interpreter {
   std::uint64_t steps_ = 0;
   TxAccessState owned_access_state_;
   TxAccessState* access_ = &owned_access_state_;
+  /// Bump-allocated scratch for frame containers (operand stack, memory,
+  /// return-data buffer). Shared by every frame of one transaction — nested
+  /// sub-interpreters point at the top-level interpreter's arena, the same
+  /// sharing pattern as access_ — and reset at top-level transaction entry,
+  /// when no frames are alive. Steady-state emulation therefore performs no
+  /// heap allocation for frame scratch.
+  util::Arena owned_arena_;
+  util::Arena* arena_ = &owned_arena_;
 };
 
 }  // namespace proxion::evm

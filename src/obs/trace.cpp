@@ -21,6 +21,14 @@ struct TlsRingCache {
 };
 thread_local TlsRingCache t_ring_cache;
 
+/// Per-thread sampling countdown, keyed the same way as the ring cache so a
+/// new tracer starts each thread at countdown 0 (first span always kept).
+struct TlsSampleCache {
+  std::uint64_t tracer_id = 0;
+  std::uint32_t countdown = 0;
+};
+thread_local TlsSampleCache t_sample_cache;
+
 }  // namespace
 
 std::uint64_t steady_now_ns() noexcept {
@@ -36,6 +44,21 @@ Tracer::Tracer(TraceClock clock, std::size_t ring_capacity)
       clock_(clock ? std::move(clock) : TraceClock(&steady_now_ns)) {}
 
 Tracer::~Tracer() = default;
+
+bool Tracer::sample_this_span() noexcept {
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every <= 1) return true;
+  if (t_sample_cache.tracer_id != id_) {
+    t_sample_cache.tracer_id = id_;
+    t_sample_cache.countdown = 0;  // first span on this thread is kept
+  }
+  if (t_sample_cache.countdown == 0) {
+    t_sample_cache.countdown = every - 1;
+    return true;
+  }
+  --t_sample_cache.countdown;
+  return false;
+}
 
 Tracer::Ring& Tracer::ring_for_this_thread() {
   if (t_ring_cache.tracer_id == id_) {

@@ -1,0 +1,140 @@
+// Chunked bump allocator for per-transaction emulation scratch. The
+// interpreter's hot containers (operand stack, byte-addressed memory,
+// return-data buffer) previously churned the global allocator once per
+// frame; an Arena hands out pointer-bump allocations from geometrically
+// growing chunks and reclaims everything at once when the owner calls
+// reset() between transactions, so steady-state emulation performs zero
+// malloc/free per message call.
+//
+// Deallocation is a no-op by design: memory is only reclaimed by reset(),
+// which must not run while any arena-backed container is alive. The
+// interpreter resets at top-level execute() entry, when no frames exist.
+// Arenas are single-threaded — each Interpreter owns one; nothing here is
+// synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace proxion::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_chunk_bytes = 64 * 1024)
+      : next_chunk_bytes_(initial_chunk_bytes == 0 ? kMinChunk
+                                                   : initial_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Pointer-bump allocation, aligned to `align` (which must be a power of
+  /// two). Opens a new chunk when the current one cannot fit the request.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (!chunks_.empty()) {
+      const std::size_t aligned = align_up(offset_, align);
+      if (aligned + bytes <= chunks_.back().size) {
+        offset_ = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return chunks_.back().data.get() + aligned;
+      }
+    }
+    // New chunk: geometric growth, but never smaller than the request.
+    std::size_t chunk_bytes = next_chunk_bytes_;
+    if (chunk_bytes < bytes + align) chunk_bytes = bytes + align;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(chunk_bytes),
+                            chunk_bytes});
+    if (next_chunk_bytes_ < kMaxChunkGrowth) next_chunk_bytes_ *= 2;
+    const std::size_t aligned =
+        align_up(reinterpret_cast<std::uintptr_t>(chunks_.back().data.get()),
+                 align) -
+        reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+    offset_ = aligned + bytes;
+    bytes_allocated_ += bytes;
+    return chunks_.back().data.get() + aligned;
+  }
+
+  /// Reclaims every allocation at once. Keeps only the largest chunk (the
+  /// steady-state working set) so repeated transactions reuse one block
+  /// instead of re-growing from the initial chunk size. Must not run while
+  /// arena-backed containers are alive.
+  void reset() noexcept {
+    if (chunks_.size() > 1) {
+      std::size_t largest = 0;
+      for (std::size_t i = 1; i < chunks_.size(); ++i) {
+        if (chunks_[i].size > chunks_[largest].size) largest = i;
+      }
+      Chunk keep = std::move(chunks_[largest]);
+      chunks_.clear();
+      chunks_.push_back(std::move(keep));
+    }
+    offset_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (no-op deallocate: this only
+  /// ever grows within a transaction).
+  std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  /// Total chunk capacity currently held.
+  std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  static constexpr std::size_t kMinChunk = 1024;
+  /// Chunk sizes stop doubling here; a single request larger than this
+  /// still gets a chunk of its exact size.
+  static constexpr std::size_t kMaxChunkGrowth = 8u << 20;
+
+  static constexpr std::size_t align_up(std::size_t v,
+                                        std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t offset_ = 0;  // bump position inside chunks_.back()
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+/// std::allocator-shaped adapter over an Arena. deallocate is a no-op (the
+/// arena reclaims in bulk at reset), so containers using it must not
+/// outlive the owner's reset cycle.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* /*p*/, std::size_t /*n*/) noexcept {}
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator<U>& b) noexcept {
+    return a.arena() == b.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace proxion::util

@@ -2,8 +2,13 @@
 // it (selectors, proxy storage slot constants, CREATE/CREATE2 addresses).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <span>
+#include <vector>
+
 #include "crypto/eth.h"
 #include "crypto/keccak.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -51,6 +56,127 @@ TEST(Keccak, IncrementalByteAtATime) {
   Keccak256 h;
   for (const char c : input) h.update(std::string_view(&c, 1));
   EXPECT_EQ(h.finalize(), keccak256(input));
+}
+
+// ---- batched hashing ------------------------------------------------------
+
+std::vector<std::uint8_t> patterned_message(std::size_t len,
+                                            std::uint8_t seed) {
+  std::vector<std::uint8_t> m(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    m[i] = static_cast<std::uint8_t>(seed + i * 7 + (i >> 3));
+  }
+  return m;
+}
+
+TEST(KeccakBatch, MatchesScalarForEveryBatchSize) {
+  // 0..9 messages per batch covers: empty batch, lone message (scalar
+  // fallback), partial lanes (2, 3), one full 4-lane group, full group plus
+  // remainder, and two full groups plus remainder.
+  for (std::size_t n = 0; n <= 9; ++n) {
+    std::vector<std::vector<std::uint8_t>> msgs;
+    for (std::size_t i = 0; i < n; ++i) {
+      msgs.push_back(patterned_message(32 + i * 17, static_cast<std::uint8_t>(i)));
+    }
+    const auto batched =
+        keccak256_many(std::span<const std::vector<std::uint8_t>>(msgs));
+    ASSERT_EQ(batched.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batched[i], keccak256(msgs[i]))
+          << "batch size " << n << ", message " << i << ", backend "
+          << keccak_batch_backend();
+    }
+  }
+}
+
+TEST(KeccakBatch, RaggedLengthsAcrossRateBoundaries) {
+  // Lengths straddling the 136-byte rate: 135 needs the 0x81 combined pad
+  // byte, 136 gains an all-padding block, 271/272 repeat that at two blocks,
+  // and 0 is the empty message.
+  const std::size_t lengths[] = {0, 1, 31, 32, 135, 136, 137, 200, 271, 272, 500};
+  std::vector<std::vector<std::uint8_t>> msgs;
+  for (std::size_t i = 0; i < std::size(lengths); ++i) {
+    msgs.push_back(patterned_message(lengths[i], static_cast<std::uint8_t>(i)));
+  }
+  const auto batched =
+      keccak256_many(std::span<const std::vector<std::uint8_t>>(msgs));
+  ASSERT_EQ(batched.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(batched[i], keccak256(msgs[i]))
+        << "length " << lengths[i] << ", backend " << keccak_batch_backend();
+  }
+}
+
+TEST(KeccakBatch, IdenticalMessagesShareALaneGroup) {
+  // Four equal-length messages pack into one 4-wide permutation; equal
+  // inputs must produce equal digests and match scalar.
+  std::vector<std::vector<std::uint8_t>> msgs(4, patterned_message(64, 9));
+  const auto batched =
+      keccak256_many(std::span<const std::vector<std::uint8_t>>(msgs));
+  const Hash256 expected = keccak256(msgs[0]);
+  for (const auto& d : batched) EXPECT_EQ(d, expected);
+}
+
+TEST(KeccakBatch, SpanOverloadMatchesVectorOverload) {
+  std::vector<std::vector<std::uint8_t>> msgs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    msgs.push_back(patterned_message(40 + i * 50, static_cast<std::uint8_t>(i)));
+  }
+  std::vector<std::span<const std::uint8_t>> views(msgs.begin(), msgs.end());
+  const auto by_vec =
+      keccak256_many(std::span<const std::vector<std::uint8_t>>(msgs));
+  const auto by_span =
+      keccak256_many(std::span<const std::span<const std::uint8_t>>(views));
+  EXPECT_EQ(by_vec, by_span);
+}
+
+TEST(KeccakBatch, BackendNameIsNonEmpty) {
+  const char* backend = keccak_batch_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STRNE(backend, "");
+  // Visible in --gtest_output so CI logs show which kernel actually ran.
+  std::printf("keccak batch backend: %s\n", backend);
+}
+
+// ---- selector memo --------------------------------------------------------
+
+TEST(SelectorMemo, MemoizedMatchesDirectHash) {
+  set_selector_memo_enabled(true);
+  clear_selector_memo();
+  const Selector first = selector_of("transfer(address,uint256)");
+  const Selector again = selector_of("transfer(address,uint256)");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(selector_u32("transfer(address,uint256)"), 0xa9059cbbu);
+}
+
+TEST(SelectorMemo, DisableBypassesAndClears) {
+  set_selector_memo_enabled(true);
+  clear_selector_memo();
+  const Selector memoized = selector_of("balanceOf(address)");
+  set_selector_memo_enabled(false);
+  EXPECT_FALSE(selector_memo_enabled());
+  const Selector direct = selector_of("balanceOf(address)");
+  EXPECT_EQ(memoized, direct);
+  set_selector_memo_enabled(true);
+  EXPECT_TRUE(selector_memo_enabled());
+}
+
+TEST(SelectorMemo, CountsHitsAndMisses) {
+  using proxion::obs::Registry;
+  set_selector_memo_enabled(true);
+  clear_selector_memo();
+  const auto counter = [](const char* name) {
+    const auto snap = Registry::global().snapshot();
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const std::uint64_t hits0 = counter("crypto.selector_memo.hits");
+  const std::uint64_t misses0 = counter("crypto.selector_memo.misses");
+  (void)selector_of("proxionMemoProbe(uint256)");  // cold: miss
+  (void)selector_of("proxionMemoProbe(uint256)");  // warm: hit
+  (void)selector_of("proxionMemoProbe(uint256)");  // warm: hit
+  EXPECT_EQ(counter("crypto.selector_memo.misses") - misses0, 1u);
+  EXPECT_EQ(counter("crypto.selector_memo.hits") - hits0, 2u);
 }
 
 TEST(Selector, TransferSelector) {
