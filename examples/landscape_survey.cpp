@@ -103,6 +103,16 @@ void print_stats(const core::LandscapeStats& stats) {
                 static_cast<unsigned long long>(stats.sweep_shards),
                 static_cast<unsigned long long>(stats.journal_replayed),
                 static_cast<unsigned long long>(stats.incremental_reanalyzed));
+    if (stats.selfheal_shards > 0) {
+      std::printf("  journal self-heal:         %llu corrupt region(s) "
+                  "recomputed\n",
+                  static_cast<unsigned long long>(stats.selfheal_shards));
+    }
+    if (stats.sweep_degraded != 0) {
+      std::printf("  DEGRADED MODE:             disk failed mid-sweep; "
+                  "verdicts complete, checkpoint stopped at last good "
+                  "commit\n");
+    }
   }
 
   std::printf("\n  standards:\n");
@@ -180,6 +190,11 @@ int main(int argc, char** argv) {
     if (!result.error.empty()) {
       std::fprintf(stderr, "durable sweep failed: %s\n", result.error.c_str());
       return 1;
+    }
+    if (result.degraded && result.disk_error) {
+      std::fprintf(stderr, "durable sweep degraded (%s): %s\n",
+                   std::string(core::to_string(result.disk_error->kind)).c_str(),
+                   result.disk_error->detail.c_str());
     }
     if (!result.complete) {
       std::printf("sweep stopped after %llu shard(s) (%llu contracts "

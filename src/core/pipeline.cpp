@@ -89,6 +89,7 @@ std::string_view to_string(ErrorKind kind) noexcept {
     case ErrorKind::kRpcExhausted: return "rpc_exhausted";
     case ErrorKind::kEmulationLimit: return "emulation_limit";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kDiskIo: return "disk_io";
   }
   return "unknown";
 }

@@ -57,6 +57,7 @@ enum class ErrorKind : std::uint8_t {
   kRpcExhausted,    // retry budget spent / circuit open; backend gave nothing
   kEmulationLimit,  // step or wall-clock watchdog budget exceeded
   kInternal,        // unexpected exception inside the analysis itself
+  kDiskIo,          // checkpoint-store I/O failure (errno detail in text)
 };
 
 std::string_view to_string(ErrorKind kind) noexcept;
@@ -239,6 +240,14 @@ struct LandscapeStats {
   /// Contracts the incremental mode re-analyzed because their
   /// (code hash, implementation-slot head) fingerprint changed.
   std::uint64_t incremental_reanalyzed = 0;
+  /// 1 when the durable driver lost its disk mid-sweep (ENOSPC/persistent
+  /// write or fsync failure) and finished in in-memory degraded mode:
+  /// verdicts are complete and correct, but nothing past the last good
+  /// shard commit is checkpointed.
+  std::uint64_t sweep_degraded = 0;
+  /// Corrupt journal regions (bit rot) detected during replay and healed
+  /// by recomputing exactly the records they destroyed.
+  std::uint64_t selfheal_shards = 0;
 
   // ---- fault / coverage accounting --------------------------------------
   /// Contracts whose reports carry an ErrorRecord (excluded from the

@@ -143,7 +143,15 @@ std::string render_landscape_text(const LandscapeStats& stats) {
       out << ", " << stats.incremental_reanalyzed
           << " re-analyzed (incremental)";
     }
+    if (stats.selfheal_shards > 0) {
+      out << ", " << stats.selfheal_shards
+          << " corrupt region(s) self-healed";
+    }
     out << "\n";
+    if (stats.sweep_degraded != 0) {
+      out << "DEGRADED:            disk gave out mid-sweep; verdicts are "
+             "complete but checkpointing stopped at the last good commit\n";
+    }
   }
   if (stats.rpc_retries > 0 || stats.rpc_giveups > 0) {
     out << "rpc faults absorbed: " << stats.rpc_retries << " retried, "

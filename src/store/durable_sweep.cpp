@@ -1,6 +1,7 @@
 #include "store/durable_sweep.h"
 
 #include <chrono>
+#include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -66,6 +67,11 @@ DurableSweepResult DurableSweep::incremental(
 DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
                                        Mode mode) {
   DurableSweepResult result;
+  util::Vfs& vfs = config_.vfs != nullptr ? *config_.vfs : util::Vfs::real();
+  // Per-sweep gauges start clean (a prior degraded sweep on the same
+  // registry must not leak into this one's report).
+  metrics_.gauge("sweep.degraded").set(0);
+  metrics_.gauge("sweep.selfheal_shards").set(0);
 
   // ---- fingerprint the population ---------------------------------------
   // One code fetch + keccak per input; the blob is dropped immediately, so
@@ -92,13 +98,20 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   // pass supersedes the original.
   std::unordered_map<Address, ContractRecord, evm::AddressHasher> records;
   std::uint64_t prior_shards = 0;
-  std::uint64_t prior_contracts = 0;
   bool journal_present = false;
+  std::uint64_t heal_gaps = 0;
   if (mode != Mode::kFresh) {
-    if (std::optional<JournalReplay> replay = read_journal(config_.journal_path)) {
+    // Salvage replay: a bit-rotted region mid-journal loses only the
+    // records it physically destroyed — valid frames past it still count.
+    // The destroyed records' hash groups simply come up short below and
+    // get recomputed whole: that IS the self-heal, scoped to the damage.
+    if (std::optional<JournalReplay> replay = read_journal(
+            config_.journal_path, vfs, ReplayOptions{.salvage = true})) {
       journal_present = true;
+      heal_gaps = replay->corrupt_gaps;
       metrics_.counter("store.journal.frames_replayed").add(replay->frames.size());
       metrics_.counter("store.journal.crc_failures").add(replay->crc_failures);
+      metrics_.counter("store.journal.corrupt_gaps").add(replay->corrupt_gaps);
       if (replay->tail_dropped) {
         metrics_.counter("store.journal.truncated_tails").add(1);
       }
@@ -111,11 +124,7 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
             }
             break;
           case RecordType::kShardCommit:
-            if (std::optional<ShardCommitRecord> rec =
-                    decode_shard_commit(frame.payload)) {
-              ++prior_shards;
-              prior_contracts += rec->contracts;
-            }
+            if (decode_shard_commit(frame.payload)) ++prior_shards;
             break;
           case RecordType::kSweepBegin:
           case RecordType::kSweepEnd:
@@ -213,19 +222,45 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   metrics_.counter("store.sweep.contracts_upgraded").add(upgraded);
 
   // ---- open the journal -------------------------------------------------
+  // On any disk failure from here on, `degrade` either flips the sweep
+  // into in-memory degraded mode (drop the writer, keep analyzing, report
+  // the cause) or — with degradation disabled — asks the caller to abort.
+  auto degrade = [&](const IoResult& why) -> bool /*keep going*/ {
+    if (!result.disk_error) {
+      result.disk_error = core::ErrorRecord{core::ErrorKind::kDiskIo,
+                                            "journal", why.message()};
+    }
+    if (!config_.degrade_on_disk_failure) return false;
+    if (!result.degraded) {
+      result.degraded = true;
+      metrics_.gauge("sweep.degraded").set(1);
+      std::fprintf(stderr,
+                   "proxion: durable sweep degraded to in-memory mode: %s\n",
+                   why.message().c_str());
+    }
+    return true;
+  };
+  IoResult open_why;
   std::optional<JournalWriter> writer =
-      effective == Mode::kFresh ? JournalWriter::create(config_.journal_path)
-                                : JournalWriter::open_append(config_.journal_path);
+      effective == Mode::kFresh
+          ? JournalWriter::create(config_.journal_path, vfs, &open_why)
+          : JournalWriter::open_append(config_.journal_path, vfs, &open_why);
   if (!writer) {
-    result.error = "cannot open checkpoint journal: " + config_.journal_path;
-    return result;
+    if (!degrade(open_why)) {
+      result.error = "cannot open checkpoint journal: " + config_.journal_path +
+                     " (" + open_why.message() + ")";
+      return result;
+    }
   }
-  if (effective == Mode::kFresh) {
+  if (writer && effective == Mode::kFresh) {
     const std::vector<std::uint8_t> begin = encode_sweep_begin(
         {inputs.size(), static_cast<std::uint64_t>(config_.shard_size)});
-    if (!writer->append(RecordType::kSweepBegin, begin)) {
-      result.error = "journal append failed";
-      return result;
+    if (IoResult r = writer->append(RecordType::kSweepBegin, begin); !r) {
+      if (!degrade(r)) {
+        result.error = "journal append failed: " + r.message();
+        return result;
+      }
+      writer.reset();
     }
   }
 
@@ -269,7 +304,12 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   std::uint64_t sum_pair_hits = 0, sum_pair_misses = 0, sum_pair_waits = 0;
   obs::Histogram& h_flush = metrics_.histogram("store.journal.flush_ns");
   std::uint64_t shard_index = plan.prior_shards;
-  std::uint64_t contracts_committed = prior_contracts;
+  // Replayed contracts sit inside the journal's valid prefix, which every
+  // manifest written below covers (committed_bytes spans the whole file) —
+  // so they count as committed from the first new commit on. Summing the
+  // journal's old kShardCommit frames instead would miss records replayed
+  // from valid-but-uncommitted tails and double-count re-run groups.
+  std::uint64_t contracts_committed = result.replayed;
   bool stopped = false;
 
   for (const std::vector<const Group*>& shard : shards) {
@@ -315,38 +355,59 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
       sum_steps.merge(h->snapshot());
     }
 
-    // Flush the shard: contract records, then the commit frame, one fsync —
-    // the commit frame's presence in the valid prefix implies its records'.
-    const std::uint64_t bytes_before = writer->size_bytes();
-    bool ok = true;
-    for (std::size_t j = 0; j < reports.size() && ok; ++j) {
+    // Aggregate the shard's reports unconditionally (verdicts are valid
+    // even when the disk is not), then flush: contract records, the commit
+    // frame, one fsync — the commit frame's presence in the valid prefix
+    // implies its records'.
+    const std::uint64_t bytes_before = writer ? writer->size_bytes() : 0;
+    IoResult io;
+    for (std::size_t j = 0; j < reports.size(); ++j) {
       ContractAnalysis& report = reports[j];
       const std::size_t gi = shard_globals[j];
       if (dedup_patch.contains(gi)) report.deduplicated = true;
       acc.add(report);
-      ok = writer->append(RecordType::kContract, encode_contract_record(
-                              {report, hashes[gi]}));
+      if (writer && io.ok) {
+        io = writer->append(RecordType::kContract, encode_contract_record(
+                                {report, hashes[gi]}));
+      }
     }
-    ok = ok && writer->append(RecordType::kShardCommit,
-                              encode_shard_commit({shard_index, reports.size()}));
-    const std::uint64_t t0 = now_ns();
-    ok = ok && writer->sync();
-    h_flush.record(now_ns() - t0);
-    contracts_committed += reports.size();
-    Manifest manifest;
-    manifest.committed_bytes = writer->size_bytes();
-    manifest.shards_committed = shard_index + 1;
-    manifest.contracts_committed = contracts_committed;
-    ok = ok && store_manifest(manifest_path_for(config_.journal_path), manifest);
-    if (!ok) {
-      result.error = "journal commit failed for shard " +
-                     std::to_string(shard_index);
-      return result;
+    if (writer && io.ok) {
+      io = writer->append(RecordType::kShardCommit,
+                          encode_shard_commit({shard_index, reports.size()}));
     }
-    metrics_.counter("store.journal.frames_written").add(reports.size() + 1);
-    metrics_.counter("store.journal.bytes_written")
-        .add(writer->size_bytes() - bytes_before);
-    metrics_.counter("store.sweep.shards_committed").add(1);
+    if (writer && io.ok) {
+      const std::uint64_t t0 = now_ns();
+      io = writer->sync();
+      h_flush.record(now_ns() - t0);
+    }
+    if (writer && io.ok) {
+      contracts_committed += reports.size();
+      Manifest manifest;
+      manifest.committed_bytes = writer->size_bytes();
+      manifest.shards_committed = shard_index + 1;
+      manifest.contracts_committed = contracts_committed;
+      IoResult mr =
+          store_manifest(manifest_path_for(config_.journal_path), manifest, vfs);
+      if (mr.ok) {
+        metrics_.counter("store.journal.frames_written").add(reports.size() + 1);
+        metrics_.counter("store.journal.bytes_written")
+            .add(writer->size_bytes() - bytes_before);
+        metrics_.counter("store.sweep.shards_committed").add(1);
+      } else {
+        io = std::move(mr);
+      }
+    }
+    if (writer && !io.ok) {
+      // The shard's verdicts are in the aggregates; only its durability is
+      // lost. fsyncgate: the writer is already dead for fsync failures —
+      // either way it is never touched again.
+      if (!degrade(io)) {
+        result.error = "journal commit failed for shard " +
+                       std::to_string(shard_index) + ": " + io.message();
+        return result;
+      }
+      writer.reset();
+    }
     metrics_.counter("store.sweep.contracts_recomputed").add(reports.size());
     result.recomputed += reports.size();
     ++result.shards_run;
@@ -358,20 +419,29 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   }
 
   // ---- finish -----------------------------------------------------------
+  // Degraded mode: the population IS fully covered in memory, so the sweep
+  // is complete — there is just no kSweepEnd to journal (the checkpoint
+  // honestly stops at the last good commit, and resume() picks up there).
   result.complete = !stopped;
-  if (result.complete) {
-    bool ok = writer->append(RecordType::kSweepEnd,
-                             encode_sweep_end({inputs.size()})) &&
-              writer->sync();
-    Manifest manifest;
-    manifest.committed_bytes = writer->size_bytes();
-    manifest.shards_committed = shard_index;
-    manifest.contracts_committed = contracts_committed;
-    manifest.complete = true;
-    ok = ok && store_manifest(manifest_path_for(config_.journal_path), manifest);
-    if (!ok) {
-      result.error = "journal finalization failed";
-      return result;
+  if (result.complete && writer) {
+    IoResult io = writer->append(RecordType::kSweepEnd,
+                                 encode_sweep_end({inputs.size()}));
+    if (io.ok) io = writer->sync();
+    if (io.ok) {
+      Manifest manifest;
+      manifest.committed_bytes = writer->size_bytes();
+      manifest.shards_committed = shard_index;
+      manifest.contracts_committed = contracts_committed;
+      manifest.complete = true;
+      io = store_manifest(manifest_path_for(config_.journal_path), manifest,
+                          vfs);
+    }
+    if (!io.ok) {
+      if (!degrade(io)) {
+        result.error = "journal finalization failed: " + io.message();
+        return result;
+      }
+      writer.reset();
     }
   }
 
@@ -395,6 +465,10 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   stats.journal_replayed = result.replayed;
   stats.incremental_reanalyzed =
       effective == Mode::kIncremental ? result.recomputed : 0;
+  stats.sweep_degraded = result.degraded ? 1 : 0;
+  stats.selfheal_shards = heal_gaps;
+  metrics_.gauge("sweep.selfheal_shards").set(
+      static_cast<std::int64_t>(heal_gaps));
   result.stats = std::move(stats);
   return result;
 }

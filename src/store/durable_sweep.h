@@ -59,6 +59,15 @@ struct DurableSweepConfig {
   /// Metrics sink for the store.journal.* / store.sweep.* counters and the
   /// flush-latency histogram. Null = obs::Registry::global().
   obs::Registry* registry = nullptr;
+  /// Filesystem behind the journal + manifest. Null = the real filesystem;
+  /// the chaos harness injects a util::FaultInjectingVfs here.
+  util::Vfs* vfs = nullptr;
+  /// When the disk gives out mid-sweep (ENOSPC, persistent write failure,
+  /// failed fsync), keep sweeping IN MEMORY instead of aborting: verdicts
+  /// stay complete and correct, checkpointing stops at the last good shard
+  /// commit, and the result reports degraded=true + the first disk error.
+  /// Off restores the old abort-with-error behavior.
+  bool degrade_on_disk_failure = true;
 };
 
 struct DurableSweepResult {
@@ -69,10 +78,20 @@ struct DurableSweepResult {
   std::uint64_t replayed = 0;
   /// Contracts run through the pipeline by this call.
   std::uint64_t recomputed = 0;
-  /// True when the whole population is covered (kSweepEnd journaled).
+  /// True when the whole population is covered (kSweepEnd journaled, or
+  /// swept in memory under degraded mode).
   /// False after a max_shards stop — call resume() to finish.
   bool complete = false;
-  /// Non-empty on journal I/O failure; stats are then meaningless.
+  /// The disk failed mid-sweep and degrade_on_disk_failure carried the
+  /// sweep to completion in memory: stats/verdicts are valid, but work
+  /// after the last good shard commit is not checkpointed (a later
+  /// resume() recomputes it).
+  bool degraded = false;
+  /// First disk failure (kind kDiskIo, errno detail in the text) — set
+  /// whenever `degraded` is true or `error` names a journal failure.
+  std::optional<core::ErrorRecord> disk_error;
+  /// Non-empty on journal I/O failure with degradation disabled; stats are
+  /// then meaningless.
   std::string error;
 };
 

@@ -153,7 +153,7 @@ constexpr std::uint8_t kMaxStandard =
 constexpr std::uint8_t kMaxTriage =
     static_cast<std::uint8_t>(core::StaticTriage::kSkippedMinimalProxy);
 constexpr std::uint8_t kMaxErrorKind =
-    static_cast<std::uint8_t>(ErrorKind::kInternal);
+    static_cast<std::uint8_t>(ErrorKind::kDiskIo);
 
 }  // namespace
 

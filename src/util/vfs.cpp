@@ -1,0 +1,143 @@
+#include "util/vfs.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define PROXION_HAVE_FSYNC 1
+#endif
+
+namespace proxion::util {
+
+namespace {
+
+VfsStatus fail_errno(const char* /*op*/) {
+  VfsStatus s;
+  s.ok = false;
+  s.err = errno != 0 ? errno : EIO;
+  return s;
+}
+
+/// VfsFile over stdio. fsync goes through the underlying fd so the
+/// durability contract in vfs.h actually holds on POSIX.
+class RealFile final : public VfsFile {
+ public:
+  explicit RealFile(std::FILE* f) : file_(f) {}
+  RealFile(const RealFile&) = delete;
+  RealFile& operator=(const RealFile&) = delete;
+  ~RealFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  VfsStatus write(std::span<const std::uint8_t> bytes) override {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      return fail_errno("write");
+    }
+    return {};
+  }
+
+  VfsStatus seek(std::uint64_t offset) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return fail_errno("seek");
+    }
+    return {};
+  }
+
+  VfsStatus sync() override {
+    if (std::fflush(file_) != 0) return fail_errno("flush");
+#ifdef PROXION_HAVE_FSYNC
+    if (::fsync(::fileno(file_)) != 0) return fail_errno("fsync");
+#endif
+    return {};
+  }
+
+  VfsStatus truncate(std::uint64_t size) override {
+    if (std::fflush(file_) != 0) return fail_errno("flush");
+#ifdef PROXION_HAVE_FSYNC
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+      return fail_errno("truncate");
+    }
+#else
+    (void)size;
+#endif
+    return {};
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class RealVfs final : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> open(const std::string& path, OpenMode mode,
+                                VfsStatus* status) override {
+    const char* flags = mode == OpenMode::kTruncate ? "wb" : "r+b";
+    std::FILE* f = std::fopen(path.c_str(), flags);
+    if (f == nullptr) {
+      if (status != nullptr) *status = fail_errno("open");
+      return nullptr;
+    }
+    if (status != nullptr) *status = {};
+    return std::make_unique<RealFile>(f);
+  }
+
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) return std::nullopt;
+    return bytes;
+  }
+
+  VfsStatus rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return fail_errno("rename");
+    }
+    return {};
+  }
+
+  VfsStatus remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return fail_errno("remove");
+    return {};
+  }
+
+  VfsStatus sync_dir(const std::string& path) override {
+#ifdef PROXION_HAVE_FSYNC
+    // fsync the directory holding `path` so its entries (the create/rename
+    // that just happened) are durable, not just the file contents.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return fail_errno("opendir");
+    VfsStatus s;
+    if (::fsync(fd) != 0) s = fail_errno("fsyncdir");
+    ::close(fd);
+    return s;
+#else
+    (void)path;
+    return {};
+#endif
+  }
+};
+
+}  // namespace
+
+Vfs& Vfs::real() {
+  static RealVfs instance;
+  return instance;
+}
+
+}  // namespace proxion::util

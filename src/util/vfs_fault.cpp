@@ -1,0 +1,358 @@
+#include "util/vfs_fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <unordered_set>
+#include <utility>
+
+namespace proxion::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+/// Directory part of `path` under the model's flat namespace ("" for a bare
+/// filename) — only used to scope sync_dir.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+VfsStatus fail(int err) {
+  VfsStatus s;
+  s.ok = false;
+  s.err = err;
+  return s;
+}
+
+}  // namespace
+
+/// Handle into the model. Every mutating call re-enters the owning vfs for
+/// the fault decision; a handle from before the last reboot() is stale and
+/// fails every operation with EIO (its process "died" in the crash).
+class FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultInjectingVfs* vfs, FaultInjectingVfs::InodePtr inode,
+            std::uint64_t epoch)
+      : vfs_(vfs), inode_(std::move(inode)), epoch_(epoch) {}
+
+  VfsStatus write(std::span<const std::uint8_t> bytes) override;
+  VfsStatus seek(std::uint64_t offset) override;
+  VfsStatus sync() override;
+  VfsStatus truncate(std::uint64_t size) override;
+
+ private:
+  FaultInjectingVfs* vfs_;
+  FaultInjectingVfs::InodePtr inode_;
+  std::uint64_t epoch_;
+  std::uint64_t cursor_ = 0;
+
+  friend class FaultInjectingVfs;
+};
+
+VfsStatus FaultFile::write(std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lk(vfs_->mu_);
+  vfs_->check_halted_locked();
+  if (epoch_ != vfs_->epoch_) return fail(EIO);
+  const std::uint64_t op = vfs_->ops_++;
+  const FaultVfsConfig& cfg = vfs_->config_;
+
+  // Applies `n` bytes at the cursor (the part of the write that "happened").
+  auto apply = [&](std::size_t n) {
+    std::vector<std::uint8_t>& cur = inode_->current;
+    if (cursor_ + n > cur.size()) cur.resize(cursor_ + n, 0);
+    for (std::size_t i = 0; i < n; ++i) cur[cursor_ + i] = bytes[i];
+    cursor_ += n;
+    vfs_->bytes_written_ += n;
+  };
+
+  if (cfg.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(cfg.power_cut_at)) {
+    // The cut lands mid-write: a deterministic prefix reaches the page
+    // cache (whether it survives is then reboot()'s torn-tail roll).
+    const std::size_t torn = bytes.empty()
+                                 ? 0
+                                 : static_cast<std::size_t>(
+                                       splitmix64(cfg.seed ^ op * 0x9e37ULL) %
+                                       (bytes.size() + 1));
+    apply(torn);
+    vfs_->halted_ = true;
+    throw PowerCutException();
+  }
+  if (cfg.enospc_after_bytes >= 0) {
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(cfg.enospc_after_bytes);
+    if (vfs_->bytes_written_ + bytes.size() > budget) {
+      const std::uint64_t room =
+          budget > vfs_->bytes_written_ ? budget - vfs_->bytes_written_ : 0;
+      apply(static_cast<std::size_t>(
+          room < bytes.size() ? room : bytes.size()));
+      return fail(ENOSPC);
+    }
+  }
+  const double r = vfs_->roll(op, 0x77);
+  if (r < cfg.write_eio_rate) return fail(EIO);
+  if (r < cfg.write_eio_rate + cfg.short_write_rate) {
+    apply(bytes.size() / 2);
+    return fail(EIO);
+  }
+  apply(bytes.size());
+  return {};
+}
+
+VfsStatus FaultFile::seek(std::uint64_t offset) {
+  std::lock_guard<std::mutex> lk(vfs_->mu_);
+  vfs_->check_halted_locked();
+  if (epoch_ != vfs_->epoch_) return fail(EIO);
+  cursor_ = offset;  // non-mutating: no boundary claimed
+  return {};
+}
+
+VfsStatus FaultFile::sync() {
+  std::lock_guard<std::mutex> lk(vfs_->mu_);
+  vfs_->check_halted_locked();
+  if (epoch_ != vfs_->epoch_) return fail(EIO);
+  const std::uint64_t op = vfs_->ops_++;
+  const std::uint64_t sync_idx = vfs_->syncs_++;
+  ++inode_->fsync_calls;
+  const FaultVfsConfig& cfg = vfs_->config_;
+  if (cfg.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(cfg.power_cut_at)) {
+    vfs_->halted_ = true;  // dirty tail stays dirty; reboot() decides its fate
+    throw PowerCutException();
+  }
+  if (cfg.fail_fsync_at >= 0 &&
+      sync_idx == static_cast<std::uint64_t>(cfg.fail_fsync_at)) {
+    // fsyncgate: the failed sync DROPS the dirty tail. A naive caller that
+    // retried the sync would see success — over silently lost data.
+    inode_->current = inode_->synced;
+    return fail(EIO);
+  }
+  inode_->synced = inode_->current;
+  return {};
+}
+
+VfsStatus FaultFile::truncate(std::uint64_t size) {
+  std::lock_guard<std::mutex> lk(vfs_->mu_);
+  vfs_->check_halted_locked();
+  if (epoch_ != vfs_->epoch_) return fail(EIO);
+  const std::uint64_t op = vfs_->ops_++;
+  const FaultVfsConfig& cfg = vfs_->config_;
+  if (cfg.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(cfg.power_cut_at)) {
+    vfs_->halted_ = true;
+    throw PowerCutException();
+  }
+  inode_->current.resize(static_cast<std::size_t>(size), 0);
+  return {};
+}
+
+std::unique_ptr<VfsFile> FaultInjectingVfs::open(const std::string& path,
+                                                 OpenMode mode,
+                                                 VfsStatus* status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_halted_locked();
+  auto set = [&](VfsStatus s) {
+    if (status != nullptr) *status = s;
+  };
+  if (mode == OpenMode::kReadWrite) {
+    // Non-mutating: no namespace or content change happens at open time.
+    auto it = live_.find(path);
+    if (it == live_.end()) {
+      set(fail(ENOENT));
+      return nullptr;
+    }
+    set({});
+    return std::make_unique<FaultFile>(this, it->second, epoch_);
+  }
+  // kTruncate: a NEW inode under the live namespace. The durable namespace
+  // keeps pointing at the old inode (if any) until sync_dir — exactly the
+  // window where a crash resurrects the old file.
+  const std::uint64_t op = ops_++;
+  if (config_.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(config_.power_cut_at)) {
+    halted_ = true;
+    throw PowerCutException();
+  }
+  InodePtr inode = std::make_shared<Inode>();
+  live_[path] = inode;
+  set({});
+  return std::make_unique<FaultFile>(this, std::move(inode), epoch_);
+}
+
+std::optional<std::vector<std::uint8_t>> FaultInjectingVfs::read_file(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_halted_locked();
+  auto it = live_.find(path);
+  if (it == live_.end()) return std::nullopt;
+  // Reads are non-mutating but can still fault: key the decision on the
+  // read counter so consecutive reads of one path draw fresh rolls.
+  const double r = roll(reads_salt_++, 0x44);
+  if (r < config_.read_eio_rate) return std::nullopt;
+  return it->second->current;
+}
+
+VfsStatus FaultInjectingVfs::rename(const std::string& from,
+                                    const std::string& to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_halted_locked();
+  const std::uint64_t op = ops_++;
+  if (config_.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(config_.power_cut_at)) {
+    halted_ = true;  // cut strikes before the rename lands
+    throw PowerCutException();
+  }
+  auto it = live_.find(from);
+  if (it == live_.end()) return fail(ENOENT);
+  live_[to] = it->second;
+  live_.erase(it);
+  return {};
+}
+
+VfsStatus FaultInjectingVfs::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_halted_locked();
+  const std::uint64_t op = ops_++;
+  if (config_.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(config_.power_cut_at)) {
+    halted_ = true;
+    throw PowerCutException();
+  }
+  if (live_.erase(path) == 0) return fail(ENOENT);
+  return {};
+}
+
+VfsStatus FaultInjectingVfs::sync_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_halted_locked();
+  const std::uint64_t op = ops_++;
+  if (config_.power_cut_at >= 0 &&
+      op == static_cast<std::uint64_t>(config_.power_cut_at)) {
+    halted_ = true;
+    throw PowerCutException();
+  }
+  // Make the directory's live entries durable: creates and renames land,
+  // removed entries disappear.
+  const std::string dir = dir_of(path);
+  for (auto it = durable_.begin(); it != durable_.end();) {
+    if (dir_of(it->first) == dir && live_.find(it->first) == live_.end()) {
+      it = durable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, inode] : live_) {
+    if (dir_of(name) == dir) durable_[name] = inode;
+  }
+  return {};
+}
+
+void FaultInjectingVfs::set_config(const FaultVfsConfig& config) {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_ = config;
+}
+
+void FaultInjectingVfs::heal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_ = FaultVfsConfig{.seed = config_.seed};
+}
+
+void FaultInjectingVfs::reboot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++reboots_;
+  ++epoch_;
+  halted_ = false;
+  // Resolve each surviving inode's post-crash content exactly once (several
+  // names may share an inode): the synced snapshot survives, plus — when
+  // the live content was a pure append on top of it — a deterministic
+  // prefix of the dirty tail (a torn append reaching the platter).
+  std::unordered_set<Inode*> resolved;
+  for (auto& [name, inode] : durable_) {
+    if (!resolved.insert(inode.get()).second) continue;
+    const std::vector<std::uint8_t>& cur = inode->current;
+    const std::vector<std::uint8_t>& syn = inode->synced;
+    std::vector<std::uint8_t> after = syn;
+    if (cur.size() > syn.size() &&
+        std::equal(syn.begin(), syn.end(), cur.begin())) {
+      const std::uint64_t tail = cur.size() - syn.size();
+      const std::uint64_t keep =
+          splitmix64(config_.seed ^ reboots_ * 0x51ULL ^ hash_str(name)) %
+          (tail + 1);
+      after.insert(after.end(), cur.begin() + static_cast<std::ptrdiff_t>(
+                                                  syn.size()),
+                   cur.begin() + static_cast<std::ptrdiff_t>(syn.size() + keep));
+    }
+    inode->current = after;
+    inode->synced = std::move(after);
+  }
+  live_ = durable_;
+}
+
+bool FaultInjectingVfs::flip_byte(const std::string& path,
+                                  std::uint64_t offset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return false;
+  Inode& inode = *it->second;
+  if (offset >= inode.current.size()) return false;
+  inode.current[offset] ^= 0xFF;
+  if (offset < inode.synced.size()) inode.synced[offset] ^= 0xFF;
+  return true;
+}
+
+std::uint64_t FaultInjectingVfs::mutating_ops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ops_;
+}
+
+std::uint64_t FaultInjectingVfs::fsync_calls(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(path);
+  return it == live_.end() ? 0 : it->second->fsync_calls;
+}
+
+std::uint64_t FaultInjectingVfs::syncs_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return syncs_;
+}
+
+bool FaultInjectingVfs::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.find(path) != live_.end();
+}
+
+bool FaultInjectingVfs::durable_exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_.find(path) != durable_.end();
+}
+
+std::optional<std::vector<std::uint8_t>> FaultInjectingVfs::peek(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return std::nullopt;
+  return it->second->current;
+}
+
+double FaultInjectingVfs::roll(std::uint64_t op, std::uint64_t salt) const {
+  const std::uint64_t h = splitmix64(config_.seed ^ splitmix64(op ^ salt << 56));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjectingVfs::check_halted_locked() const {
+  if (halted_) throw PowerCutException();
+}
+
+}  // namespace proxion::util

@@ -1,0 +1,143 @@
+// A deterministic fault-injecting Vfs over an in-memory model filesystem —
+// the storage-side twin of chain::FaultInjectingArchiveNode. It models the
+// two layers a real crash tears apart:
+//
+//   - inode CONTENT: each file keeps its live bytes and a snapshot of what
+//     the last successful sync() made durable;
+//   - the NAMESPACE: directory entries (creates, renames, removes) have
+//     their own live vs durable state, made durable only by sync_dir().
+//
+// Supported faults (all a pure function of (seed, mutating-op index), so a
+// run replays identically):
+//   - EIO on write or read, short (torn) writes;
+//   - ENOSPC once cumulative accepted bytes pass a budget (sticky, like a
+//     full disk);
+//   - fsync failure with dirty-page DROP (fsyncgate): the failed sync
+//     discards the un-synced tail, and a later "retry" sync would succeed
+//     while silently having lost data — callers must fail-stop instead;
+//   - power cut at mutating-op boundary N: the op at boundary N applies a
+//     deterministic torn prefix (writes) or nothing, then every subsequent
+//     operation throws PowerCutException until reboot();
+//   - at-rest bit rot via flip_byte().
+//
+// reboot() models the machine coming back: the namespace reverts to its
+// durable state, each file reverts to its synced content plus a
+// seed-deterministic prefix of any appended-but-unsynced tail (a torn
+// append), and the world un-halts. mutating_ops() after a fault-free run
+// gives the boundary count for an exhaustive power-cut matrix.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/vfs.h"
+
+namespace proxion::util {
+
+/// Thrown by every Vfs operation once the simulated power cut has fired.
+/// Deliberately NOT derived from std::runtime_error: production code that
+/// catches (...) and "handles" a power cut would mask the crash the chaos
+/// harness is trying to create, so the driver catches this exact type.
+class PowerCutException : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "simulated power cut: the machine is off until reboot()";
+  }
+};
+
+struct FaultVfsConfig {
+  std::uint64_t seed = 1;
+  /// Per-write / per-read probability of a clean EIO (nothing applied).
+  double write_eio_rate = 0.0;
+  double read_eio_rate = 0.0;
+  /// Per-write probability of a torn write: a deterministic prefix is
+  /// applied, then the write fails with EIO.
+  double short_write_rate = 0.0;
+  /// Total accepted write bytes before the disk is "full": further writes
+  /// apply whatever still fits and fail with ENOSPC. -1 = unlimited.
+  std::int64_t enospc_after_bytes = -1;
+  /// Global sync() call index (0-based, counting file syncs only) that
+  /// fails with EIO and DROPS the file's dirty tail (fsyncgate). -1 = never.
+  std::int64_t fail_fsync_at = -1;
+  /// Global mutating-op index (0-based) at which the power cut fires.
+  /// -1 = never.
+  std::int64_t power_cut_at = -1;
+};
+
+class FaultInjectingVfs final : public Vfs {
+ public:
+  explicit FaultInjectingVfs(FaultVfsConfig config = {}) : config_(config) {}
+
+  std::unique_ptr<VfsFile> open(const std::string& path, OpenMode mode,
+                                VfsStatus* status = nullptr) override;
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override;
+  VfsStatus rename(const std::string& from, const std::string& to) override;
+  VfsStatus remove(const std::string& path) override;
+  VfsStatus sync_dir(const std::string& path) override;
+
+  /// Swap the fault profile mid-run (e.g. fill the disk after shard 1).
+  /// Op counters and durable state are kept.
+  void set_config(const FaultVfsConfig& config);
+  /// Stop injecting anything (keeps the seed and all state).
+  void heal();
+
+  /// Bring the machine back after a power cut (also callable without one to
+  /// model a hard kill at the current instant): live state reverts to
+  /// durable state + deterministic torn tails, handles opened before the
+  /// reboot go stale, and operations work again.
+  void reboot();
+
+  /// Flip (xor 0xFF) one durable byte of `path` — at-rest bit rot. False
+  /// when the file is missing or `offset` is out of range.
+  bool flip_byte(const std::string& path, std::uint64_t offset);
+
+  /// Mutating ops seen so far (write/sync/truncate/open-create/rename/
+  /// remove/sync_dir). After a fault-free run this is the power-cut
+  /// boundary count: every value in [0, mutating_ops()) is a distinct
+  /// crash point.
+  std::uint64_t mutating_ops() const;
+  /// Successful + failed sync() calls on `path`'s current inode (fsyncgate
+  /// assertions: a fail-stopping writer never re-syncs a failed file).
+  std::uint64_t fsync_calls(const std::string& path) const;
+  std::uint64_t syncs_total() const;
+  bool exists(const std::string& path) const;
+  /// Whether a crash *right now* would preserve the directory entry.
+  bool durable_exists(const std::string& path) const;
+  /// Live content of `path` without fault injection (test oracle).
+  std::optional<std::vector<std::uint8_t>> peek(const std::string& path) const;
+
+ private:
+  struct Inode {
+    std::vector<std::uint8_t> current;
+    std::vector<std::uint8_t> synced;
+    std::uint64_t fsync_calls = 0;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+  friend class FaultFile;
+
+  /// Draws the deterministic fault decision for op/read index `op`; returns
+  /// a uniform double in [0,1). Caller holds mu_.
+  double roll(std::uint64_t op, std::uint64_t salt) const;
+  /// Throws PowerCutException if the world is halted. Caller holds mu_.
+  void check_halted_locked() const;
+
+  mutable std::mutex mu_;
+  FaultVfsConfig config_;
+  std::map<std::string, InodePtr> live_;
+  std::map<std::string, InodePtr> durable_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  mutable std::uint64_t reads_salt_ = 0;
+  std::uint64_t reboots_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped on reboot; stale handles fault fast
+  bool halted_ = false;
+};
+
+}  // namespace proxion::util

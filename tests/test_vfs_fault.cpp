@@ -1,0 +1,237 @@
+// Unit tests for the fault-injecting model filesystem: the two-layer
+// durability model (inode content vs directory entries), torn appends after
+// reboot, ENOSPC budgets, fsyncgate dirty-page drop, power-cut halting, and
+// the determinism the chaos matrix depends on.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/vfs_fault.h"
+
+namespace {
+
+using namespace proxion;
+using util::FaultInjectingVfs;
+using util::FaultVfsConfig;
+using util::PowerCutException;
+using util::Vfs;
+using util::VfsFile;
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+void must_write(VfsFile& f, const std::string& s) {
+  ASSERT_TRUE(f.write(bytes(s)));
+}
+
+TEST(FaultVfs, WriteSyncReadBack) {
+  FaultInjectingVfs vfs;
+  auto f = vfs.open("dir/a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  must_write(*f, "hello");
+  ASSERT_TRUE(f->sync());
+  const auto back = vfs.read_file("dir/a");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes("hello"));
+}
+
+TEST(FaultVfs, FileContentAndDirectoryEntryAreSeparatelyDurable) {
+  FaultInjectingVfs vfs;
+  auto f = vfs.open("dir/a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  must_write(*f, "payload");
+  ASSERT_TRUE(f->sync());
+  // Content is synced but the directory entry is not: a crash right now
+  // loses the FILE, not just its bytes — the classic create-without-
+  // dir-fsync hole.
+  EXPECT_TRUE(vfs.exists("dir/a"));
+  EXPECT_FALSE(vfs.durable_exists("dir/a"));
+  vfs.reboot();
+  EXPECT_FALSE(vfs.exists("dir/a"));
+
+  // Same sequence with the dir fsync: the file survives with its content.
+  auto g = vfs.open("dir/b", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(g, nullptr);
+  must_write(*g, "payload");
+  ASSERT_TRUE(g->sync());
+  ASSERT_TRUE(vfs.sync_dir("dir/b"));
+  EXPECT_TRUE(vfs.durable_exists("dir/b"));
+  vfs.reboot();
+  ASSERT_TRUE(vfs.exists("dir/b"));
+  EXPECT_EQ(*vfs.read_file("dir/b"), bytes("payload"));
+}
+
+TEST(FaultVfs, RebootKeepsSyncedContentPlusDeterministicTornTail) {
+  FaultInjectingVfs vfs(FaultVfsConfig{.seed = 7});
+  auto f = vfs.open("dir/a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  must_write(*f, "durable");
+  ASSERT_TRUE(f->sync());
+  ASSERT_TRUE(vfs.sync_dir("dir/a"));
+  must_write(*f, "dirtydirtydirty");  // never synced
+  vfs.reboot();
+  const auto back = vfs.read_file("dir/a");
+  ASSERT_TRUE(back.has_value());
+  const std::vector<std::uint8_t> full = bytes("durabledirtydirtydirty");
+  // The synced prefix always survives; some deterministic prefix of the
+  // dirty tail may too (a torn append), never more.
+  ASSERT_GE(back->size(), bytes("durable").size());
+  ASSERT_LE(back->size(), full.size());
+  EXPECT_TRUE(std::equal(back->begin(), back->end(), full.begin()));
+}
+
+TEST(FaultVfs, RenameIsDurableOnlyAfterDirSync) {
+  FaultInjectingVfs vfs;
+  // Existing durable file "m".
+  {
+    auto f = vfs.open("d/m", Vfs::OpenMode::kTruncate);
+    ASSERT_NE(f, nullptr);
+    must_write(*f, "old");
+    ASSERT_TRUE(f->sync());
+    ASSERT_TRUE(vfs.sync_dir("d/m"));
+  }
+  // Write-temp-then-rename WITHOUT the dir fsync: a reboot resurrects the
+  // old content.
+  {
+    auto t = vfs.open("d/m.tmp", Vfs::OpenMode::kTruncate);
+    ASSERT_NE(t, nullptr);
+    must_write(*t, "new");
+    ASSERT_TRUE(t->sync());
+  }
+  ASSERT_TRUE(vfs.rename("d/m.tmp", "d/m"));
+  EXPECT_EQ(*vfs.read_file("d/m"), bytes("new"));
+  vfs.reboot();
+  EXPECT_EQ(*vfs.read_file("d/m"), bytes("old"));
+
+  // Same protocol WITH the dir fsync: the rename sticks.
+  {
+    auto t = vfs.open("d/m.tmp", Vfs::OpenMode::kTruncate);
+    ASSERT_NE(t, nullptr);
+    must_write(*t, "new2");
+    ASSERT_TRUE(t->sync());
+  }
+  ASSERT_TRUE(vfs.rename("d/m.tmp", "d/m"));
+  ASSERT_TRUE(vfs.sync_dir("d/m"));
+  vfs.reboot();
+  EXPECT_EQ(*vfs.read_file("d/m"), bytes("new2"));
+  EXPECT_FALSE(vfs.exists("d/m.tmp"));
+}
+
+TEST(FaultVfs, EnospcBudgetIsStickyAndReportsErrno) {
+  FaultVfsConfig cfg;
+  cfg.enospc_after_bytes = 10;
+  FaultInjectingVfs vfs(cfg);
+  auto f = vfs.open("a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->write(bytes("12345678")));  // 8 of 10 bytes used
+  const util::VfsStatus st = f->write(bytes("abcdef"));
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.err, ENOSPC);
+  // The prefix that fit was applied (a torn write), nothing more ever is.
+  EXPECT_EQ(*vfs.peek("a"), bytes("12345678ab"));
+  EXPECT_FALSE(f->write(bytes("x")).ok);
+}
+
+TEST(FaultVfs, FsyncgateDropsDirtyPagesAndLaterSyncLies) {
+  FaultVfsConfig cfg;
+  cfg.fail_fsync_at = 1;  // second sync on the filesystem fails
+  FaultInjectingVfs vfs(cfg);
+  auto f = vfs.open("a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  must_write(*f, "safe");
+  ASSERT_TRUE(f->sync());  // sync #0: ok
+  must_write(*f, "doomed");
+  const util::VfsStatus st = f->sync();  // sync #1: fails, drops dirty pages
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.err, EIO);
+  // The trap this models: a RETRIED fsync reports success — but the dirty
+  // data is already gone. Callers must fail-stop, never retry.
+  EXPECT_TRUE(f->sync());
+  EXPECT_EQ(*vfs.peek("a"), bytes("safe"));
+  EXPECT_EQ(vfs.fsync_calls("a"), 3u);
+}
+
+TEST(FaultVfs, PowerCutHaltsTheWorldUntilReboot) {
+  FaultVfsConfig cfg;
+  cfg.power_cut_at = 3;  // open(create)=0, write=1, sync=2, write=3 -> cut
+  FaultInjectingVfs vfs(cfg);
+  auto f = vfs.open("a", Vfs::OpenMode::kTruncate);
+  ASSERT_NE(f, nullptr);
+  must_write(*f, "committed");
+  ASSERT_TRUE(f->sync());
+  EXPECT_THROW((void)f->write(bytes("never")), PowerCutException);
+  // The machine is off: EVERY operation throws, even reads.
+  EXPECT_THROW((void)vfs.read_file("a"), PowerCutException);
+  EXPECT_THROW((void)vfs.open("b", Vfs::OpenMode::kTruncate),
+               PowerCutException);
+  vfs.heal();  // clears power_cut_at for the next life
+  vfs.reboot();
+  // Entry was never dir-synced, so the file is gone entirely — and the
+  // handle from the previous life is stale, not usable.
+  EXPECT_FALSE(vfs.exists("a"));
+  EXPECT_FALSE(f->write(bytes("stale")).ok);
+}
+
+TEST(FaultVfs, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    FaultVfsConfig cfg;
+    cfg.seed = seed;
+    cfg.write_eio_rate = 0.3;
+    cfg.short_write_rate = 0.3;
+    FaultInjectingVfs vfs(cfg);
+    auto f = vfs.open("a", Vfs::OpenMode::kTruncate);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(bool(f->write(bytes("0123456789"))));
+    }
+    auto content = vfs.peek("a");
+    return std::pair(outcomes, *content);
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // A different seed draws a different fault pattern (with 64 ops at 60%
+  // fault rate, identical outcomes would be astronomically unlikely).
+  const auto c = run(43);
+  EXPECT_NE(a.first, c.first);
+}
+
+TEST(FaultVfs, FlipByteCorruptsDurableContent) {
+  FaultInjectingVfs vfs;
+  auto f = vfs.open("a", Vfs::OpenMode::kTruncate);
+  must_write(*f, "abc");
+  ASSERT_TRUE(f->sync());
+  ASSERT_TRUE(vfs.sync_dir("a"));
+  EXPECT_TRUE(vfs.flip_byte("a", 1));
+  EXPECT_FALSE(vfs.flip_byte("a", 99));
+  EXPECT_FALSE(vfs.flip_byte("missing", 0));
+  const auto back = *vfs.read_file("a");
+  EXPECT_EQ(back[0], 'a');
+  EXPECT_EQ(back[1], static_cast<std::uint8_t>('b' ^ 0xFF));
+  // The corruption is at rest: it survives a reboot.
+  vfs.reboot();
+  EXPECT_EQ((*vfs.read_file("a"))[1], static_cast<std::uint8_t>('b' ^ 0xFF));
+}
+
+TEST(FaultVfs, MutatingOpCountGivesPowerCutBoundaries) {
+  // Fault-free reference run counts the boundaries; a power cut at every
+  // index < mutating_ops() is then a distinct crash point. Verify the
+  // counter covers exactly the mutating surface.
+  FaultInjectingVfs vfs;
+  auto f = vfs.open("d/a", Vfs::OpenMode::kTruncate);  // op 0
+  must_write(*f, "x");                                 // op 1
+  ASSERT_TRUE(f->sync());                              // op 2
+  ASSERT_TRUE(vfs.sync_dir("d/a"));                    // op 3
+  ASSERT_TRUE(vfs.rename("d/a", "d/b"));               // op 4
+  ASSERT_TRUE(vfs.remove("d/b"));                      // op 5
+  ASSERT_TRUE(f->truncate(0));                         // op 6
+  (void)vfs.read_file("d/b");                          // reads don't count
+  EXPECT_EQ(vfs.mutating_ops(), 7u);
+}
+
+}  // namespace

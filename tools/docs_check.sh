@@ -4,7 +4,9 @@
 #      that exists in the repo (external http(s)/mailto links are skipped);
 #   2. every PipelineConfig knob documented in README.md's knob table exists
 #      in src/core/pipeline.h (dotted knobs like `static_tier.enabled` are
-#      checked by their leaf member name).
+#      checked by their leaf member name);
+#   3. every DurableSweepConfig knob documented in README.md's sweep-knob
+#      table exists in src/store/durable_sweep.h.
 # Pure POSIX sh + grep/sed/awk; no network, no build required.
 set -eu
 cd "$(dirname "$0")/.."
@@ -45,8 +47,27 @@ for knob in $knobs; do
   fi
 done
 
+# ---- 3. README DurableSweepConfig knobs vs durable_sweep.h ---------------
+sweep_knobs=$(awk '/^\| Sweep knob \| Default \| Meaning \|/ { in_table = 1; next }
+                   in_table && !/^\|/ { in_table = 0 }
+                   in_table' README.md |
+  sed -n 's/^| `\([^`]*\)`.*/\1/p')
+if [ -z "$sweep_knobs" ]; then
+  echo "docs_check: could not find the DurableSweepConfig knob table in README.md" >&2
+  fail=1
+fi
+for knob in $sweep_knobs; do
+  leaf=${knob##*.}
+  if ! grep -q -w "$leaf" src/store/durable_sweep.h; then
+    echo "docs_check: README documents DurableSweepConfig knob '$knob' but" \
+      "'$leaf' does not appear in src/store/durable_sweep.h" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs_check: all markdown links resolve;" \
-    "all $(echo "$knobs" | wc -l | tr -d ' ') documented knobs exist"
+    "all $(echo "$knobs" | wc -l | tr -d ' ') documented pipeline knobs and" \
+    "$(echo "$sweep_knobs" | wc -l | tr -d ' ') sweep knobs exist"
 fi
 exit "$fail"
