@@ -5,8 +5,14 @@
 // tracing with export, and 1-in-8 sampled tracing — reporting the relative
 // overhead and dumping the registry snapshot of the traced sweep into
 // BENCH_results.json.
+// The introspection-plane leg measures the serving-mode configuration —
+// background exporter + structured event log + live span ring — against the
+// default, gating the "observability is nearly free" claim (<= 2% wall).
+// The coarse-clock leg re-measures full tracing after the tracing-tax shave
+// (interned span names, TLS-cached coarse clock) against its <= 15% budget.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -14,6 +20,8 @@
 #include "bench_common.h"
 #include "bench_results.h"
 #include "core/pipeline.h"
+#include "obs/eventlog.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,6 +77,37 @@ void BM_EnabledSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_EnabledSpan);
 
+void BM_EnabledSpanCoarse(benchmark::State& state) {
+  // The shaved hot path: interned name lookup hits the TLS cache and the
+  // coarse clock amortizes the steady_clock read over kCoarseRefresh spans.
+  obs::Tracer tracer;
+  tracer.set_coarse_clock(true);
+  for (auto _ : state) {
+    obs::Span span(&tracer, "work");
+  }
+  benchmark::DoNotOptimize(tracer.recorded());
+}
+BENCHMARK(BM_EnabledSpanCoarse);
+
+void BM_ExporterTickAndRender(benchmark::State& state) {
+  // One scrape's worth of work against a realistically-populated registry.
+  obs::Registry reg;
+  for (int i = 0; i < 16; ++i) {
+    reg.counter("bench.counter_" + std::to_string(i)).add(1000 + i);
+    reg.gauge("bench.gauge_" + std::to_string(i)).set(i);
+  }
+  auto& h = reg.histogram("bench.latency_ns");
+  for (std::uint64_t v = 1; v < 1'000'000; v *= 3) h.record(v);
+  obs::ExporterConfig config;
+  config.interval_ms = 0;  // manual ticks
+  obs::Exporter exporter({&reg}, config);
+  for (auto _ : state) {
+    exporter.tick();
+    benchmark::DoNotOptimize(exporter.render_prometheus());
+  }
+}
+BENCHMARK(BM_ExporterTickAndRender);
+
 double timed_sweep(const core::PipelineConfig& config,
                    core::LandscapeStats* stats_out = nullptr) {
   auto& pop = bench::population();
@@ -80,21 +119,53 @@ double timed_sweep(const core::PipelineConfig& config,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+// Serving-mode sweep, one rep: same pipeline run with the whole
+// introspection plane live — background exporter scraping every 250 ms,
+// structured event log, SweepStatus publishing, and the live span ring (no
+// trace-file export).
+double timed_sweep_with_plane() {
+  auto& pop = bench::population();
+  obs::EventLog event_log;
+  obs::SweepStatus status;
+  core::PipelineConfig config;
+  config.telemetry.live_spans = true;
+  config.telemetry.coarse_clock = true;
+  config.telemetry.event_log = &event_log;
+  config.telemetry.status = &status;
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+  obs::ExporterConfig exp_config;
+  exp_config.interval_ms = 250;
+  obs::Exporter exporter({&obs::Registry::global(), &pipeline.registry()},
+                         exp_config);
+  exporter.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reports = pipeline.run(pop.sweep_inputs());
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(reports.size());
+  exporter.stop();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
 void macro_section() {
   using namespace proxion::bench;
   BenchResults results("bench_telemetry_overhead");
 
   core::PipelineConfig off;
   off.telemetry.enabled = false;
-  const double off_ms = timed_sweep(off);
-
-  core::LandscapeStats on_stats;
-  const double on_ms = timed_sweep(core::PipelineConfig{}, &on_stats);
 
   core::PipelineConfig traced;
   traced.telemetry.trace_path = BenchResults::path() + ".trace.json";
-  core::LandscapeStats traced_stats;
-  const double traced_ms = timed_sweep(traced, &traced_stats);
+
+  // Full tracing after the tracing-tax shave: interned span names, the
+  // TLS-cached coarse clock, and the live span ring (drained over /spans)
+  // instead of a post-run trace file. Every span is still recorded — only
+  // the per-span bookkeeping cost and the one-off file serialization
+  // differ. This is the serving-mode configuration and the <= 15% budget
+  // leg; the `traced` leg keeps file export for continuity with the seed
+  // measurement.
+  core::PipelineConfig coarse;
+  coarse.telemetry.live_spans = true;
+  coarse.telemetry.coarse_clock = true;
 
   // Sampled tracing: 1-in-8 spans kept. Sampled-out spans skip the clock
   // read and argument formatting entirely, so this leg measures how close
@@ -102,12 +173,37 @@ void macro_section() {
   core::PipelineConfig sampled = traced;
   sampled.telemetry.trace_path = BenchResults::path() + ".trace_sampled.json";
   sampled.telemetry.span_sample_every_n = 8;
-  core::LandscapeStats sampled_stats;
-  const double sampled_ms = timed_sweep(sampled, &sampled_stats);
+
+  // Three reps, legs INTERLEAVED round-robin and a per-leg minimum:
+  // overhead ratios in the low-single-digit-percent range drown in
+  // machine-load drift if each leg's reps run back to back (the drift then
+  // lands on whole legs instead of averaging out), and the minimum is the
+  // least-noisy estimator of true cost on a shared machine.
+  core::LandscapeStats on_stats, traced_stats, sampled_stats;
+  double off_ms = 0, on_ms = 0, traced_ms = 0, coarse_ms = 0, sampled_ms = 0,
+         plane_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const bool first = rep == 0;
+    auto keep = [first](double& best, double ms) {
+      best = first ? ms : std::min(best, ms);
+    };
+    keep(off_ms, timed_sweep(off));
+    keep(on_ms, timed_sweep(core::PipelineConfig{},
+                            first ? &on_stats : nullptr));
+    keep(traced_ms, timed_sweep(traced, first ? &traced_stats : nullptr));
+    keep(coarse_ms, timed_sweep(coarse));
+    keep(sampled_ms, timed_sweep(sampled, first ? &sampled_stats : nullptr));
+    // The live introspection plane (exporter + event log + status
+    // publishing) added on top of the identical live-ring tracing config —
+    // the delta against the coarse leg isolates exactly what serving costs.
+    keep(plane_ms, timed_sweep_with_plane());
+  }
 
   const double on_overhead = 100.0 * (on_ms - off_ms) / off_ms;
   const double traced_overhead = 100.0 * (traced_ms - off_ms) / off_ms;
+  const double coarse_overhead = 100.0 * (coarse_ms - off_ms) / off_ms;
   const double sampled_overhead = 100.0 * (sampled_ms - off_ms) / off_ms;
+  const double plane_overhead = 100.0 * (plane_ms - coarse_ms) / coarse_ms;
 
   heading("sweep overhead: telemetry off vs histograms vs full tracing");
   row("telemetry OFF", fmt(off_ms, " ms"));
@@ -115,8 +211,12 @@ void macro_section() {
   row("  overhead vs OFF", fmt(on_overhead, "%"));
   row("span tracing + export", fmt(traced_ms, " ms"));
   row("  overhead vs OFF", fmt(traced_overhead, "%"));
+  row("span tracing, coarse clock, live ring", fmt(coarse_ms, " ms"));
+  row("  overhead vs OFF (<=15% budget)", fmt(coarse_overhead, "%"));
   row("span tracing, 1-in-8 sampled", fmt(sampled_ms, " ms"));
   row("  overhead vs OFF", fmt(sampled_overhead, "%"));
+  row("introspection plane live", fmt(plane_ms, " ms"));
+  row("  overhead vs live-ring leg (<=2% budget)", fmt(plane_overhead, "%"));
   row("spans recorded (sampled sweep)",
       std::to_string(sampled_stats.trace_spans_recorded));
   row("spans recorded (traced sweep)",
@@ -134,8 +234,12 @@ void macro_section() {
   results.set("sweep_tracing_ms", traced_ms);
   results.set("histogram_overhead_pct", on_overhead);
   results.set("tracing_overhead_pct", traced_overhead);
+  results.set("sweep_tracing_coarse_ms", coarse_ms);
+  results.set("tracing_coarse_overhead_pct", coarse_overhead);
   results.set("sweep_tracing_sampled_ms", sampled_ms);
   results.set("tracing_sampled_overhead_pct", sampled_overhead);
+  results.set("sweep_plane_ms", plane_ms);
+  results.set("plane_overhead_pct", plane_overhead);
   results.set("trace_spans_recorded_sampled",
               static_cast<double>(sampled_stats.trace_spans_recorded));
   results.set("trace_spans_recorded",

@@ -12,13 +12,25 @@
 //   --max-shards <n>      stop after n shards (simulates a kill; resume later)
 //   --resume              continue a checkpointed sweep from its journal
 //   --incremental         re-sweep only contracts whose fingerprint changed
+//
+// Live introspection (see README "Live introspection plane"):
+//   --serve <port>        serve /metrics, /healthz, /spans on 127.0.0.1
+//                         (0 = ephemeral; the bound port is printed) and
+//                         keep sweeping so the plane has live data
+//   --sweeps <n>          sweeps to run in --serve mode (0 = until killed)
+//   --population <n>      synthetic population size (default 4000)
+//   --events <path>       append structured NDJSON events to this file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/pipeline.h"
 #include "datagen/population.h"
+#include "obs/eventlog.h"
+#include "obs/export.h"
+#include "obs/http.h"
 #include "store/durable_sweep.h"
 
 using namespace proxion;
@@ -31,6 +43,10 @@ struct Options {
   std::size_t max_shards = 0;
   bool resume = false;
   bool incremental = false;
+  int serve_port = -1;       // >= 0 = introspection-plane serving mode
+  std::size_t sweeps = 0;    // serve mode: sweeps to run; 0 = until killed
+  std::uint32_t population = 4'000;
+  std::string events_path;   // NDJSON event-log sink; empty = in-memory only
 };
 
 bool parse_options(int argc, char** argv, Options& opt) {
@@ -59,11 +75,29 @@ bool parse_options(int argc, char** argv, Options& opt) {
       opt.resume = true;
     } else if (arg == "--incremental") {
       opt.incremental = true;
+    } else if (arg == "--serve") {
+      const char* v = value("--serve");
+      if (v == nullptr) return false;
+      opt.serve_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--sweeps") {
+      const char* v = value("--sweeps");
+      if (v == nullptr) return false;
+      opt.sweeps = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--population") {
+      const char* v = value("--population");
+      if (v == nullptr) return false;
+      opt.population =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--events") {
+      const char* v = value("--events");
+      if (v == nullptr) return false;
+      opt.events_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: landscape_survey [--checkpoint <journal> "
                    "[--shard-size N] [--max-shards N] [--resume | "
-                   "--incremental]]\n");
+                   "--incremental]] [--serve PORT [--sweeps N]] "
+                   "[--population N] [--events <path>]\n");
       return false;
     }
   }
@@ -158,12 +192,100 @@ void print_stats(const core::LandscapeStats& stats) {
 
 }  // namespace
 
+// --serve mode: keep sweeping the population while the introspection plane
+// (exporter + HTTP server) answers /metrics, /healthz and /spans from
+// another thread. Returns the process exit code.
+int serve_loop(const Options& opt, datagen::Population& pop) {
+  obs::EventLogConfig log_config;
+  log_config.path = opt.events_path;  // empty = in-memory ring only
+  obs::EventLog event_log(log_config);
+  obs::SweepStatus status;
+
+  core::PipelineConfig config;
+  // No trace file in serving mode — spans are drained live over /spans
+  // instead of rewritten to disk after every sweep.
+  config.telemetry.live_spans = true;
+  config.telemetry.coarse_clock = true;
+  config.telemetry.event_log = &event_log;
+  config.telemetry.status = &status;
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+
+  obs::ExporterConfig exp_config;
+  exp_config.interval_ms = 250;
+  obs::Exporter exporter({&obs::Registry::global(), &pipeline.registry()},
+                         exp_config);
+  exporter.start();
+
+  obs::HttpServer server;
+  server.handle("/metrics", [&exporter](const std::string&) {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = exporter.render_prometheus();
+    return r;
+  });
+  server.handle("/healthz", [&exporter, &status](const std::string&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = exporter.render_healthz(&status);
+    return r;
+  });
+  server.handle("/spans", [&pipeline](const std::string&) {
+    obs::HttpResponse r;
+    r.content_type = "application/x-ndjson";
+    const obs::Tracer* tracer = pipeline.tracer();
+    r.body = tracer != nullptr ? tracer->ndjson_recent(4096) : std::string();
+    return r;
+  });
+  if (!server.start(static_cast<std::uint16_t>(opt.serve_port))) {
+    std::fprintf(stderr, "failed to bind 127.0.0.1:%d\n", opt.serve_port);
+    return 1;
+  }
+  // obs_smoke.sh parses this line for the ephemeral port; keep the format.
+  std::printf("serving introspection on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  const std::vector<core::SweepInput> inputs = pop.sweep_inputs();
+  core::LandscapeStats stats;
+  for (std::size_t i = 0; opt.sweeps == 0 || i < opt.sweeps; ++i) {
+    if (!opt.checkpoint.empty()) {
+      store::DurableSweepConfig sweep_config;
+      sweep_config.journal_path = opt.checkpoint;
+      sweep_config.shard_size = opt.shard_size;
+      sweep_config.event_log = &event_log;
+      sweep_config.status = &status;
+      store::DurableSweep sweep(pipeline, *pop.chain, &pop.sources,
+                                sweep_config);
+      store::DurableSweepResult result = sweep.run(inputs);
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "durable sweep failed: %s\n",
+                     result.error.c_str());
+        return 1;
+      }
+      stats = result.stats;
+    } else {
+      const auto reports = pipeline.run(inputs);
+      stats = pipeline.summarize(reports);
+      // Drop cross-run memos so every lap does real work (and so the
+      // sweep.* gauge-reset hygiene in shedding gets exercised live).
+      pipeline.shed_cross_run_state();
+    }
+  }
+
+  server.stop();
+  exporter.stop();
+  print_stats(stats);
+  std::printf("\nserved %llu scrape(s); %llu event(s) logged\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(event_log.emitted()));
+  return 0;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_options(argc, argv, opt)) return 2;
 
   datagen::PopulationSpec spec;
-  spec.total_contracts = 4'000;  // keep the example snappy
+  spec.total_contracts = opt.population;  // default keeps the example snappy
   std::printf("generating a synthetic Ethereum population (~%u contracts, "
               "2015-2023)...\n",
               spec.total_contracts);
@@ -172,8 +294,17 @@ int main(int argc, char** argv) {
               pop.contracts.size(),
               static_cast<unsigned long long>(pop.chain->height()));
 
+  if (opt.serve_port >= 0) return serve_loop(opt, pop);
+
+  std::optional<obs::EventLog> event_log;
   core::PipelineConfig config;
   config.telemetry.trace_path = "landscape_trace.json";
+  if (!opt.events_path.empty()) {
+    obs::EventLogConfig log_config;
+    log_config.path = opt.events_path;
+    event_log.emplace(log_config);
+    config.telemetry.event_log = &*event_log;
+  }
   core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
 
   if (!opt.checkpoint.empty()) {
@@ -181,6 +312,7 @@ int main(int argc, char** argv) {
     sweep_config.journal_path = opt.checkpoint;
     sweep_config.shard_size = opt.shard_size;
     sweep_config.max_shards = opt.max_shards;
+    if (event_log.has_value()) sweep_config.event_log = &*event_log;
     store::DurableSweep sweep(pipeline, *pop.chain, &pop.sources, sweep_config);
     const std::vector<core::SweepInput> inputs = pop.sweep_inputs();
     store::DurableSweepResult result =

@@ -107,13 +107,16 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
     h_contract_ = &registry_.histogram("sweep.contract_latency_ns");
     h_rpc_ = &registry_.histogram("sweep.rpc_latency_ns");
     h_steps_ = &registry_.histogram("sweep.emulation_steps");
+    c_contracts_ = &registry_.counter("sweep.contracts");
     if (!config_.telemetry.trace_path.empty() ||
-        !config_.telemetry.events_path.empty()) {
+        !config_.telemetry.events_path.empty() ||
+        config_.telemetry.live_spans) {
       tracer_ = std::make_unique<obs::Tracer>(
           clock_, config_.telemetry.trace_ring_capacity);
       const std::size_t every = config_.telemetry.span_sample_every_n;
       tracer_->set_sample_every(
           static_cast<std::uint32_t>(every == 0 ? 1 : every));
+      tracer_->set_coarse_clock(config_.telemetry.coarse_clock);
     }
   }
 
@@ -133,6 +136,35 @@ AnalysisPipeline::AnalysisPipeline(chain::Blockchain& chain,
     resilient_ = std::make_unique<chain::ResilientArchiveNode>(
         *wire, config_.retry, config_.breaker);
     wire = resilient_.get();
+    // Publish breaker flips to the introspection plane. The listener fires
+    // outside the breaker's lock (see CircuitBreaker::set_state_listener),
+    // so emitting an event from it cannot deadlock against RPC traffic.
+    obs::EventLog* log = config_.telemetry.event_log;
+    obs::SweepStatus* status = config_.telemetry.status;
+    if (log != nullptr || status != nullptr) {
+      if (status != nullptr) {
+        status->breaker_state.store(
+            static_cast<std::uint8_t>(resilient_->breaker().state()),
+            std::memory_order_relaxed);
+      }
+      resilient_->breaker().set_state_listener(
+          [log, status](util::CircuitBreaker::State s) {
+            if (status != nullptr) {
+              status->breaker_state.store(static_cast<std::uint8_t>(s),
+                                          std::memory_order_relaxed);
+            }
+            if (log != nullptr) {
+              using State = util::CircuitBreaker::State;
+              const char* name = s == State::kOpen       ? "open"
+                                 : s == State::kHalfOpen ? "half-open"
+                                                         : "closed";
+              log->emit(s == State::kOpen ? obs::Severity::kWarn
+                                          : obs::Severity::kInfo,
+                        "chain.breaker",
+                        std::string("circuit breaker ") + name);
+            }
+          });
+    }
   }
   if (config_.coalesce_archive_reads) {
     coalescer_ = std::make_unique<chain::CoalescingArchiveNode>(
@@ -195,6 +227,24 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
     const std::vector<ContractAnalysis>* prior) {
   const auto t_start = std::chrono::steady_clock::now();
   util::ThreadPool& workers = pool();
+
+  // Live-introspection publishing: phase and progress land in the shared
+  // status block as they happen; operational events go to the event log.
+  // Both are optional and borrowed — null means no publishing.
+  obs::EventLog* const event_log = config_.telemetry.event_log;
+  obs::SweepStatus* const status = config_.telemetry.status;
+  if (status != nullptr) {
+    status->sweeps_started.fetch_add(1, std::memory_order_relaxed);
+    status->contracts_total.store(inputs.size(), std::memory_order_relaxed);
+    status->contracts_done.store(0, std::memory_order_relaxed);
+    status->set_phase(obs::SweepPhase::kFetch);
+  }
+  if (event_log != nullptr) {
+    event_log->emit(obs::Severity::kInfo, "pipeline",
+                    (prior != nullptr ? "resume pass started over "
+                                      : "sweep started over ") +
+                        std::to_string(inputs.size()) + " contracts");
+  }
 
   // Each run entry asserts the backend is worth talking to again; a breaker
   // left open by a previous run's outage must not fast-fail a resume pass.
@@ -331,6 +381,7 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   // failures here are internal bugs — contained per blob all the same.
   std::vector<ProxyReport> unique_reports(unique_indices.size());
   std::vector<std::optional<ErrorRecord>> unique_errors(unique_indices.size());
+  if (status != nullptr) status->set_phase(obs::SweepPhase::kProxy);
   {
     obs::Span phase_span(tracer_.get(), "phase:proxy");
     workers.parallel_for(unique_indices.size(), [&](std::size_t u) {
@@ -400,12 +451,17 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   // proxies delegate to it (the seed re-hashed per pair). Every contract is
   // its own failure domain: an RPC giving up mid-history or a watchdog
   // expiry quarantines this contract and the sweep moves on.
+  if (status != nullptr) status->set_phase(obs::SweepPhase::kPairs);
   {
     obs::Span phase_span(tracer_.get(), "phase:pairs");
     workers.parallel_for(inputs.size(), [&](std::size_t i) {
       ContractAnalysis& a = out[i];
       if (reuse_prior(i)) {
         a = (*prior)[i];
+        if (c_contracts_ != nullptr) c_contracts_->add();
+        if (status != nullptr) {
+          status->contracts_done.fetch_add(1, std::memory_order_relaxed);
+        }
         return;
       }
       // Per-contract latency stopwatch + trace span around the whole pair
@@ -520,6 +576,10 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
         }();
       }
       if (h_contract_ != nullptr) h_contract_->record(clock_() - t0);
+      if (c_contracts_ != nullptr) c_contracts_->add();
+      if (status != nullptr) {
+        status->contracts_done.fetch_add(1, std::memory_order_relaxed);
+      }
     });
   }
 
@@ -579,6 +639,32 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
       tracer_->write_ndjson(config_.telemetry.events_path);
     }
   }
+
+  // Quarantine accounting + run-completion event. One event per quarantined
+  // contract (correlated by address), which is rare by construction — the
+  // happy path emits exactly one completion event per run.
+  std::uint64_t quarantined_now = 0;
+  for (const ContractAnalysis& a : out) {
+    if (!a.error) continue;
+    ++quarantined_now;
+    if (event_log != nullptr) {
+      event_log->emit(obs::Severity::kWarn, "pipeline",
+                      std::string("quarantined in ") + a.error->phase + ": " +
+                          std::string(to_string(a.error->kind)),
+                      a.address.to_hex());
+    }
+  }
+  if (status != nullptr) {
+    status->quarantined.fetch_add(quarantined_now, std::memory_order_relaxed);
+    status->sweeps_completed.fetch_add(1, std::memory_order_relaxed);
+    status->set_phase(obs::SweepPhase::kDone);
+  }
+  if (event_log != nullptr) {
+    event_log->emit(obs::Severity::kInfo, "pipeline",
+                    "sweep completed: " + std::to_string(out.size()) +
+                        " contracts, " + std::to_string(quarantined_now) +
+                        " quarantined");
+  }
   return out;
 }
 
@@ -626,6 +712,10 @@ void AnalysisPipeline::shed_cross_run_state() {
   if (blob_cache_) blob_cache_->clear();
   if (verdict_cache_) verdict_cache_->clear();
   if (cache_) cache_->clear();
+  // Gauges are last-writer-wins facts about ONE run; a serving-mode daemon
+  // shedding state between sweeps must not keep exposing the previous run's
+  // cache/RPC totals until the next run happens to overwrite them.
+  registry_.reset_gauges("sweep.");
   // The coalescer's sealed observations assume the chain was not mutated;
   // shedding is exactly the moment that assumption is surrendered (the
   // durable driver may feed a mutated chain into the next pass).

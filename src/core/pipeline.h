@@ -34,6 +34,8 @@
 #include "core/logic_finder.h"
 #include "core/proxy_detector.h"
 #include "core/storage_collision.h"
+#include "obs/eventlog.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sourcemeta/source.h"
@@ -136,6 +138,23 @@ struct TelemetryConfig {
   /// std::chrono::steady_clock. Tests inject a fake for deterministic
   /// traces (the PR-2 testable-time convention).
   obs::TraceClock clock;
+  /// Keep the span tracer alive without any file export, so a live /spans
+  /// endpoint can drain the rings mid-run (the introspection plane's use).
+  bool live_spans = false;
+  /// Span timestamps from a TLS-cached coarse clock: one real clock read
+  /// amortized over ~32 spans instead of two per span. The cheap-tracing
+  /// mode for always-on serving; timestamps stay monotonic per thread but
+  /// gain up to ~32-span granularity. Only affects the default steady
+  /// clock; an injected `clock` stays exact.
+  bool coarse_clock = false;
+  /// Structured event sink (borrowed; must outlive the pipeline). When set,
+  /// operational events — run start/end, quarantines, breaker transitions —
+  /// are emitted here instead of being invisible. Null = no events.
+  obs::EventLog* event_log = nullptr;
+  /// Live progress block for /healthz (borrowed; must outlive the
+  /// pipeline). When set, the pipeline publishes phase transitions and
+  /// contract progress into it as the sweep runs. Null = no publishing.
+  obs::SweepStatus* status = nullptr;
 };
 
 struct PipelineConfig {
@@ -474,7 +493,10 @@ class AnalysisPipeline {
   obs::Histogram* h_contract_ = nullptr;
   obs::Histogram* h_rpc_ = nullptr;
   obs::Histogram* h_steps_ = nullptr;
-  /// Non-null only when an export path is configured.
+  /// Contracts completed, cumulative across runs — the exporter derives the
+  /// headline `contracts_per_s` rate from this counter's deltas.
+  obs::Counter* c_contracts_ = nullptr;
+  /// Non-null when an export path is configured or live_spans is on.
   std::unique_ptr<obs::Tracer> tracer_;
 
   std::unique_ptr<AnalysisCache> cache_;  // null when disabled

@@ -1,0 +1,293 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace proxion::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view to_string(SweepPhase phase) noexcept {
+  switch (phase) {
+    case SweepPhase::kIdle: return "idle";
+    case SweepPhase::kFetch: return "fetch";
+    case SweepPhase::kProxy: return "proxy";
+    case SweepPhase::kPairs: return "pairs";
+    case SweepPhase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+Exporter::Exporter(std::vector<const Registry*> registries,
+                   ExporterConfig config)
+    : registries_(std::move(registries)),
+      config_([&config] {
+        if (config.ring_capacity < 2) config.ring_capacity = 2;
+        return config;
+      }()),
+      clock_(config_.clock ? config_.clock : TraceClock(&steady_now_ns)) {}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::start() {
+  if (config_.interval_ms <= 0) return;
+  if (running_.exchange(true, std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Exporter::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Exporter::run_loop() {
+  // Snapshot immediately so a scrape right after start() has data, then on
+  // every interval until stop() wakes us.
+  tick();
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lk, std::chrono::milliseconds(config_.interval_ms),
+                      [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lk.unlock();
+    tick();
+    lk.lock();
+  }
+}
+
+TimedSnapshot Exporter::take_snapshot() {
+  TimedSnapshot snap;
+  snap.mono_ns = clock_();
+  for (const Registry* reg : registries_) {
+    const Registry::Snapshot part = reg->snapshot();
+    for (const auto& [name, v] : part.counters) snap.merged.counters[name] += v;
+    for (const auto& [name, v] : part.gauges) snap.merged.gauges[name] = v;
+    for (auto& [name, h] : reg->histogram_snapshots()) {
+      snap.histograms[name].merge(h);
+    }
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    snap.merged.histograms[name] = h.summary();
+  }
+  return snap;
+}
+
+void Exporter::tick() {
+  TimedSnapshot snap = take_snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  snap.seq = seq_++;
+  if (ring_.size() >= config_.ring_capacity) {
+    ring_.erase(ring_.begin());
+  }
+  ring_.push_back(std::move(snap));
+}
+
+std::uint64_t Exporter::ticks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+std::vector<TimedSnapshot> Exporter::series() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_;
+}
+
+std::map<std::string, double> Exporter::rates() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, double> out;
+  if (ring_.size() < 2) return out;
+  const TimedSnapshot& prev = ring_[ring_.size() - 2];
+  const TimedSnapshot& last = ring_.back();
+  if (last.mono_ns <= prev.mono_ns) return out;  // stalled/backwards clock
+  const double dt_s =
+      static_cast<double>(last.mono_ns - prev.mono_ns) / 1e9;
+  for (const auto& [name, v1] : last.merged.counters) {
+    std::uint64_t v0 = 0;
+    const auto it = prev.merged.counters.find(name);
+    if (it != prev.merged.counters.end()) v0 = it->second;
+    // Counters are monotone; a smaller current value means a reset between
+    // snapshots (serving-mode shed) — report the post-reset slope from 0.
+    const std::uint64_t delta = v1 >= v0 ? v1 - v0 : v1;
+    out[name] = static_cast<double>(delta) / dt_s;
+  }
+  // Headline throughput alias: the spec'd `contracts_per_s` series.
+  const auto it = out.find("sweep.contracts");
+  if (it != out.end()) out["contracts_per_s"] = it->second;
+  return out;
+}
+
+std::string Exporter::sanitize_prometheus_name(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+std::string Exporter::render_prometheus() {
+  bool empty;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    empty = ring_.empty();
+  }
+  // Self-prime: a scrape before the first interval still sees data.
+  if (empty) tick();
+  const std::map<std::string, double> rate_map = rates();
+  TimedSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap = ring_.back();
+  }
+
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : snap.merged.counters) {
+    const std::string base = "proxion_" + sanitize_prometheus_name(name);
+    out += "# TYPE " + base + "_total counter\n";
+    out += base + "_total ";
+    append_u64(out, v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, v] : snap.merged.gauges) {
+    const std::string base = "proxion_" + sanitize_prometheus_name(name);
+    out += "# TYPE " + base + " gauge\n";
+    out += base + " ";
+    append_i64(out, v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, rate] : rate_map) {
+    const std::string base =
+        "proxion_" + sanitize_prometheus_name(name) +
+        (name == "contracts_per_s" ? "" : "_per_s");
+    out += "# TYPE " + base + " gauge\n";
+    out += base + " ";
+    append_double(out, rate);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string base = "proxion_" + sanitize_prometheus_name(name);
+    out += "# TYPE " + base + " histogram\n";
+    // Cumulative buckets, only at occupied boundaries (496 mostly-empty
+    // log buckets would bloat every scrape ~30x for no resolution gain).
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < Histogram::kBucketCount; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += base + "_bucket{le=\"";
+      append_u64(out, Histogram::bucket_upper_bound(b));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += base + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+    out += base + "_sum ";
+    append_u64(out, h.sum);
+    out.push_back('\n');
+    out += base + "_count ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Exporter::render_healthz(const SweepStatus* status) const {
+  std::string out;
+  out.reserve(512);
+  SweepPhase phase = SweepPhase::kIdle;
+  std::uint64_t sweeps_started = 0, sweeps_completed = 0;
+  std::uint64_t contracts_total = 0, contracts_done = 0;
+  std::uint64_t quarantined = 0, shards_total = 0, shards_committed = 0;
+  std::uint64_t journal_bytes = 0;
+  bool degraded = false;
+  std::uint8_t breaker = 255;
+  if (status != nullptr) {
+    phase = status->get_phase();
+    sweeps_started = status->sweeps_started.load(std::memory_order_relaxed);
+    sweeps_completed =
+        status->sweeps_completed.load(std::memory_order_relaxed);
+    contracts_total =
+        status->contracts_total.load(std::memory_order_relaxed);
+    contracts_done = status->contracts_done.load(std::memory_order_relaxed);
+    quarantined = status->quarantined.load(std::memory_order_relaxed);
+    shards_total = status->shards_total.load(std::memory_order_relaxed);
+    shards_committed =
+        status->shards_committed.load(std::memory_order_relaxed);
+    journal_bytes = status->journal_bytes.load(std::memory_order_relaxed);
+    degraded = status->degraded.load(std::memory_order_relaxed);
+    breaker = status->breaker_state.load(std::memory_order_relaxed);
+  }
+  const char* breaker_name = "none";
+  switch (breaker) {
+    case 0: breaker_name = "closed"; break;
+    case 1: breaker_name = "open"; break;
+    case 2: breaker_name = "half_open"; break;
+    default: break;
+  }
+  // "degraded" when the sweep runs in degraded mode or the breaker is open;
+  // otherwise "ok" — coarse enough for a load balancer, detailed fields for
+  // humans.
+  const bool unhealthy = degraded || breaker == 1;
+  out += "{\"status\":\"";
+  out += unhealthy ? "degraded" : "ok";
+  out += "\",\"phase\":\"";
+  out += to_string(phase);
+  out += "\",\"sweeps\":{\"started\":";
+  append_u64(out, sweeps_started);
+  out += ",\"completed\":";
+  append_u64(out, sweeps_completed);
+  out += "},\"contracts\":{\"total\":";
+  append_u64(out, contracts_total);
+  out += ",\"done\":";
+  append_u64(out, contracts_done);
+  out += "},\"shards\":{\"total\":";
+  append_u64(out, shards_total);
+  out += ",\"committed\":";
+  append_u64(out, shards_committed);
+  out += "},\"quarantined\":";
+  append_u64(out, quarantined);
+  out += ",\"journal_bytes\":";
+  append_u64(out, journal_bytes);
+  out += ",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"breaker\":\"";
+  out += breaker_name;
+  out += "\",\"snapshots\":";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    append_u64(out, seq_);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace proxion::obs

@@ -1,0 +1,161 @@
+// Live metric export for the introspection plane: a background Exporter
+// thread snapshots one or more Registries on a fixed interval into a bounded
+// time-series ring, computes counter deltas and per-second rates between
+// consecutive snapshots, and renders the latest state as Prometheus text
+// exposition format 0.0.4 (the /metrics payload) or an operational health
+// JSON document (the /healthz payload).
+//
+// Consistency model: a snapshot is the same racy-by-design point-in-time sum
+// that Registry::snapshot() documents — counters recorded during the scrape
+// land in this snapshot or the next, never vanish. Rates are computed from
+// the exporter's OWN monotonic timestamps, so a delayed tick yields a
+// correct (lower) rate rather than a spike.
+//
+// The Exporter merges MULTIPLE registries into one logical snapshot because
+// the process genuinely has two scopes: Registry::global() (keccak, archive
+// RPC, thread pool — process-lifetime counters) and the pipeline's per-run
+// registry (sweep.* gauges, per-run histograms). Counters sum, gauges are
+// last-registry-wins, histograms merge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace proxion::obs {
+
+/// Coarse sweep lifecycle for /healthz.
+enum class SweepPhase : std::uint8_t {
+  kIdle,     // no sweep started yet (or between serving-mode sweeps)
+  kFetch,    // phase A: code fetch + proxy detection
+  kProxy,    // phase B: logic-contract search
+  kPairs,    // phase C: collision checking
+  kDone,     // last sweep completed
+};
+
+std::string_view to_string(SweepPhase phase) noexcept;
+
+/// Shared producer->consumer progress block for /healthz: the pipeline and
+/// DurableSweep store into it as they go; the health handler loads from it
+/// on every request. All relaxed atomics — each field is an independent
+/// monotonic-ish fact, cross-field consistency is not promised (same
+/// contract as metric snapshots).
+struct SweepStatus {
+  std::atomic<std::uint8_t> phase{static_cast<std::uint8_t>(SweepPhase::kIdle)};
+  std::atomic<std::uint64_t> sweeps_started{0};
+  std::atomic<std::uint64_t> sweeps_completed{0};
+  std::atomic<std::uint64_t> contracts_total{0};  // current sweep's input size
+  std::atomic<std::uint64_t> contracts_done{0};   // current sweep, monotone
+  std::atomic<std::uint64_t> quarantined{0};      // cumulative across sweeps
+  std::atomic<std::uint64_t> shards_total{0};
+  std::atomic<std::uint64_t> shards_committed{0};
+  std::atomic<std::uint64_t> journal_bytes{0};
+  std::atomic<bool> degraded{false};
+  /// util::CircuitBreaker::State of the archive-node breaker, as published
+  /// by the breaker's state listener; 0=closed, 1=open, 2=half-open, and
+  /// 255 = no breaker wired (rendered as "none").
+  std::atomic<std::uint8_t> breaker_state{255};
+
+  void set_phase(SweepPhase p) noexcept {
+    phase.store(static_cast<std::uint8_t>(p), std::memory_order_relaxed);
+  }
+  SweepPhase get_phase() const noexcept {
+    return static_cast<SweepPhase>(phase.load(std::memory_order_relaxed));
+  }
+};
+
+/// One merged point-in-time view of the registries, stamped with the
+/// exporter's monotonic clock.
+struct TimedSnapshot {
+  std::uint64_t mono_ns = 0;
+  std::uint64_t seq = 0;  // strictly increasing per exporter
+  Registry::Snapshot merged;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+struct ExporterConfig {
+  /// Snapshot cadence for the background thread. start() ignores a
+  /// non-positive interval (tick() stays available for manual stepping).
+  std::int64_t interval_ms = 1000;
+  /// Snapshots retained in the ring (>= 2 so rates always have a baseline).
+  std::size_t ring_capacity = 120;
+  /// Monotonic ns clock; empty = steady_clock (tests inject fakes for exact
+  /// rate math).
+  TraceClock clock;
+};
+
+class Exporter {
+ public:
+  /// `registries` are borrowed and must outlive the exporter. Order matters
+  /// only for gauges (later registries win on name collision).
+  Exporter(std::vector<const Registry*> registries, ExporterConfig config = {});
+  ~Exporter();  // stops the thread if running
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Launch the background snapshot thread (idempotent).
+  void start();
+  /// Stop and join the background thread (idempotent; also done by ~).
+  void stop();
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Take one snapshot NOW (also what the background thread calls each
+  /// interval). Public so tests and scrape handlers can step deterministically.
+  void tick();
+
+  /// Snapshots taken so far (monotone; ring evicts oldest beyond capacity).
+  std::uint64_t ticks() const;
+  /// Ring contents, oldest first.
+  std::vector<TimedSnapshot> series() const;
+
+  /// Per-second rates for every counter, computed between the two most
+  /// recent snapshots: (v1 - v0) / dt. Empty until two snapshots exist.
+  /// Keys are the counter names plus the derived `contracts_per_s` alias for
+  /// the `sweep.contracts` counter (the headline throughput series).
+  std::map<std::string, double> rates() const;
+
+  /// Prometheus text exposition 0.0.4 from the LATEST snapshot (self-priming:
+  /// takes one if the ring is empty). Counters as `counter` with a `_total`
+  /// suffix, gauges as `gauge`, histograms as cumulative `_bucket{le=...}`
+  /// + `_sum` + `_count`, names sanitized `.` -> `_`. Rates appear as
+  /// synthetic gauges (`proxion_contracts_per_s`).
+  std::string render_prometheus();
+
+  /// Operational health JSON from `status` + breaker/quarantine state.
+  /// Always well-formed JSON, independent of snapshot history.
+  std::string render_healthz(const SweepStatus* status) const;
+
+  /// Prometheus-safe name: `.` -> `_`, everything else preserved (the
+  /// registry already enforced the charset at registration).
+  static std::string sanitize_prometheus_name(const std::string& name);
+
+ private:
+  TimedSnapshot take_snapshot();
+  void run_loop();
+
+  const std::vector<const Registry*> registries_;
+  const ExporterConfig config_;
+  TraceClock clock_;
+  mutable std::mutex mu_;           // guards ring_ and seq_
+  std::vector<TimedSnapshot> ring_;  // bounded: config_.ring_capacity
+  std::uint64_t seq_ = 0;
+  std::atomic<bool> running_{false};
+  std::mutex stop_mu_;              // pairs with stop_cv_ for interruptible sleep
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace proxion::obs

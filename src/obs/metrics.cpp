@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace proxion::obs {
 
@@ -128,7 +129,29 @@ HistogramSummary HistogramSnapshot::summary() const {
 
 // ---- Registry -------------------------------------------------------------
 
+bool valid_metric_name(const std::string& name) noexcept {
+  if (name.empty()) return false;
+  if (name.front() >= '0' && name.front() <= '9') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+void require_valid_name(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument(
+        "obs: invalid metric name (must be [a-zA-Z0-9_.:], nonempty, not "
+        "digit-led): \"" + name + "\"");
+  }
+}
+}  // namespace
+
 Counter& Registry::counter(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -136,6 +159,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -143,6 +167,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
@@ -166,11 +191,26 @@ Registry::Snapshot Registry::snapshot() const {
   return snap;
 }
 
+std::map<std::string, HistogramSnapshot> Registry::histogram_snapshots()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::reset_gauges(std::string_view prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, g] : gauges_) {
+    if (std::string_view(name).substr(0, prefix.size()) == prefix) g->reset();
+  }
 }
 
 Registry& Registry::global() {

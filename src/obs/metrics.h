@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace proxion::obs {
 
@@ -190,6 +191,14 @@ class HistogramSnapshot {
   HistogramSummary summary() const;
 };
 
+/// True when `name` is a valid metric name: nonempty, drawn entirely from
+/// `[a-zA-Z0-9_.:]`, and not starting with a digit. The charset is the
+/// Prometheus name charset plus `.` (our internal namespacing separator,
+/// sanitized to `_` at exposition) — enforcing it at REGISTRATION means the
+/// exposition renderer can never emit a malformed line, no matter what was
+/// recorded.
+bool valid_metric_name(const std::string& name) noexcept;
+
 /// Process-wide (or per-component: it is instantiable) name -> metric
 /// registry. References returned by counter()/gauge()/histogram() stay valid
 /// for the registry's lifetime; lookups are mutex-guarded and intended for
@@ -200,6 +209,10 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Registration validates the name (see valid_metric_name) and throws
+  /// std::invalid_argument on violation — a misnamed metric is a programming
+  /// error caught at the first setup-path call, never a malformed exposition
+  /// line discovered by a scraper.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
@@ -216,8 +229,20 @@ class Registry {
   };
   Snapshot snapshot() const;
 
+  /// Full bucket-level histogram views (Snapshot carries only summaries):
+  /// what the Prometheus renderer needs for `_bucket` series. Same
+  /// racy-by-design consistency as snapshot().
+  std::map<std::string, HistogramSnapshot> histogram_snapshots() const;
+
   /// Zero every metric (bench/test convenience; quiescence required).
   void reset();
+
+  /// Zero every gauge whose name starts with `prefix` (empty = all gauges).
+  /// Counters and histograms are untouched. Serving-mode hygiene: gauges are
+  /// last-writer-wins facts about ONE run, so a daemon's shed-state step
+  /// resets `sweep.`-prefixed gauges between sweeps rather than exposing the
+  /// previous run's values until the next one overwrites them.
+  void reset_gauges(std::string_view prefix);
 
   /// The process-wide instance absorbing the formerly scattered counters
   /// (crypto.keccak.*, chain.archive.*, threadpool.*).

@@ -72,6 +72,9 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   // registry must not leak into this one's report).
   metrics_.gauge("sweep.degraded").set(0);
   metrics_.gauge("sweep.selfheal_shards").set(0);
+  if (config_.status != nullptr) {
+    config_.status->degraded.store(false, std::memory_order_relaxed);
+  }
 
   // ---- fingerprint the population ---------------------------------------
   // One code fetch + keccak per input; the blob is dropped immediately, so
@@ -114,6 +117,21 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
       metrics_.counter("store.journal.corrupt_gaps").add(replay->corrupt_gaps);
       if (replay->tail_dropped) {
         metrics_.counter("store.journal.truncated_tails").add(1);
+      }
+      if (config_.event_log != nullptr) {
+        if (replay->corrupt_gaps > 0) {
+          config_.event_log->emit(
+              obs::Severity::kWarn, "sweep",
+              "journal self-heal: salvaged around " +
+                  std::to_string(replay->corrupt_gaps) +
+                  " corrupt region(s); damaged groups will recompute");
+        }
+        if (replay->tail_dropped) {
+          config_.event_log->emit(
+              obs::Severity::kWarn, "sweep",
+              "journal torn tail dropped (power-cut mid-append); "
+              "uncommitted records will recompute");
+        }
       }
       for (const JournalFrame& frame : replay->frames) {
         switch (frame.type) {
@@ -234,9 +252,20 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
     if (!result.degraded) {
       result.degraded = true;
       metrics_.gauge("sweep.degraded").set(1);
-      std::fprintf(stderr,
-                   "proxion: durable sweep degraded to in-memory mode: %s\n",
-                   why.message().c_str());
+      if (config_.status != nullptr) {
+        config_.status->degraded.store(true, std::memory_order_relaxed);
+      }
+      if (config_.event_log != nullptr) {
+        config_.event_log->emit(
+            obs::Severity::kError, "sweep",
+            "degraded to in-memory mode: " + why.message());
+      } else {
+        // No structured sink wired: this line is operationally load-bearing
+        // (checkpointing just silently stopped), so stderr keeps it.
+        std::fprintf(stderr,
+                     "proxion: durable sweep degraded to in-memory mode: %s\n",
+                     why.message().c_str());
+      }
     }
     return true;
   };
@@ -290,6 +319,23 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
       shards.emplace_back();
     }
     shards.back().push_back(&group);
+  }
+
+  // ---- shard-progress exposition ----------------------------------------
+  // Totals are known the moment the plan exists; the committed gauge then
+  // climbs per shard, so a /metrics scrape mid-sweep reads live progress.
+  const std::uint64_t shards_total = plan.prior_shards + shards.size();
+  metrics_.gauge("sweep.shards_total")
+      .set(static_cast<std::int64_t>(shards_total));
+  metrics_.gauge("sweep.shards_committed")
+      .set(static_cast<std::int64_t>(plan.prior_shards));
+  if (config_.status != nullptr) {
+    config_.status->shards_total.store(shards_total,
+                                       std::memory_order_relaxed);
+    config_.status->shards_committed.store(plan.prior_shards,
+                                           std::memory_order_relaxed);
+    config_.status->journal_bytes.store(writer ? writer->size_bytes() : 0,
+                                        std::memory_order_relaxed);
   }
 
   // ---- replayed reports feed the aggregates directly --------------------
@@ -393,6 +439,22 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
         metrics_.counter("store.journal.bytes_written")
             .add(writer->size_bytes() - bytes_before);
         metrics_.counter("store.sweep.shards_committed").add(1);
+        metrics_.gauge("sweep.shards_committed")
+            .set(static_cast<std::int64_t>(shard_index + 1));
+        if (config_.status != nullptr) {
+          config_.status->shards_committed.store(shard_index + 1,
+                                                 std::memory_order_relaxed);
+          config_.status->journal_bytes.store(writer->size_bytes(),
+                                              std::memory_order_relaxed);
+        }
+        if (config_.event_log != nullptr) {
+          config_.event_log->emit(
+              obs::Severity::kDebug, "sweep",
+              "shard committed (" + std::to_string(reports.size()) +
+                  " contracts, " + std::to_string(writer->size_bytes()) +
+                  " journal bytes)",
+              "shard:" + std::to_string(shard_index));
+        }
       } else {
         io = std::move(mr);
       }

@@ -32,6 +32,8 @@
 
 #include "chain/blockchain.h"
 #include "core/pipeline.h"
+#include "obs/eventlog.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "sourcemeta/source.h"
 #include "store/journal.h"
@@ -68,6 +70,15 @@ struct DurableSweepConfig {
   /// commit, and the result reports degraded=true + the first disk error.
   /// Off restores the old abort-with-error behavior.
   bool degrade_on_disk_failure = true;
+  /// Structured event sink (borrowed). When set, operational lines —
+  /// degraded-mode entry, journal self-heal, torn-tail drop, shard commits —
+  /// are emitted here INSTEAD of the ad-hoc stderr fprintf. Null keeps the
+  /// stderr fallback for degraded-mode entry (that line is operationally
+  /// load-bearing and must go somewhere).
+  obs::EventLog* event_log = nullptr;
+  /// Live progress block for /healthz (borrowed): shards committed vs
+  /// total, journal bytes, degraded flag. Null = no publishing.
+  obs::SweepStatus* status = nullptr;
 };
 
 struct DurableSweepResult {

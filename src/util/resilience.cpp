@@ -41,50 +41,77 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock clock)
 }
 
 bool CircuitBreaker::allow() {
-  std::lock_guard<std::mutex> lk(mu_);
-  switch (state_) {
-    case State::kClosed:
-      return true;
-    case State::kOpen:
-      if (clock_() >= reopen_at_us_) {
-        state_ = State::kHalfOpen;
-        probe_in_flight_ = true;
-        return true;
-      }
-      return false;
-    case State::kHalfOpen:
-      if (!probe_in_flight_) {
-        probe_in_flight_ = true;
-        return true;
-      }
-      return false;
+  bool transitioned = false;
+  bool admit = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (state_) {
+      case State::kClosed:
+        admit = true;
+        break;
+      case State::kOpen:
+        if (clock_() >= reopen_at_us_) {
+          state_ = State::kHalfOpen;
+          probe_in_flight_ = true;
+          transitioned = true;
+          admit = true;
+        } else {
+          admit = false;
+        }
+        break;
+      case State::kHalfOpen:
+        if (!probe_in_flight_) {
+          probe_in_flight_ = true;
+          admit = true;
+        } else {
+          admit = false;
+        }
+        break;
+    }
   }
-  return true;  // unreachable
+  if (transitioned) notify(State::kHalfOpen);
+  return admit;
 }
 
 void CircuitBreaker::on_success() {
-  std::lock_guard<std::mutex> lk(mu_);
-  consecutive_failures_ = 0;
-  probe_in_flight_ = false;
-  state_ = State::kClosed;
+  bool transitioned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    transitioned = state_ != State::kClosed;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    state_ = State::kClosed;
+  }
+  if (transitioned) notify(State::kClosed);
 }
 
 void CircuitBreaker::on_failure() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++consecutive_failures_;
-  if (state_ == State::kHalfOpen) {
-    trip_locked(clock_());
-  } else if (state_ == State::kClosed &&
-             consecutive_failures_ >= config_.failure_threshold) {
-    trip_locked(clock_());
+  bool tripped = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen) {
+      trip_locked(clock_());
+      tripped = true;
+    } else if (state_ == State::kClosed &&
+               consecutive_failures_ >= config_.failure_threshold) {
+      trip_locked(clock_());
+      tripped = true;
+    }
   }
+  if (tripped) notify(State::kOpen);
 }
 
 void CircuitBreaker::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
-  state_ = State::kClosed;
-  consecutive_failures_ = 0;
-  probe_in_flight_ = false;
+  bool transitioned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    transitioned = state_ != State::kClosed;
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+  }
+  if (transitioned) notify(State::kClosed);
 }
 
 void CircuitBreaker::trip_locked(std::uint64_t now) {

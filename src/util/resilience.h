@@ -80,11 +80,28 @@ class CircuitBreaker {
     return trips_.load(std::memory_order_relaxed);
   }
 
+  /// Observe state transitions (open/half-open/closed) — the introspection
+  /// plane publishes them to /healthz and the event log. Invoked OUTSIDE the
+  /// breaker's lock, after the transition committed, so the listener may
+  /// call back into the breaker (state(), trips()) freely; with concurrent
+  /// transitions, notifications can arrive out of order (each carries the
+  /// state its own transition produced, not necessarily the latest). Set
+  /// before the breaker sees traffic; not thread-safe against in-flight
+  /// allow()/on_*() calls.
+  using StateListener = std::function<void(State)>;
+  void set_state_listener(StateListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
   void trip_locked(std::uint64_t now);
+  void notify(State s) {
+    if (listener_) listener_(s);
+  }
 
   CircuitBreakerConfig config_;
   Clock clock_;
+  StateListener listener_;
   mutable std::mutex mu_;
   State state_ = State::kClosed;
   unsigned consecutive_failures_ = 0;

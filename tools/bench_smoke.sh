@@ -49,4 +49,28 @@ print(f"  storage reduction {storage_x:.2f}x (>=3), "
       f"keccak reduction {keccak_x:.2f}x (>=2), sweeps identical")
 EOF
 
+echo "== bench_telemetry_overhead (smoke: PROXION_BENCH_SCALE=${SCALE}) =="
+PROXION_BENCH_SCALE="${SCALE}" \
+  "${BUILD_DIR}/bench/bench_telemetry_overhead" --benchmark_min_time=0.01s
+
+echo "== telemetry acceptance (tracing tax + introspection plane) =="
+# The tracing-tax shave must hold full tracing with the coarse clock at
+# <= 15% over telemetry-off, and the whole live introspection plane
+# (exporter + event log + status publishing + live span ring) at <= 2% over
+# the histograms-on default. Both are min-of-3 measurements.
+python3 - <<'EOF'
+import json
+
+with open("BENCH_results.json") as f:
+    results = json.load(f)["bench_telemetry_overhead"]
+
+coarse = results["tracing_coarse_overhead_pct"]
+plane = results["plane_overhead_pct"]
+
+assert coarse <= 15.0, f"coarse-clock tracing overhead {coarse:.1f}% > 15%"
+assert plane <= 2.0, f"introspection-plane overhead {plane:.1f}% > 2%"
+print(f"  coarse-clock tracing {coarse:.1f}% (<=15), "
+      f"introspection plane {plane:.1f}% (<=2)")
+EOF
+
 echo "bench_smoke: OK"

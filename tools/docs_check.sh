@@ -6,7 +6,12 @@
 #      in src/core/pipeline.h (dotted knobs like `static_tier.enabled` are
 #      checked by their leaf member name);
 #   3. every DurableSweepConfig knob documented in README.md's sweep-knob
-#      table exists in src/store/durable_sweep.h.
+#      table exists in src/store/durable_sweep.h;
+#   4. the README knob table and TelemetryConfig agree exactly: every field
+#      of `struct TelemetryConfig` in src/core/pipeline.h has a
+#      `telemetry.<field>` row, and every `telemetry.*` row names a real
+#      field (catches docs rotting in either direction as the live
+#      introspection plane grows).
 # Pure POSIX sh + grep/sed/awk; no network, no build required.
 set -eu
 cd "$(dirname "$0")/.."
@@ -65,9 +70,40 @@ for knob in $sweep_knobs; do
   fi
 done
 
+# ---- 4. TelemetryConfig fields vs README telemetry.* rows (both ways) ----
+telemetry_fields=$(awk '/^struct TelemetryConfig \{/ { in_struct = 1; next }
+                        in_struct && /^\};/ { in_struct = 0 }
+                        in_struct' src/core/pipeline.h |
+  sed -n 's/^ *[A-Za-z_][A-Za-z_0-9:<>]*[ *&][ *&]*\([a-z_][a-z_0-9]*\)\( = [^;]*\)\{0,1\};$/\1/p')
+if [ -z "$telemetry_fields" ]; then
+  echo "docs_check: could not parse TelemetryConfig fields from src/core/pipeline.h" >&2
+  fail=1
+fi
+for field in $telemetry_fields; do
+  if ! printf '%s\n' "$knobs" | grep -q "^telemetry\.$field\$"; then
+    echo "docs_check: TelemetryConfig field '$field' has no" \
+      "'telemetry.$field' row in README.md's knob table" >&2
+    fail=1
+  fi
+done
+for knob in $knobs; do
+  case "$knob" in
+    telemetry.*) ;;
+    *) continue ;;
+  esac
+  leaf=${knob##*.}
+  if ! printf '%s\n' "$telemetry_fields" | grep -q "^$leaf\$"; then
+    echo "docs_check: README documents '$knob' but TelemetryConfig has no" \
+      "field '$leaf'" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs_check: all markdown links resolve;" \
     "all $(echo "$knobs" | wc -l | tr -d ' ') documented pipeline knobs and" \
-    "$(echo "$sweep_knobs" | wc -l | tr -d ' ') sweep knobs exist"
+    "$(echo "$sweep_knobs" | wc -l | tr -d ' ') sweep knobs exist;" \
+    "all $(echo "$telemetry_fields" | wc -l | tr -d ' ') TelemetryConfig" \
+    "fields documented"
 fi
 exit "$fail"
