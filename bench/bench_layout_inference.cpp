@@ -1,0 +1,175 @@
+// What bytecode-only layout inference buys the collision phase: sweeps the
+// bench population (augmented with keccak-family-bearing proxy/logic pairs)
+// twice with infer_layout on — once with the sourcemeta repository attached
+// (declared layouts preferred for source-covered pairs) and once
+// source-blind (every family comparison forced through bytecode inference).
+// Reports layout coverage (inferred / reliable), the source-free pair
+// coverage ratio, and the family-verdict drift between the two modes.
+//
+// Acceptance (asserted here and re-checked by tools/bench_smoke.sh): the
+// source-free sweep family-checks >= 90% of the pairs the source-attached
+// sweep checks, with zero family-verdict diffs on the overlap.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_results.h"
+#include "core/pipeline.h"
+#include "datagen/contract_factory.h"
+
+namespace {
+
+using namespace proxion;
+using namespace proxion::bench;
+
+/// The bench population's sweep inputs plus EIP-1967 pairs whose logic
+/// carries mapping/array slot families and packed members — the layouts the
+/// inference tier exists to recover — so family comparisons with real
+/// content are in every measured sweep.
+std::vector<core::SweepInput>& augmented_inputs() {
+  static std::vector<core::SweepInput> inputs = [] {
+    using datagen::ContractFactory;
+    auto& pop = population();
+    auto all = pop.sweep_inputs();
+    const evm::Address deployer =
+        evm::Address::from_label("bench.layout.deployer");
+    const auto add_pair = [&](const evm::Bytes& logic_code) {
+      const evm::Address logic =
+          pop.chain->deploy_runtime(deployer, logic_code);
+      const evm::Address proxy = pop.chain->deploy_runtime(
+          deployer, ContractFactory::eip1967_proxy());
+      pop.chain->set_storage(proxy, ContractFactory::eip1967_slot(),
+                             logic.to_word());
+      all.push_back({.address = proxy, .year = 2023});
+    };
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      add_pair(ContractFactory::mapping_token_contract(0x1a70 + salt));
+    }
+    add_pair(ContractFactory::packed_config_contract());
+    return all;
+  }();
+  return inputs;
+}
+
+struct SweepSample {
+  double wall_ms = 0.0;
+  std::vector<core::ContractAnalysis> reports;
+  core::LandscapeStats stats;
+};
+
+SweepSample sweep_once(bool with_sources) {
+  auto& pop = population();
+  core::PipelineConfig config;  // static tier + infer_layout default on
+  core::AnalysisPipeline pipeline(
+      *pop.chain, with_sources ? &pop.sources : nullptr, config);
+  SweepSample s;
+  const auto t0 = std::chrono::steady_clock::now();
+  s.reports = pipeline.run(augmented_inputs());
+  const auto t1 = std::chrono::steady_clock::now();
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.stats = pipeline.summarize(s.reports);
+  return s;
+}
+
+/// Best-of-N over fresh pipelines (cold caches), as in bench_static_tier.
+SweepSample best_of(int n, bool with_sources) {
+  SweepSample best = sweep_once(with_sources);
+  for (int i = 1; i < n; ++i) {
+    SweepSample s = sweep_once(with_sources);
+    if (s.wall_ms < best.wall_ms) best = std::move(s);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  BenchResults results("bench_layout_inference");
+
+  const SweepSample attached = best_of(3, true);
+  const SweepSample free_mode = best_of(3, false);
+
+  if (attached.reports.size() != free_mode.reports.size()) {
+    std::fprintf(stderr, "sweep sizes diverged: %zu vs %zu\n",
+                 attached.reports.size(), free_mode.reports.size());
+    return 1;
+  }
+
+  // Overlap drift: contracts whose pairs were family-checked in BOTH modes
+  // must reach the same family-collision verdict — declared layouts and
+  // bytecode-inferred ones share the (base_slot, depth, path) identity
+  // scheme, so agreement is the whole point, not a lucky accident.
+  int verdict_diffs = 0;
+  std::uint64_t overlap = 0;
+  for (std::size_t i = 0; i < attached.reports.size(); ++i) {
+    const auto& a = attached.reports[i];
+    const auto& f = free_mode.reports[i];
+    if (a.collision_pairs_family_checked == 0 ||
+        f.collision_pairs_family_checked == 0) {
+      continue;
+    }
+    ++overlap;
+    if (a.family_collision != f.family_collision) ++verdict_diffs;
+  }
+
+  const double pairs_attached =
+      static_cast<double>(attached.stats.collision_pairs_family_checked);
+  const double pairs_free =
+      static_cast<double>(free_mode.stats.collision_pairs_family_checked);
+  const double coverage = pairs_attached == 0 ? 0 : pairs_free / pairs_attached;
+
+  heading("layout inference: source-attached vs source-free (best of 3)");
+  row("contracts swept", std::to_string(attached.reports.size()));
+  row("sweep wall-clock attached", fmt(attached.wall_ms, " ms"));
+  row("sweep wall-clock source-free", fmt(free_mode.wall_ms, " ms"));
+  row("layouts inferred (unique blobs)",
+      std::to_string(free_mode.stats.layout_inferred));
+  row("layouts reliable",
+      std::to_string(free_mode.stats.layout_reliable) + "  (" +
+          pct(static_cast<double>(free_mode.stats.layout_reliable),
+              static_cast<double>(free_mode.stats.layout_inferred)) +
+          ")");
+
+  heading("pair coverage & verdict drift");
+  row("pairs family-checked, attached", fmt(pairs_attached));
+  row("  of which source-free (no sourcemeta pair)",
+      std::to_string(attached.stats.collision_pairs_source_free));
+  row("pairs family-checked, source-free sweep", fmt(pairs_free));
+  row("source-free coverage ratio (floor 0.90)", fmt(coverage));
+  row("overlap contracts (checked in both)", std::to_string(overlap));
+  row("family-verdict diffs on overlap (must be 0)",
+      std::to_string(verdict_diffs));
+  row("family collisions, attached",
+      std::to_string(attached.stats.family_collisions));
+  row("family collisions, source-free",
+      std::to_string(free_mode.stats.family_collisions));
+
+  results.set("layouts_inferred",
+              static_cast<double>(free_mode.stats.layout_inferred));
+  results.set("layouts_reliable",
+              static_cast<double>(free_mode.stats.layout_reliable));
+  results.set("pairs_family_checked_attached", pairs_attached);
+  results.set("pairs_family_checked_source_free", pairs_free);
+  results.set("source_free_coverage_ratio", coverage);
+  results.set("family_verdict_diffs", static_cast<double>(verdict_diffs));
+  results.set("family_collisions_attached",
+              static_cast<double>(attached.stats.family_collisions));
+  results.set("family_collisions_source_free",
+              static_cast<double>(free_mode.stats.family_collisions));
+  results.write();
+
+  if (coverage < 0.90) {
+    std::fprintf(stderr, "COVERAGE VIOLATED: source-free ratio %.3f < 0.90\n",
+                 coverage);
+    return 1;
+  }
+  if (verdict_diffs != 0) {
+    std::fprintf(stderr, "EQUIVALENCE VIOLATED: %d family-verdict diffs\n",
+                 verdict_diffs);
+    return 1;
+  }
+  return 0;
+}

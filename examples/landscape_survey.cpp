@@ -131,6 +131,16 @@ void print_stats(const core::LandscapeStats& stats) {
               static_cast<unsigned long long>(stats.static_skipped_minimal),
               static_cast<unsigned long long>(stats.static_emulated),
               static_cast<unsigned long long>(stats.static_mismatches));
+  if (stats.layout_inferred > 0) {
+    std::printf("  storage layouts:           %llu inferred (%llu reliable), "
+                "%llu/%llu pairs checked source-free\n",
+                static_cast<unsigned long long>(stats.layout_inferred),
+                static_cast<unsigned long long>(stats.layout_reliable),
+                static_cast<unsigned long long>(
+                    stats.collision_pairs_source_free),
+                static_cast<unsigned long long>(
+                    stats.collision_pairs_family_checked));
+  }
   if (stats.sweep_shards > 0) {
     std::printf("  durable sweep:             %llu shards, %llu replayed "
                 "from journal, %llu re-analyzed\n",

@@ -70,6 +70,18 @@ std::shared_ptr<const StorageProfile> AnalysisCache::storage_profile(
   return entry->profile;
 }
 
+const std::shared_ptr<const static_analysis::StaticReport>&
+AnalysisCache::ensure_static_report(Entry& entry, evm::BytesView code) {
+  // No hit/miss accounting here: static_{hits,misses} mean "triage
+  // requests", and layout() reaching for the CFG as an ingredient must not
+  // inflate them (its own layout_{hits,misses} pair tells that story).
+  if (!entry.static_report) {
+    entry.static_report = std::make_shared<const static_analysis::StaticReport>(
+        static_analysis::analyze(*ensure_disassembly(entry, code)));
+  }
+  return entry.static_report;
+}
+
 std::shared_ptr<const static_analysis::StaticReport>
 AnalysisCache::static_report(const crypto::Hash256& code_hash,
                              evm::BytesView code) {
@@ -79,10 +91,24 @@ AnalysisCache::static_report(const crypto::Hash256& code_hash,
     static_hits_.add(1);
   } else {
     static_misses_.add(1);
-    entry->static_report = std::make_shared<const static_analysis::StaticReport>(
-        static_analysis::analyze(*ensure_disassembly(*entry, code)));
   }
-  return entry->static_report;
+  return ensure_static_report(*entry, code);
+}
+
+std::shared_ptr<const static_analysis::StorageLayout> AnalysisCache::layout(
+    const crypto::Hash256& code_hash, evm::BytesView code) {
+  const std::shared_ptr<Entry> entry = entry_for(code_hash);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  if (entry->layout) {
+    layout_hits_.add(1);
+  } else {
+    layout_misses_.add(1);
+    entry->layout = std::make_shared<const static_analysis::StorageLayout>(
+        static_analysis::infer_layout(
+            *ensure_disassembly(*entry, code),
+            ensure_static_report(*entry, code)->cfg));
+  }
+  return entry->layout;
 }
 
 void AnalysisCache::clear() {
@@ -102,6 +128,8 @@ AnalysisCacheStats AnalysisCache::stats() const {
   s.profile_misses = profile_misses_.value();
   s.static_hits = static_hits_.value();
   s.static_misses = static_misses_.value();
+  s.layout_hits = layout_hits_.value();
+  s.layout_misses = layout_misses_.value();
   s.entries = entries_.value();
   return s;
 }

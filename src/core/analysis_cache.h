@@ -26,6 +26,7 @@
 #include "crypto/keccak.h"
 #include "evm/disassembler.h"
 #include "obs/metrics.h"
+#include "static/layout.h"
 #include "static/provenance.h"
 
 namespace proxion::core {
@@ -39,14 +40,17 @@ struct AnalysisCacheStats {
   std::uint64_t profile_misses = 0;
   std::uint64_t static_hits = 0;
   std::uint64_t static_misses = 0;
+  std::uint64_t layout_hits = 0;
+  std::uint64_t layout_misses = 0;
   std::uint64_t entries = 0;  // distinct code hashes ever seen
 
   std::uint64_t hits() const noexcept {
-    return disassembly_hits + selector_hits + profile_hits + static_hits;
+    return disassembly_hits + selector_hits + profile_hits + static_hits +
+           layout_hits;
   }
   std::uint64_t misses() const noexcept {
     return disassembly_misses + selector_misses + profile_misses +
-           static_misses;
+           static_misses + layout_misses;
   }
 };
 
@@ -80,6 +84,12 @@ class AnalysisCache {
   std::shared_ptr<const static_analysis::StaticReport> static_report(
       const crypto::Hash256& code_hash, evm::BytesView code);
 
+  /// The inferred storage layout (static/layout.h): pure function of the
+  /// bytecode, derived from the cached static report's CFG. Computes (and
+  /// caches) the disassembly and static report as byproducts when absent.
+  std::shared_ptr<const static_analysis::StorageLayout> layout(
+      const crypto::Hash256& code_hash, evm::BytesView code);
+
   AnalysisCacheStats stats() const;
   unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
@@ -99,6 +109,7 @@ class AnalysisCache {
     std::shared_ptr<const std::vector<std::uint32_t>> selectors;
     std::shared_ptr<const StorageProfile> profile;
     std::shared_ptr<const static_analysis::StaticReport> static_report;
+    std::shared_ptr<const static_analysis::StorageLayout> layout;
   };
   struct HashKey {
     std::size_t operator()(const crypto::Hash256& h) const noexcept {
@@ -116,6 +127,10 @@ class AnalysisCache {
   /// Computes the disassembly if absent; caller holds `entry.mu`.
   const std::shared_ptr<const evm::Disassembly>& ensure_disassembly(
       Entry& entry, evm::BytesView code);
+  /// Computes the static report if absent (with hit/miss accounting);
+  /// caller holds `entry.mu`.
+  const std::shared_ptr<const static_analysis::StaticReport>&
+  ensure_static_report(Entry& entry, evm::BytesView code);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -129,6 +144,8 @@ class AnalysisCache {
   obs::Counter profile_misses_;
   obs::Counter static_hits_;
   obs::Counter static_misses_;
+  obs::Counter layout_hits_;
+  obs::Counter layout_misses_;
   obs::Counter entries_;
 };
 

@@ -424,6 +424,8 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   verdicts.reserve(unique_indices.size());
   last_static_skips_ = 0;
   last_static_mismatches_ = 0;
+  last_layout_inferred_ = 0;
+  last_layout_reliable_ = 0;
   for (std::size_t u = 0; u < unique_indices.size(); ++u) {
     const std::size_t i = unique_indices[u];
     if (unique_errors[u]) {
@@ -440,6 +442,8 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
           break;
       }
       if (unique_reports[u].static_mismatch != 0) ++last_static_mismatches_;
+      if (unique_reports[u].layout_inferred) ++last_layout_inferred_;
+      if (unique_reports[u].layout_reliable) ++last_layout_reliable_;
       verdicts.emplace(key_of(i), &unique_reports[u]);
     }
   }
@@ -552,18 +556,29 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
                                     &blobs[i]->hash, logic_lookup, blob->code,
                                     &blob->hash)
                             .has_collision();
-                    StorageCollisionDetector st_detector(chain_, {},
-                                                         cache_.get());
+                    StorageCollisionConfig st_config;
+                    st_config.compare_families =
+                        config_.static_tier.infer_layout;
+                    StorageCollisionDetector st_detector(
+                        chain_, st_config, cache_.get(), sources_);
                     const StorageCollisionResult st = st_detector.detect(
                         a.address, blobs[i]->code, &blobs[i]->hash, logic,
-                        blob->code, &blob->hash);
+                        blob->code, &blob->hash, &proxy_lookup, &logic_lookup);
                     o.storage_collision = st.has_collision();
                     o.storage_exploitable = st.has_verified_exploit();
+                    o.family_collision = st.has_family_collision();
+                    o.family_checked = st.family_checked;
+                    o.family_source_free = st.family_source_free;
                     return o;
                   });
               a.function_collision |= outcome.function_collision;
               a.storage_collision |= outcome.storage_collision;
               a.storage_collision_exploitable |= outcome.storage_exploitable;
+              a.family_collision |= outcome.family_collision;
+              if (outcome.family_checked) ++a.collision_pairs_family_checked;
+              if (outcome.family_source_free) {
+                ++a.collision_pairs_source_free;
+              }
             }
           } catch (const chain::RpcError& e) {
             a.error = record_of(e, "pairs");
@@ -584,6 +599,10 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
   }
 
   const auto t_end = std::chrono::steady_clock::now();
+  last_source_free_pairs_ = 0;
+  for (const ContractAnalysis& a : out) {
+    last_source_free_pairs_ += a.collision_pairs_source_free;
+  }
   last_run_ms_ = ms_between(t_start, t_end);
   last_fetch_ms_ = ms_between(t_start, t_fetch);
   last_proxy_ms_ = ms_between(t_fetch, t_proxy);
@@ -606,6 +625,12 @@ std::vector<ContractAnalysis> AnalysisPipeline::run_internal(
         .set(static_cast<std::int64_t>(last_static_skips_));
     registry_.gauge("sweep.static.mismatches")
         .set(static_cast<std::int64_t>(last_static_mismatches_));
+    registry_.gauge("sweep.layout.inferred")
+        .set(static_cast<std::int64_t>(last_layout_inferred_));
+    registry_.gauge("sweep.layout.reliable")
+        .set(static_cast<std::int64_t>(last_layout_reliable_));
+    registry_.gauge("sweep.layout.source_free_pairs")
+        .set(static_cast<std::int64_t>(last_source_free_pairs_));
     if (resilient_) {
       registry_.gauge("sweep.rpc.retries")
           .set(static_cast<std::int64_t>(resilient_->retries()));
@@ -711,6 +736,9 @@ void AnalysisPipeline::annotate_run_stats(LandscapeStats& stats) const {
 void AnalysisPipeline::shed_cross_run_state() {
   if (blob_cache_) blob_cache_->clear();
   if (verdict_cache_) verdict_cache_->clear();
+  // Dropping whole AnalysisCache entries also sheds the memoized
+  // StorageLayout side table — a resumed lap must re-infer layouts so its
+  // reports stay bit-identical with a cold run over the same population.
   if (cache_) cache_->clear();
   // Gauges are last-writer-wins facts about ONE run; a serving-mode daemon
   // shedding state between sweeps must not keep exposing the previous run's

@@ -92,6 +92,13 @@ struct ContractAnalysis {
   bool storage_collision = false;
   bool storage_collision_exploitable = false;
   bool logic_has_source = false;
+  /// Any proxy/logic pair collided on a keccak-derived slot family
+  /// (mapping/dynamic array) — declared or inferred layouts.
+  bool family_collision = false;
+  /// Pairs whose slot families were compared at all, and the subset that
+  /// had to use bytecode-inferred layouts (no sourcemeta for the pair).
+  std::uint32_t collision_pairs_family_checked = 0;
+  std::uint32_t collision_pairs_source_free = 0;
 
   /// Set iff this contract's analysis failed; see ErrorRecord. A fault that
   /// retries absorbed leaves no trace here — the report is bit-identical to
@@ -218,8 +225,13 @@ struct PipelineConfig {
   /// either way, tested), and with cross_check every emulated contract's
   /// verdict is audited against the static claims (mismatches surface in
   /// LandscapeStats / the text report). Both default on.
-  static_analysis::StaticTierConfig static_tier{.enabled = true,
-                                                .cross_check = true};
+  /// infer_layout additionally recovers per-contract storage layouts from
+  /// bytecode (static slots, mapping/array slot families, packed members):
+  /// the collision phase then compares slot families even for pairs with no
+  /// verified source (the source-free mode), and reliable layouts arm the
+  /// kMismatchLayout* cross-check bits.
+  static_analysis::StaticTierConfig static_tier{
+      .enabled = true, .cross_check = true, .infer_layout = true};
 
   // ---- observability ----------------------------------------------------
   TelemetryConfig telemetry{};
@@ -312,6 +324,19 @@ struct LandscapeStats {
   std::uint64_t static_mismatches = 0;
   /// Mismatch taxonomy keyed by the kMismatch* bit value.
   std::map<std::uint8_t, std::uint64_t> static_mismatch_bits;
+
+  // ---- storage-layout inference (zero when infer_layout is false) -------
+  /// Unique blobs for which a bytecode storage layout was inferred, and the
+  /// subset whose layout was reliable() (complete CFG, every access
+  /// resolved) and therefore armed the kMismatchLayout* oracle.
+  std::uint64_t layout_inferred = 0;
+  std::uint64_t layout_reliable = 0;
+  /// Proxy/logic pairs whose slot families were compared, and the subset
+  /// that ran source-free (bytecode-inferred layouts, no sourcemeta).
+  std::uint64_t collision_pairs_family_checked = 0;
+  std::uint64_t collision_pairs_source_free = 0;
+  /// Contracts with at least one slot-family collision.
+  std::uint64_t family_collisions = 0;
 
   // ---- latency distributions (telemetry; all-zero when disabled) --------
   /// Phase-B wall time per contract, nanoseconds (count = contracts that
@@ -439,6 +464,9 @@ class AnalysisPipeline {
     bool function_collision = false;
     bool storage_collision = false;
     bool storage_exploitable = false;
+    bool family_collision = false;
+    bool family_checked = false;
+    bool family_source_free = false;
   };
   /// One account's code blob, fetched and hashed exactly once per distinct
   /// address — however many sweep inputs or proxy/logic pairs touch it.
@@ -536,6 +564,10 @@ class AnalysisPipeline {
   /// Static-tier totals over the last run's unique blobs (gauge mirrors).
   std::uint64_t last_static_skips_ = 0;
   std::uint64_t last_static_mismatches_ = 0;
+  /// Layout-inference totals over the last run (gauge mirrors).
+  std::uint64_t last_layout_inferred_ = 0;
+  std::uint64_t last_layout_reliable_ = 0;
+  std::uint64_t last_source_free_pairs_ = 0;
 };
 
 }  // namespace proxion::core

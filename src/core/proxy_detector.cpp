@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "crypto/eth.h"
+#include "obs/metrics.h"
 
 namespace proxion::core {
 
@@ -47,8 +48,24 @@ namespace {
 /// address to the slot it was loaded from.
 class ProxyProbeObserver final : public evm::TraceObserver {
  public:
-  ProxyProbeObserver(const Address& contract, const evm::Bytes& probe)
-      : contract_(contract), probe_(probe) {}
+  /// A keccak-derived slot-family identity reconstructed from the concrete
+  /// hashes the probe computed (mirrors static_analysis::SlotFamily).
+  struct ObservedFamily {
+    U256 base;
+    std::uint8_t depth = 1;
+    std::uint8_t path = 0;
+  };
+  struct ObservedWrite {
+    U256 slot;
+    U256 old_value;
+    U256 new_value;
+  };
+
+  /// `host` (may be null) is queried in on_sstore for the pre-write value,
+  /// which the layout-width oracle needs to compute the changed byte range.
+  ProxyProbeObserver(const Address& contract, const evm::Bytes& probe,
+                     evm::Host* host = nullptr)
+      : contract_(contract), probe_(probe), host_(host) {}
 
   void on_call(evm::CallKind kind, int /*depth*/, const Address& from,
                const Address& to, BytesView calldata) override {
@@ -63,11 +80,46 @@ class ProxyProbeObserver final : public evm::TraceObserver {
     }
   }
 
-  void on_sload(int /*depth*/, const Address& storage_addr, const U256& slot,
+  void on_sload(int depth, const Address& storage_addr, const U256& slot,
                 const U256& value) override {
     if (storage_addr == contract_) {
       sloads_.emplace_back(slot, value);
+      // Layout oracle: only the contract's own frame (depth 0) executes the
+      // contract's own code — delegatecalled logic runs against the same
+      // storage but belongs to the *logic* contract's layout.
+      if (depth == 0) probe_read_slots_.push_back(slot);
     }
+  }
+
+  void on_sstore(int depth, const Address& storage_addr, const U256& slot,
+                 const U256& value) override {
+    if (depth == 0 && storage_addr == contract_ && host_ != nullptr) {
+      probe_writes_.push_back(
+          {slot, host_->get_storage(storage_addr, slot), value});
+    }
+  }
+
+  void on_keccak(int /*depth*/, BytesView input, const U256& hash) override {
+    // Solidity's two slot-derivation shapes: 64 bytes = key ++ base_slot
+    // (mapping element), 32 bytes = base_slot (dynamic-array data start).
+    if (input.size() != 32 && input.size() != 64) return;
+    const bool mapping = input.size() == 64;
+    const U256 base_word =
+        U256::from_be_slice(mapping ? input.subspan(32) : input);
+    ObservedFamily fam{base_word, 1,
+                      mapping ? std::uint8_t{1} : std::uint8_t{0}};
+    for (const auto& [h, f] : keccak_families_) {
+      // Nesting: the base word is itself a hash we computed earlier, so this
+      // keccak extends that family by one level.
+      if (h == base_word && f.depth < 8) {
+        fam.base = f.base;
+        fam.depth = static_cast<std::uint8_t>(f.depth + 1);
+        fam.path = f.path;
+        if (mapping) fam.path |= static_cast<std::uint8_t>(1u << f.depth);
+        break;
+      }
+    }
+    keccak_families_.emplace_back(hash, fam);
   }
 
   bool saw_delegatecall() const noexcept { return saw_delegatecall_; }
@@ -77,13 +129,27 @@ class ProxyProbeObserver final : public evm::TraceObserver {
   const std::vector<std::pair<U256, U256>>& sloads() const noexcept {
     return sloads_;
   }
+  const std::vector<U256>& probe_read_slots() const noexcept {
+    return probe_read_slots_;
+  }
+  const std::vector<ObservedWrite>& probe_writes() const noexcept {
+    return probe_writes_;
+  }
+  const std::vector<std::pair<U256, ObservedFamily>>& keccak_families()
+      const noexcept {
+    return keccak_families_;
+  }
 
  private:
   Address contract_;
   evm::Bytes probe_;
+  evm::Host* host_;
   bool saw_delegatecall_ = false;
   std::optional<Address> forwarding_target_;
   std::vector<std::pair<U256, U256>> sloads_;
+  std::vector<U256> probe_read_slots_;             // depth-0 reads
+  std::vector<ObservedWrite> probe_writes_;        // depth-0 writes
+  std::vector<std::pair<U256, ObservedFamily>> keccak_families_;
 };
 
 /// Do the 20 address bytes appear contiguously in the code?
@@ -124,6 +190,87 @@ ProxyStandard classify(const ProxyReport& r, BytesView code) {
     default:
       return ProxyStandard::kOther;
   }
+}
+
+/// Largest family-element displacement the oracle will attribute to an
+/// array index (`keccak(base) + i`): beyond this, an observed slot near a
+/// computed hash is treated as outside the family.
+constexpr std::uint64_t kMaxFamilyOffset = 1024;
+
+/// The observed slot, if keccak-derived, resolved to a family the layout
+/// knows. Returns nullptr when no recorded hash explains the slot.
+const static_analysis::SlotFamily* admitted_family(
+    const static_analysis::StorageLayout& layout, const U256& slot,
+    const ProxyProbeObserver& obs) {
+  for (const auto& [hash, fam] : obs.keccak_families()) {
+    if (slot < hash) continue;
+    const U256 diff = slot - hash;
+    if (!diff.fits_u64() || diff.low64() > kMaxFamilyOffset) continue;
+    if (const auto* f = layout.family(fam.base, fam.depth, fam.path)) {
+      return f;
+    }
+  }
+  return nullptr;
+}
+
+/// kMismatchLayout* bits: the probe's depth-0 storage accesses checked
+/// against a *reliable* inferred layout (the caller guarantees reliability —
+/// anything weaker makes no contradictable claim, PR-4 oracle posture).
+std::uint8_t layout_vs_emulation_mismatch(
+    const static_analysis::StorageLayout& layout,
+    const ProxyProbeObserver& obs) {
+  std::uint8_t bits = 0;
+  for (const U256& slot : obs.probe_read_slots()) {
+    if (!layout.admits_slot(slot) &&
+        admitted_family(layout, slot, obs) == nullptr) {
+      bits |= kMismatchLayoutSlot;
+    }
+  }
+  for (const auto& w : obs.probe_writes()) {
+    const bool is_member = layout.admits_slot(w.slot);
+    const auto* fam =
+        is_member ? nullptr : admitted_family(layout, w.slot, obs);
+    if (!is_member && fam == nullptr) {
+      bits |= kMismatchLayoutSlot;
+      continue;
+    }
+    if (w.old_value == w.new_value) continue;  // no observable byte change
+    // Changed byte range, as (offset from the LSB end, width) — the
+    // core::StorageAccess convention the layout's ranges use.
+    const auto ob = w.old_value.to_be_bytes();
+    const auto nb = w.new_value.to_be_bytes();
+    int first = -1, last = -1;
+    for (int i = 0; i < 32; ++i) {
+      if (ob[static_cast<std::size_t>(i)] != nb[static_cast<std::size_t>(i)]) {
+        if (first < 0) first = i;
+        last = i;
+      }
+    }
+    const auto changed_offset = static_cast<std::uint8_t>(31 - last);
+    const auto changed_width = static_cast<std::uint8_t>(last - first + 1);
+    if (is_member) {
+      // Enforce widths only when every inferred view of the slot is
+      // sub-word: a full-word member admits any byte change by definition.
+      bool any = false, all_subword = true;
+      for (const auto& m : layout.members) {
+        if (!(m.slot == w.slot)) continue;
+        any = true;
+        if (m.offset == 0 && m.width == 32) all_subword = false;
+      }
+      if (any && all_subword &&
+          !layout.covers_range(w.slot, changed_offset, changed_width)) {
+        bits |= kMismatchLayoutWidth;
+      }
+    } else if (fam != nullptr &&
+               !(fam->value_offset == 0 && fam->value_width == 32)) {
+      if (changed_offset < fam->value_offset ||
+          changed_offset + changed_width >
+              fam->value_offset + fam->value_width) {
+        bits |= kMismatchLayoutWidth;
+      }
+    }
+  }
+  return bits;
 }
 
 }  // namespace
@@ -274,7 +421,7 @@ ProxyReport ProxyDetector::analyze_disassembled(
   evm::OverlayHost overlay(state_);
   overlay.set_code(contract, evm::Bytes(code.begin(), code.end()));
 
-  ProxyProbeObserver observer(contract, probe);
+  ProxyProbeObserver observer(contract, probe, &overlay);
   evm::InterpreterConfig interp_config;
   interp_config.step_limit = config_.step_limit;
   interp_config.max_call_depth = config_.max_call_depth;
@@ -327,6 +474,32 @@ ProxyReport ProxyDetector::analyze_disassembled(
 
   if (st != nullptr && config_.static_tier.cross_check) {
     report.static_mismatch = static_vs_emulation_mismatch(*st, report);
+  }
+
+  // ---- Layout oracle (storage-layout inference cross-check) -------------
+  if (st != nullptr && config_.static_tier.infer_layout) {
+    std::shared_ptr<const static_analysis::StorageLayout> layout;
+    if (cache_ != nullptr && code_hash != nullptr) {
+      layout = cache_->layout(*code_hash, code);
+    } else {
+      layout = std::make_shared<const static_analysis::StorageLayout>(
+          static_analysis::infer_layout(dis, st->cfg));
+    }
+    report.layout_inferred = true;
+    report.layout_reliable = layout->reliable();
+    if (report.layout_reliable) {
+      report.static_mismatch |= layout_vs_emulation_mismatch(*layout, observer);
+      obs::Registry& reg = obs::Registry::global();
+      static obs::Counter& slot_mismatches = reg.counter("layout.mismatch.slot");
+      static obs::Counter& width_mismatches =
+          reg.counter("layout.mismatch.width");
+      if ((report.static_mismatch & kMismatchLayoutSlot) != 0) {
+        slot_mismatches.add(1);
+      }
+      if ((report.static_mismatch & kMismatchLayoutWidth) != 0) {
+        width_mismatches.add(1);
+      }
+    }
   }
   return report;
 }

@@ -73,6 +73,12 @@ std::string_view to_string(StaticTriage t) noexcept;
 inline constexpr std::uint8_t kMismatchReachability = 1u << 0;
 inline constexpr std::uint8_t kMismatchSlot = 1u << 1;
 inline constexpr std::uint8_t kMismatchTarget = 1u << 2;
+// Layout-oracle bits (only ever set when the inferred StorageLayout was
+// `reliable()` — an unreliable layout makes no claim emulation could
+// contradict): the probe touched a slot outside every inferred member and
+// slot family, or a write changed bytes outside the inferred sub-word ranges.
+inline constexpr std::uint8_t kMismatchLayoutSlot = 1u << 3;
+inline constexpr std::uint8_t kMismatchLayoutWidth = 1u << 4;
 
 struct ProxyReport {
   ProxyVerdict verdict = ProxyVerdict::kNotProxy;
@@ -89,6 +95,11 @@ struct ProxyReport {
   /// Static-tier routing + cross-check outcome for this contract.
   StaticTriage static_triage = StaticTriage::kNotRun;
   std::uint8_t static_mismatch = 0;  // kMismatch* bits
+  /// Layout inference (static_tier.infer_layout) ran for this contract...
+  bool layout_inferred = false;
+  /// ...and produced a reliable() layout, so the kMismatchLayout* oracle was
+  /// armed against the probe's observed storage accesses.
+  bool layout_reliable = false;
 
   std::uint32_t probe_selector = 0;  // the crafted selector used
   /// Interpreter steps the phase-2 probe emulation consumed (0 when the

@@ -79,13 +79,19 @@ void LandscapeAccumulator::add(const ContractAnalysis& a) {
     if (a.proxy.static_mismatch != 0) {
       ++stats.static_mismatches;
       for (const std::uint8_t bit :
-           {kMismatchReachability, kMismatchSlot, kMismatchTarget}) {
+           {kMismatchReachability, kMismatchSlot, kMismatchTarget,
+            kMismatchLayoutSlot, kMismatchLayoutWidth}) {
         if ((a.proxy.static_mismatch & bit) != 0) {
           ++stats.static_mismatch_bits[bit];
         }
       }
     }
+    if (a.proxy.layout_inferred) ++stats.layout_inferred;
+    if (a.proxy.layout_reliable) ++stats.layout_reliable;
   }
+  stats.collision_pairs_family_checked += a.collision_pairs_family_checked;
+  stats.collision_pairs_source_free += a.collision_pairs_source_free;
+  if (a.family_collision) ++stats.family_collisions;
   if (!a.proxy.is_proxy()) return;
   ++stats.proxies;
   if (!a.has_source && !a.has_tx) ++stats.hidden_proxies;
@@ -174,13 +180,24 @@ std::string render_landscape_text(const LandscapeStats& stats) {
           << " (static vs emulation disagreement —";
       for (const auto& [bit, count] : stats.static_mismatch_bits) {
         out << ' '
-            << (bit == kMismatchReachability
-                    ? "reachability"
-                    : bit == kMismatchSlot ? "slot" : "target")
+            << (bit == kMismatchReachability  ? "reachability"
+                : bit == kMismatchSlot        ? "slot"
+                : bit == kMismatchTarget      ? "target"
+                : bit == kMismatchLayoutSlot  ? "layout-slot"
+                : bit == kMismatchLayoutWidth ? "layout-width"
+                                              : "unknown")
             << "=" << count;
       }
       out << ")\n";
     }
+  }
+  if (stats.layout_inferred > 0) {
+    out << "layout inference:    " << stats.layout_inferred
+        << " blobs inferred (" << stats.layout_reliable << " reliable); "
+        << stats.collision_pairs_source_free << "/"
+        << stats.collision_pairs_family_checked
+        << " pairs checked source-free; family collisions="
+        << stats.family_collisions << "\n";
   }
   if (stats.diamonds_recovered > 0) {
     out << "diamonds recovered (tx-hint probing): "

@@ -37,6 +37,111 @@ class ExploitObserver final : public evm::TraceObserver {
 
 }  // namespace
 
+std::vector<FamilyView> StorageCollisionDetector::declared_families(
+    const sourcemeta::SourceRecord& record) {
+  std::vector<FamilyView> out;
+  for (const sourcemeta::VariableDecl& var : record.storage) {
+    if (var.is_padding) continue;
+    FamilyView view;
+    view.base_slot = U256{var.slot};
+    view.depth = 1;
+    if (var.type.rfind("mapping", 0) == 0) {
+      view.path = 1;  // level 1 hashed key ++ slot
+    } else if (var.type.size() >= 2 &&
+               var.type.compare(var.type.size() - 2, 2, "[]") == 0) {
+      view.path = 0;  // dynamic array: level 1 hashed slot alone
+    } else {
+      continue;  // elementary variable, not a slot family
+    }
+    // Source records carry no element type for mappings/arrays, so the
+    // declared view is the full word — matching what layout_storage() gives
+    // the declaration itself.
+    out.push_back(view);
+  }
+  return out;
+}
+
+std::vector<FamilyView> StorageCollisionDetector::inferred_families(
+    const static_analysis::StorageLayout& layout) {
+  std::vector<FamilyView> out;
+  out.reserve(layout.families.size());
+  for (const static_analysis::SlotFamily& f : layout.families) {
+    FamilyView view;
+    view.base_slot = f.base_slot;
+    view.depth = f.depth;
+    view.path = f.path;
+    view.value_offset = f.value_offset;
+    view.value_width = f.value_width;
+    out.push_back(view);
+  }
+  return out;
+}
+
+void StorageCollisionDetector::compare_family_layouts(
+    const Address& proxy_lookup, BytesView proxy_code,
+    const crypto::Hash256* proxy_hash, const Address& logic_lookup,
+    BytesView logic_code, const crypto::Hash256* logic_hash,
+    StorageCollisionResult& result) const {
+  const sourcemeta::SourceRecord* proxy_src =
+      sources_ != nullptr ? sources_->lookup(proxy_lookup) : nullptr;
+  const sourcemeta::SourceRecord* logic_src =
+      sources_ != nullptr ? sources_->lookup(logic_lookup) : nullptr;
+
+  auto inferred = [&](BytesView code,
+                      const crypto::Hash256* hash) -> std::vector<FamilyView> {
+    if (cache_ != nullptr && hash != nullptr) {
+      return inferred_families(*cache_->layout(*hash, code));
+    }
+    return inferred_families(
+        static_analysis::infer_layout(evm::Disassembly(code)));
+  };
+
+  // Source-attached mode needs declared layouts on *both* sides; anything
+  // less and the pair is analyzed source-free from the bytecode alone.
+  std::vector<FamilyView> proxy_views, logic_views;
+  if (proxy_src != nullptr && logic_src != nullptr) {
+    proxy_views = declared_families(*proxy_src);
+    logic_views = declared_families(*logic_src);
+  } else {
+    result.family_source_free = true;
+    proxy_views = inferred(proxy_code, proxy_hash);
+    logic_views = inferred(logic_code, logic_hash);
+  }
+  result.family_checked = true;
+
+  // Same overlap-and-differ rule as the static-slot loop, applied to the
+  // element value ranges of identity-matched families. One finding per
+  // family identity (first conflicting view pair wins), mirroring the
+  // per-slot "first conflict" convention above.
+  for (const FamilyView& pv : proxy_views) {
+    for (const FamilyView& lv : logic_views) {
+      if (!pv.same_identity(lv)) continue;
+      const bool overlap =
+          pv.value_offset < lv.value_offset + lv.value_width &&
+          lv.value_offset < pv.value_offset + pv.value_width;
+      const bool differ = pv.value_offset != lv.value_offset ||
+                          pv.value_width != lv.value_width;
+      if (!overlap || !differ) continue;
+      const bool seen = std::any_of(
+          result.family_findings.begin(), result.family_findings.end(),
+          [&](const FamilyCollisionFinding& f) {
+            return f.base_slot == pv.base_slot && f.depth == pv.depth &&
+                   f.path == pv.path;
+          });
+      if (seen) continue;
+      FamilyCollisionFinding finding;
+      finding.base_slot = pv.base_slot;
+      finding.depth = pv.depth;
+      finding.path = pv.path;
+      finding.proxy_offset = pv.value_offset;
+      finding.proxy_width = pv.value_width;
+      finding.logic_offset = lv.value_offset;
+      finding.logic_width = lv.value_width;
+      result.family_findings.push_back(finding);
+    }
+  }
+}
+
 StorageCollisionResult StorageCollisionDetector::detect(
     const Address& proxy, BytesView proxy_code, const Address& logic,
     BytesView logic_code) const {
@@ -46,7 +151,9 @@ StorageCollisionResult StorageCollisionDetector::detect(
 StorageCollisionResult StorageCollisionDetector::detect(
     const Address& proxy, BytesView proxy_code,
     const crypto::Hash256* proxy_hash, const Address& logic,
-    BytesView logic_code, const crypto::Hash256* logic_hash) const {
+    BytesView logic_code, const crypto::Hash256* logic_hash,
+    const Address* proxy_source_lookup,
+    const Address* logic_source_lookup) const {
   const bool cached = cache_ != nullptr;
   StorageCollisionResult result;
   result.proxy_profile = cached && proxy_hash != nullptr
@@ -113,6 +220,14 @@ StorageCollisionResult StorageCollisionDetector::detect(
                      finding);
     }
     result.findings.push_back(finding);
+  }
+
+  if (config_.compare_families) {
+    compare_family_layouts(
+        proxy_source_lookup != nullptr ? *proxy_source_lookup : proxy,
+        proxy_code, proxy_hash,
+        logic_source_lookup != nullptr ? *logic_source_lookup : logic,
+        logic_code, logic_hash, result);
   }
   return result;
 }

@@ -294,10 +294,10 @@ class BlockAnalyzer {
         return;
       }
       case Opcode::EQ: {
-        const AbsVal a = pop();
-        const AbsVal b = pop();
-        const AbsVal* caller = nullptr;
-        const AbsVal* other = nullptr;
+        AbsVal a = pop();
+        AbsVal b = pop();
+        AbsVal* caller = nullptr;
+        AbsVal* other = nullptr;
         if (a.kind == AbsVal::Kind::kCaller) {
           caller = &a;
           other = &b;
@@ -307,11 +307,15 @@ class BlockAnalyzer {
         }
         if (caller != nullptr && other->kind == AbsVal::Kind::kSload &&
             other->access_index >= 0) {
+          // Comparing against CALLER types the read as an address *at the
+          // read's packing offset*: refine through refine_read so a shifted
+          // load records (byte_offset, 20) — a direct width clobber used to
+          // leave offset 0, making a packed address read claim bytes of
+          // every lower-packed neighbor.
+          refine_read(*other, 20);
           auto& access =
               profile_.accesses[static_cast<std::size_t>(other->access_index)];
           access.caller_compared = true;
-          // Comparing against CALLER types the slot as an address.
-          access.width = std::min<std::uint8_t>(access.width, 20);
           AbsVal check;
           check.kind = AbsVal::Kind::kCallerCheck;
           check.width = 1;

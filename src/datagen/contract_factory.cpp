@@ -222,6 +222,66 @@ void ContractFactory::emit_body(Assembler& a, const FunctionSpec& func,
       push_zero(a);
       a.op(Opcode::SSTORE).op(Opcode::STOP);
       break;
+    case BodyKind::kMapReadArg:
+      // Solidity mapping element read: slot = keccak256(key ++ base).
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      push_zero(a);
+      a.op(Opcode::MSTORE);  // mem[0..32) = key
+      push_slot(a, func.slot);
+      a.push(U256{0x20}, 1).op(Opcode::MSTORE);  // mem[32..64) = base slot
+      a.push(U256{0x40}, 1);
+      push_zero(a);
+      a.op(Opcode::KECCAK256);
+      a.op(Opcode::SLOAD);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      a.push(U256{32}, 1);
+      push_zero(a);
+      a.op(Opcode::RETURN);
+      break;
+    case BodyKind::kMapWriteArg:
+      // mapping[calldataload(4)] = calldataload(0x24) — unguarded.
+      a.push(U256{0x24}, 1).op(Opcode::CALLDATALOAD);  // value
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      push_slot(a, func.slot);
+      a.push(U256{0x20}, 1).op(Opcode::MSTORE);
+      a.push(U256{0x40}, 1);
+      push_zero(a);
+      a.op(Opcode::KECCAK256);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kMapWriteCallerKey:
+      // mapping[msg.sender] = calldataload(4).
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);  // value
+      a.op(Opcode::CALLER);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      push_slot(a, func.slot);
+      a.push(U256{0x20}, 1).op(Opcode::MSTORE);
+      a.push(U256{0x40}, 1);
+      push_zero(a);
+      a.op(Opcode::KECCAK256);
+      a.op(Opcode::SSTORE).op(Opcode::STOP);
+      break;
+    case BodyKind::kArrayReadArg:
+      // Dynamic array element read: slot = keccak256(base) + index.
+      push_slot(a, func.slot);
+      push_zero(a);
+      a.op(Opcode::MSTORE);  // mem[0..32) = base slot
+      a.push(U256{0x20}, 1);
+      push_zero(a);
+      a.op(Opcode::KECCAK256);
+      a.push(U256{4}, 1).op(Opcode::CALLDATALOAD);
+      a.op(Opcode::ADD);
+      a.op(Opcode::SLOAD);
+      push_zero(a);
+      a.op(Opcode::MSTORE);
+      a.push(U256{32}, 1);
+      push_zero(a);
+      a.op(Opcode::RETURN);
+      break;
     case BodyKind::kPush4Garbage:
       // Arbitrary 4-byte data after PUSH4 — not function selectors.
       a.push_selector(0xdeadbeef);
@@ -596,6 +656,37 @@ Bytes ContractFactory::token_contract(std::uint64_t salt) {
        .body = BodyKind::kStoreArgWord, .slot = U256{2}},
       {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
        .slot = U256{0}},
+  });
+}
+
+Bytes ContractFactory::mapping_token_contract(std::uint64_t salt) {
+  return build_plain({
+      {.prototype = "totalSupply()", .body = BodyKind::kReturnConstant,
+       .aux = U256{2'000'000 + salt}},
+      {.prototype = "balanceOf(address)", .body = BodyKind::kMapReadArg,
+       .slot = U256{2}},
+      {.prototype = "transfer(address,uint256)",
+       .body = BodyKind::kMapWriteArg, .slot = U256{2}},
+      {.prototype = "approve(uint256)", .body = BodyKind::kMapWriteCallerKey,
+       .slot = U256{3}},
+      {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+       .slot = U256{0}},
+  });
+}
+
+Bytes ContractFactory::packed_config_contract() {
+  return build_plain({
+      {.prototype = "owner()", .body = BodyKind::kReturnStorageAddress,
+       .slot = U256{0}},
+      {.prototype = "paused()", .body = BodyKind::kReturnStorageBoolAtOffset,
+       .slot = U256{0}, .aux = U256{20}},
+      {.prototype = "pause()", .body = BodyKind::kStoreBoolPackedAt,
+       .slot = U256{0}, .aux = U256{20}},
+      {.prototype = "setOwner(address)",
+       .body = BodyKind::kGuardedStoreArgAddress, .slot = U256{0},
+       .aux = U256{0}},
+      {.prototype = "values(uint256)", .body = BodyKind::kArrayReadArg,
+       .slot = U256{1}},
   });
 }
 

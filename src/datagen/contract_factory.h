@@ -40,6 +40,13 @@ enum class BodyKind {
   kDelegateToLibrary, // delegatecall to hard-coded address aux (library call)
   kAudiusInitialize,  // bool read of slot 0 + unguarded caller write (Listing 2)
   kPush4Garbage,      // PUSH4 constants that are NOT selectors (FP trap)
+  // Keccak-derived slot families (Solidity mapping / dynamic-array codegen)
+  // — material for the storage-layout inference tier.
+  kMapReadArg,        // return sload(keccak256(calldataload(4) ++ slot))
+  kMapWriteArg,       // sstore(keccak256(calldataload(4) ++ slot),
+                      //        calldataload(0x24)) — unguarded mapping write
+  kMapWriteCallerKey, // sstore(keccak256(caller ++ slot), calldataload(4))
+  kArrayReadArg,      // return sload(keccak256(slot) + calldataload(4))
 };
 
 struct FunctionSpec {
@@ -154,6 +161,16 @@ class ContractFactory {
   /// ERC20-ish token used as logic contracts / plain population filler.
   /// `salt` perturbs a constant so duplicates vs uniques are controllable.
   static Bytes token_contract(std::uint64_t salt);
+
+  /// ERC20-ish token whose balances/allowances use the real Solidity
+  /// mapping codegen (keccak256(key ++ base) slots) — exercises the
+  /// layout-inference tier's slot-family recovery. `salt` as above.
+  static Bytes mapping_token_contract(std::uint64_t salt);
+
+  /// Config contract packing an address (bytes 0..20) and a bool (byte 20)
+  /// into slot 0, plus a dynamic array at slot 1 — exercises packed-member
+  /// recovery and the keccak256(base)+i array family.
+  static Bytes packed_config_contract();
 
   /// Shared helpers -------------------------------------------------------
 

@@ -384,7 +384,11 @@ ExecResult Interpreter::run_frame(Frame& f) {
         pop(size);
         if (!touch_memory(offset, size)) return halt(HaltReason::kOutOfGas);
         const Bytes data = mem_read(offset, size);
-        push(to_u256(crypto::keccak256(data)));
+        const U256 hash = to_u256(crypto::keccak256(data));
+        if (observer_ != nullptr) {
+          observer_->on_keccak(f.params.depth, data, hash);
+        }
+        push(hash);
         ++f.pc;
         break;
       }

@@ -106,6 +106,12 @@ class TraceObserver {
   /// When a frame halts.
   virtual void on_halt(int /*depth*/, HaltReason /*reason*/) {}
 
+  /// Every KECCAK256: the hashed input and the resulting word. The storage
+  /// layout cross-check listens here to map concrete mapping/array slots
+  /// back to the keccak derivation that produced them.
+  virtual void on_keccak(int /*depth*/, BytesView /*input*/,
+                         const U256& /*hash*/) {}
+
   /// Every SLOAD: which storage slot was read in which context and what
   /// value came back. The proxy detector uses this to locate the storage
   /// slot holding the logic contract's address (§4.3).

@@ -56,12 +56,71 @@ AbstractValue binary(Opcode op, const AbstractValue& a,
   if (a.is_const() && b.is_const()) {
     return AbstractValue::constant(const_binary(op, a.payload, b.payload));
   }
+  // keccak(base) + i stays in the slot family: a constant index folds into
+  // the addend, anything else (a caller-chosen array index) keeps the family
+  // with the element offset widened away.
+  if (op == Opcode::ADD && (a.is_hashed() != b.is_hashed())) {
+    const AbstractValue& h = a.is_hashed() ? a : b;
+    const AbstractValue& i = a.is_hashed() ? b : a;
+    AbstractValue r = h;
+    if (i.is_const()) {
+      r.addend = h.addend + i.payload;
+    } else {
+      r.addend = U256{};
+      if (i.is_calldata()) {
+        r.key_origin = AbstractValue::KeyOrigin::kCalldata;
+      }
+    }
+    return r;
+  }
   if (a.is_calldata() || b.is_calldata()) return AbstractValue::calldata();
   // Address-narrowing masks (`sload(slot) & 2^160-1`) must not lose the
   // slot attribution — that is the exact shape of every slot-proxy fallback.
   if (op == Opcode::AND) {
     if (a.is_const() && b.is_storage()) return b;
     if (b.is_const() && a.is_storage()) return a;
+    if (a.is_const() && b.is_hashed()) return b;
+    if (b.is_const() && a.is_hashed()) return a;
+  }
+  return AbstractValue::unknown();
+}
+
+/// Merges key provenance across nesting levels / joined paths: a calldata
+/// key anywhere makes the reachable element caller-chosen.
+AbstractValue::KeyOrigin merge_key_origin(AbstractValue::KeyOrigin a,
+                                          AbstractValue::KeyOrigin b) noexcept {
+  using KeyOrigin = AbstractValue::KeyOrigin;
+  if (a == KeyOrigin::kCalldata || b == KeyOrigin::kCalldata) {
+    return KeyOrigin::kCalldata;
+  }
+  if (a == KeyOrigin::kUnknown) return b;
+  if (b == KeyOrigin::kUnknown) return a;
+  return a == b ? a : KeyOrigin::kUnknown;
+}
+
+/// Lifts one KECCAK256 over a tracked memory word into a slot-family value:
+/// `mapping` hashes `key ++ base` (0x40 bytes), arrays hash `base` alone
+/// (0x20 bytes). Nested compositions extend the path while the inner value
+/// still points at the family start (addend zero).
+AbstractValue derive_hashed(const AbstractValue& base, bool mapping,
+                            const AbstractValue& key) noexcept {
+  using KeyOrigin = AbstractValue::KeyOrigin;
+  KeyOrigin origin = KeyOrigin::kUnknown;
+  if (key.is_const()) origin = KeyOrigin::kConst;
+  if (key.is_calldata()) origin = KeyOrigin::kCalldata;
+  if (base.is_const()) {
+    return AbstractValue::hashed(base.payload, 1,
+                                 mapping ? std::uint8_t{1} : std::uint8_t{0},
+                                 origin);
+  }
+  if (base.is_hashed() && base.addend.is_zero() && base.hash_depth < 8) {
+    AbstractValue v = base;
+    if (mapping) {
+      v.hash_path |= static_cast<std::uint8_t>(1u << v.hash_depth);
+    }
+    ++v.hash_depth;
+    v.key_origin = merge_key_origin(v.key_origin, origin);
+    return v;
   }
   return AbstractValue::unknown();
 }
@@ -103,6 +162,14 @@ bool is_account_touching(Opcode op) noexcept {
 AbstractValue join(const AbstractValue& a, const AbstractValue& b) noexcept {
   if (a == b) return a;
   if (a.is_calldata() && b.is_calldata()) return AbstractValue::calldata();
+  if (a.same_family(b)) {
+    // Same symbolic slot family reached with different element offsets or
+    // key provenance: keep the family identity, widen what differs.
+    AbstractValue v = a;
+    if (!(a.addend == b.addend)) v.addend = U256{};
+    v.key_origin = merge_key_origin(a.key_origin, b.key_origin);
+    return v;
+  }
   return AbstractValue::unknown();
 }
 
@@ -185,7 +252,22 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
   std::vector<BlockStates> states(cfg.blocks.size());
   std::deque<std::pair<std::uint32_t, State>> worklist;
   std::map<std::uint32_t, std::pair<bool, AbstractValue>> dc_facts;
+  struct PendingStorageFact {
+    AbstractValue slot;
+    AbstractValue value;
+  };
+  std::map<std::uint32_t, PendingStorageFact> st_facts;
   std::vector<std::uint32_t> unresolved_pcs;
+
+  auto record_storage = [&](std::uint32_t pc, const AbstractValue& slot,
+                            const AbstractValue& value) {
+    auto [it, inserted] =
+        st_facts.try_emplace(pc, PendingStorageFact{slot, value});
+    if (!inserted) {
+      it->second.slot = join(it->second.slot, slot);
+      it->second.value = join(it->second.value, value);
+    }
+  };
 
   auto propagate = [&](std::uint32_t b, State&& st) {
     BlockStates& bs = states[b];
@@ -277,6 +359,34 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
     };
     auto pop_n = [&](std::size_t n) { s.resize(s.size() - n); };
     const std::uint32_t end_index = cb.first_instruction + cb.instruction_count;
+
+    // Block-local abstract memory: constant-offset MSTOREs feed KECCAK256 so
+    // mapping/array slot derivations (`keccak256(key ++ base)`) survive as
+    // kHashed values instead of degrading to kUnknown. Anything less precise
+    // than a full-word store at a constant offset clobbers the whole map —
+    // the derivation then simply fails closed to kUnknown.
+    std::map<std::uint64_t, AbstractValue> mem_words;
+    auto mem_store = [&](const AbstractValue& off, const AbstractValue& val) {
+      if (!off.is_const() || !off.payload.fits_u64() ||
+          off.payload.low64() >= kMaxMemory) {
+        mem_words.clear();
+        return;
+      }
+      const std::uint64_t o = off.payload.low64();
+      for (auto it = mem_words.begin(); it != mem_words.end();) {
+        const bool overlaps = it->first + 32 > o && it->first < o + 32;
+        if (overlaps && it->first != o) {
+          it = mem_words.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      mem_words[o] = val;
+    };
+    auto mem_load_word = [&](std::uint64_t o) -> AbstractValue {
+      const auto it = mem_words.find(o);
+      return it == mem_words.end() ? AbstractValue::unknown() : it->second;
+    };
 
     for (std::uint32_t idx = cb.first_instruction; idx < end_index; ++idx) {
       if (++cfg.abstract_steps > budget) {
@@ -371,19 +481,40 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
             s.push_back(r);
             break;
           }
-          case Opcode::KECCAK256:
-            record_mem(at(0), at(1));
+          case Opcode::KECCAK256: {
+            const AbstractValue off = at(0);
+            const AbstractValue size = at(1);
+            record_mem(off, size);
             pop_n(2);
-            s.push_back(AbstractValue::unknown());
+            AbstractValue r = AbstractValue::unknown();
+            if (off.is_const() && off.payload.fits_u64() && size.is_const()) {
+              const std::uint64_t o = off.payload.low64();
+              if (size.payload == U256{0x40}) {
+                // Solidity mapping element: keccak256(key ++ base_slot).
+                r = derive_hashed(mem_load_word(o + 32), /*mapping=*/true,
+                                  mem_load_word(o));
+              } else if (size.payload == U256{0x20}) {
+                // Dynamic-array data start: keccak256(base_slot).
+                r = derive_hashed(mem_load_word(o), /*mapping=*/false,
+                                  AbstractValue::unknown());
+              }
+            }
+            s.push_back(r);
             break;
+          }
           case Opcode::SLOAD: {
             const AbstractValue slot = at(0);
+            record_storage(ins.pc, slot, AbstractValue::unknown());
             pop_n(1);
             s.push_back(slot.is_const()
                             ? AbstractValue::storage(slot.payload)
                             : AbstractValue::unknown());
             break;
           }
+          case Opcode::SSTORE:
+            record_storage(ins.pc, at(0), at(1));
+            pop_n(2);
+            break;
           case Opcode::CALLDATALOAD:
             pop_n(1);
             s.push_back(AbstractValue::calldata());
@@ -394,6 +525,7 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
           case Opcode::CALLDATACOPY:
           case Opcode::CODECOPY:
             record_mem(at(0), at(2));
+            mem_words.clear();
             pop_n(3);
             break;
           case Opcode::RETURNDATACOPY:
@@ -403,10 +535,12 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
               cb.may_fault = true;
             }
             record_mem(at(0), at(2));
+            mem_words.clear();
             pop_n(3);
             break;
           case Opcode::EXTCODECOPY:
             record_mem(at(1), at(3));
+            mem_words.clear();
             pop_n(4);
             break;
           case Opcode::MLOAD:
@@ -416,15 +550,18 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
             break;
           case Opcode::MSTORE:
             record_mem(at(0), AbstractValue::constant(U256{32}));
+            mem_store(at(0), at(1));
             pop_n(2);
             break;
           case Opcode::MSTORE8:
             record_mem(at(0), AbstractValue::constant(U256{1}));
+            mem_words.clear();  // byte write: conservatively forget words
             pop_n(2);
             break;
           case Opcode::MCOPY:
             record_mem(at(0), at(2));
             record_mem(at(1), at(2));
+            mem_words.clear();
             pop_n(3);
             break;
           case Opcode::PC:
@@ -484,6 +621,7 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
               it->second.first = true;
               it->second.second = join(it->second.second, at(1));
             }
+            mem_words.clear();  // callee return data may land in memory
             pop_n(info.stack_in);
             s.push_back(AbstractValue::unknown());
             break;
@@ -494,6 +632,7 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
           case Opcode::CREATE:
           case Opcode::CREATE2:
             cfg.external_call_reachable = true;
+            mem_words.clear();
             pop_n(info.stack_in);
             s.push_back(AbstractValue::unknown());
             break;
@@ -553,6 +692,24 @@ Cfg recover_cfg(const evm::Disassembly& dis, const CfgOptions& options) {
       fact.target = it->second.second;
     }
     cfg.delegatecalls.push_back(std::move(fact));
+  }
+
+  // Same treatment for SLOAD/SSTORE: every site gets a fact, unexecuted
+  // sites stay kUnknown/dead, executed sites carry the joined abstract slot
+  // (and value operand, for writes) across all paths that reached them.
+  for (const evm::Instruction& ins : instructions) {
+    const Opcode op = ins.opcode();
+    if (op != Opcode::SLOAD && op != Opcode::SSTORE) continue;
+    StorageFact fact;
+    fact.pc = ins.pc;
+    fact.is_write = op == Opcode::SSTORE;
+    const auto it = st_facts.find(ins.pc);
+    if (it != st_facts.end()) {
+      fact.reachable = true;
+      fact.slot = it->second.slot;
+      fact.value = it->second.value;
+    }
+    cfg.storage_facts.push_back(std::move(fact));
   }
 
   bool any_unresolved_reachable = false;

@@ -34,12 +34,28 @@ using evm::U256;
 ///               possibly narrowed by an AND mask — the shape every
 ///               slot-proxy fallback uses for its logic address.
 ///   kCalldata — derived from CALLDATALOAD / CALLDATASIZE (caller-chosen).
+///   kHashed   — a keccak-derived storage slot: `payload` is the root base
+///               slot, `hash_depth`/`hash_path` encode the nesting shape
+///               (Solidity mapping elements hash `key ++ base` over 0x40
+///               bytes; dynamic-array data hashes `base` over 0x20 bytes),
+///               and `addend` is a constant offset added past the hash.
 ///   kUnknown  — anything else (top of the lattice).
 struct AbstractValue {
-  enum class Kind : std::uint8_t { kUnknown, kConst, kStorage, kCalldata };
+  enum class Kind : std::uint8_t {
+    kUnknown, kConst, kStorage, kCalldata, kHashed
+  };
+
+  /// Provenance of the key/index that selected a kHashed slot family
+  /// element — calldata keys mean the reachable element is caller-chosen.
+  enum class KeyOrigin : std::uint8_t { kUnknown, kConst, kCalldata };
 
   Kind kind = Kind::kUnknown;
-  U256 payload{};  // kConst: the value; kStorage: the slot
+  U256 payload{};  // kConst: the value; kStorage/kHashed: the (base) slot
+  // ---- kHashed only; zero-valued for every other kind --------------------
+  U256 addend{};               // constant offset past the hash (array index)
+  std::uint8_t hash_depth = 0; // keccak applications (1 = single level)
+  std::uint8_t hash_path = 0;  // bit (level-1): 1 = mapping, 0 = array
+  KeyOrigin key_origin = KeyOrigin::kUnknown;
 
   static AbstractValue constant(const U256& v) {
     return {Kind::kConst, v};
@@ -49,10 +65,28 @@ struct AbstractValue {
   }
   static AbstractValue calldata() { return {Kind::kCalldata, U256{}}; }
   static AbstractValue unknown() { return {Kind::kUnknown, U256{}}; }
+  static AbstractValue hashed(const U256& base, std::uint8_t depth,
+                              std::uint8_t path, KeyOrigin key) {
+    AbstractValue v;
+    v.kind = Kind::kHashed;
+    v.payload = base;
+    v.hash_depth = depth;
+    v.hash_path = path;
+    v.key_origin = key;
+    return v;
+  }
 
   bool is_const() const noexcept { return kind == Kind::kConst; }
   bool is_storage() const noexcept { return kind == Kind::kStorage; }
   bool is_calldata() const noexcept { return kind == Kind::kCalldata; }
+  bool is_hashed() const noexcept { return kind == Kind::kHashed; }
+
+  /// Same symbolic slot family: identical root slot and nesting shape
+  /// (addend and key provenance may differ between elements).
+  bool same_family(const AbstractValue& o) const noexcept {
+    return is_hashed() && o.is_hashed() && payload == o.payload &&
+           hash_depth == o.hash_depth && hash_path == o.hash_path;
+  }
 
   friend bool operator==(const AbstractValue&,
                          const AbstractValue&) = default;
@@ -96,6 +130,20 @@ struct DelegatecallFact {
                          const DelegatecallFact&) = default;
 };
 
+/// Every SLOAD/SSTORE instruction with the joined abstract value of its slot
+/// operand (and, for writes, its value operand) across all abstract paths
+/// that executed it. Unexecuted sites keep kUnknown/dead entries. Consumed
+/// by the layout-inference pass (layout.h).
+struct StorageFact {
+  std::uint32_t pc = 0;
+  bool is_write = false;
+  bool reachable = false;  // abstractly executed at least once
+  AbstractValue slot;
+  AbstractValue value;  // writes only; kUnknown for reads
+
+  friend bool operator==(const StorageFact&, const StorageFact&) = default;
+};
+
 struct CfgOptions {
   /// Distinct abstract entry states tracked per block before widening.
   std::uint32_t max_entry_states_per_block = 8;
@@ -108,6 +156,7 @@ struct Cfg {
   std::vector<CfgBlock> blocks;  // parallel to Disassembly::blocks()
   std::vector<std::uint32_t> unresolved_jump_pcs;  // sorted
   std::vector<DelegatecallFact> delegatecalls;     // sorted by pc
+  std::vector<StorageFact> storage_facts;          // sorted by pc
 
   /// The recovered edges provably cover every edge emulation can take from
   /// pc 0 (no unresolved reachable jump, no depth conflict, budget intact).

@@ -52,6 +52,9 @@ DelegatecallSite classify(const DelegatecallFact& fact) {
     case AbstractValue::Kind::kCalldata:
       site.target_class = TargetClass::kCalldata;
       break;
+    case AbstractValue::Kind::kHashed:
+      // A keccak-derived slot (mapping facet tables, diamond-style): the
+      // concrete slot is not statically known, so no slot claim is made.
     case AbstractValue::Kind::kUnknown:
       site.target_class = TargetClass::kUnknown;
       break;

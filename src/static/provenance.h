@@ -46,6 +46,11 @@ struct StaticTierConfig {
   /// and surface typed mismatch diagnostics (soundness oracle; the verdict
   /// itself always comes from emulation).
   bool cross_check = false;
+  /// Infer a per-contract storage layout (layout.h) from the recovered CFG:
+  /// static slots, keccak-derived mapping/array slot families, and packed
+  /// sub-word members. Feeds the source-free storage-collision mode and the
+  /// kMismatchLayout* cross-check bits.
+  bool infer_layout = false;
 };
 
 struct StaticReport {

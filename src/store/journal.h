@@ -39,7 +39,10 @@ namespace proxion::store {
 
 inline constexpr std::size_t kJournalMagicSize = 8;
 inline constexpr char kJournalMagic[kJournalMagicSize + 1] = "PROXJRNL";
-inline constexpr std::uint16_t kJournalVersion = 1;
+/// v2: contract records gained the storage-layout-inference fields
+/// (family-collision flags, source-free pair counters). Readers reject
+/// other versions wholesale — a v1 journal resumes as a fresh sweep.
+inline constexpr std::uint16_t kJournalVersion = 2;
 /// header = magic + version + reserved.
 inline constexpr std::size_t kJournalHeaderSize = kJournalMagicSize + 4;
 /// Frame overhead around the payload: length + type + checksum.

@@ -137,6 +137,11 @@ constexpr std::uint8_t kFlagError = 1u << 7;
 constexpr std::uint8_t kProxyFlagHasDelegatecall = 1u << 0;
 constexpr std::uint8_t kProxyFlagExecuted = 1u << 1;
 constexpr std::uint8_t kProxyFlagForwarded = 1u << 2;
+constexpr std::uint8_t kProxyFlagLayoutInferred = 1u << 3;
+constexpr std::uint8_t kProxyFlagLayoutReliable = 1u << 4;
+
+// Second analysis-flags byte (v2): the first is full.
+constexpr std::uint8_t kFlag2FamilyCollision = 1u << 0;
 
 constexpr std::uint8_t kDiamondFlagIsDiamond = 1u << 0;
 
@@ -174,6 +179,11 @@ std::vector<std::uint8_t> encode_contract_record(const ContractRecord& rec) {
   if (a.logic_has_source) flags |= kFlagLogicHasSource;
   if (a.error) flags |= kFlagError;
   put_u8(out, flags);
+  std::uint8_t flags2 = 0;
+  if (a.family_collision) flags2 |= kFlag2FamilyCollision;
+  put_u8(out, flags2);
+  put_u32(out, a.collision_pairs_family_checked);
+  put_u32(out, a.collision_pairs_source_free);
 
   const core::ProxyReport& p = a.proxy;
   put_u8(out, static_cast<std::uint8_t>(p.verdict));
@@ -181,6 +191,8 @@ std::vector<std::uint8_t> encode_contract_record(const ContractRecord& rec) {
   if (p.has_delegatecall_opcode) pflags |= kProxyFlagHasDelegatecall;
   if (p.delegatecall_executed) pflags |= kProxyFlagExecuted;
   if (p.calldata_forwarded) pflags |= kProxyFlagForwarded;
+  if (p.layout_inferred) pflags |= kProxyFlagLayoutInferred;
+  if (p.layout_reliable) pflags |= kProxyFlagLayoutReliable;
   put_u8(out, pflags);
   put_u8(out, static_cast<std::uint8_t>(p.halt));
   put_address(out, p.logic_address);
@@ -231,6 +243,10 @@ std::optional<ContractRecord> decode_contract_record(
   a.storage_collision = (flags & kFlagStCollision) != 0;
   a.storage_collision_exploitable = (flags & kFlagStExploitable) != 0;
   a.logic_has_source = (flags & kFlagLogicHasSource) != 0;
+  const std::uint8_t flags2 = c.u8();
+  a.family_collision = (flags2 & kFlag2FamilyCollision) != 0;
+  a.collision_pairs_family_checked = c.u32();
+  a.collision_pairs_source_free = c.u32();
 
   core::ProxyReport& p = a.proxy;
   p.verdict = c.enum_u8<core::ProxyVerdict>(kMaxVerdict);
@@ -238,6 +254,8 @@ std::optional<ContractRecord> decode_contract_record(
   p.has_delegatecall_opcode = (pflags & kProxyFlagHasDelegatecall) != 0;
   p.delegatecall_executed = (pflags & kProxyFlagExecuted) != 0;
   p.calldata_forwarded = (pflags & kProxyFlagForwarded) != 0;
+  p.layout_inferred = (pflags & kProxyFlagLayoutInferred) != 0;
+  p.layout_reliable = (pflags & kProxyFlagLayoutReliable) != 0;
   p.halt = c.enum_u8<evm::HaltReason>(kMaxHalt);
   p.logic_address = c.address();
   p.logic_source = c.enum_u8<core::LogicSource>(kMaxLogicSource);

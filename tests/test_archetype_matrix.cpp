@@ -144,6 +144,17 @@ const std::vector<ArchetypeCase>& cases() {
          return c.deploy_runtime(d, ContractFactory::math_library());
        },
        ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"mapping-token",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d,
+                                 ContractFactory::mapping_token_contract(11));
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
+      {"packed-config",
+       [](Blockchain& c, const evm::Address& d) {
+         return c.deploy_runtime(d, ContractFactory::packed_config_contract());
+       },
+       ProxyVerdict::kNotProxy, ProxyStandard::kNotProxy},
   };
   return kCases;
 }
@@ -176,6 +187,26 @@ TEST_P(ArchetypeMatrixTest, DetectionMatchesExpectation) {
               c.expect_storage_collision)
         << c.name;
   }
+}
+
+// The layout-inference oracle must make no false claim on any archetype:
+// with the tier fully on, emulation-observed accesses must never trip the
+// kMismatchLayout* bits (a trip means the inferred layout rejected a slot
+// the contract really touches — a soundness bug, not a finding).
+TEST_P(ArchetypeMatrixTest, LayoutOracleRaisesNoMismatch) {
+  const ArchetypeCase& c = cases()[GetParam()];
+  Blockchain chain;
+  const evm::Address deployer = evm::Address::from_label("matrix.deployer3");
+  const evm::Address target = c.deploy(chain, deployer);
+
+  core::ProxyDetectorConfig config;
+  config.static_tier.enabled = true;
+  config.static_tier.cross_check = true;
+  config.static_tier.infer_layout = true;
+  core::ProxyDetector detector(chain, config);
+  const auto report = detector.analyze(target);
+  EXPECT_EQ(report.static_mismatch & core::kMismatchLayoutSlot, 0u) << c.name;
+  EXPECT_EQ(report.static_mismatch & core::kMismatchLayoutWidth, 0u) << c.name;
 }
 
 TEST_P(ArchetypeMatrixTest, VerdictStableAcrossRepeatedAnalysis) {

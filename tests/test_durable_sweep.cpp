@@ -62,6 +62,13 @@ void expect_same_verdicts(const core::LandscapeStats& a,
   EXPECT_EQ(a.quarantined, b.quarantined);
   EXPECT_EQ(a.analyzed_contracts, b.analyzed_contracts);
   EXPECT_EQ(a.errors_by_kind, b.errors_by_kind);
+  // Layout-inference aggregates are per-blob/per-pair deterministic facts
+  // and must survive journal round-trips and shard boundaries like the rest.
+  EXPECT_EQ(a.layout_inferred, b.layout_inferred);
+  EXPECT_EQ(a.layout_reliable, b.layout_reliable);
+  EXPECT_EQ(a.family_collisions, b.family_collisions);
+  EXPECT_EQ(a.collision_pairs_family_checked, b.collision_pairs_family_checked);
+  EXPECT_EQ(a.collision_pairs_source_free, b.collision_pairs_source_free);
 }
 
 TEST(DurableSweep, MatchesMonolithicRun) {
@@ -200,6 +207,53 @@ TEST(DurableSweep, IncrementalWithoutChangesRecomputesNothing) {
   EXPECT_EQ(second.replayed, inputs.size());
   EXPECT_EQ(second.stats.incremental_reanalyzed, 0u);
   expect_same_verdicts(second.stats, first.stats);
+}
+
+TEST(DurableSweep, MappingKeyFlipBetweenLapsStaysBitIdentical) {
+  // Satellite of the layout-inference PR: shed_cross_run_state drops the
+  // layout memo side table (with the whole AnalysisCache entry), so a second
+  // lap over a chain whose *storage* mutated between laps — here a mapping
+  // element flipped under a keccak-derived slot — must be bit-identical to a
+  // cold pipeline over the mutated chain. A stale cross-lap memo would show
+  // up as a verdict/aggregate drift.
+  datagen::Population pop = make_population();
+  const auto inputs = pop.sweep_inputs();
+
+  core::PipelineConfig config;
+  core::AnalysisPipeline piped(*pop.chain, &pop.sources, config);
+  store::DurableSweepConfig sc;
+  sc.journal_path = temp_journal("mapflip_lap1.journal");
+  sc.shard_size = 200;
+  store::DurableSweep lap1(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult first = lap1.run(inputs);
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  ASSERT_TRUE(first.complete);
+
+  // Flip a mapping element on every population contract: the balances-style
+  // mapping rooted at slot 2, keyed by a fresh attacker address — slot =
+  // keccak256(key ++ 2).
+  const evm::U256 key = evm::Address::from_label("flip.attacker").to_word();
+  evm::Bytes preimage(64, 0);
+  const auto key_be = key.to_be_bytes();
+  const auto base_be = evm::U256{2}.to_be_bytes();
+  std::copy(key_be.begin(), key_be.end(), preimage.begin());
+  std::copy(base_be.begin(), base_be.end(), preimage.begin() + 32);
+  const evm::U256 flipped = evm::to_u256(crypto::keccak256(preimage));
+  for (const auto& input : inputs) {
+    pop.chain->set_storage(input.address, flipped, evm::U256{1});
+  }
+
+  // Lap 2 on a fresh journal reuses the SAME pipeline (shed after the final
+  // lap-1 shard is what makes this legal) and must match a cold pipeline.
+  sc.journal_path = temp_journal("mapflip_lap2.journal");
+  store::DurableSweep lap2(piped, *pop.chain, &pop.sources, sc);
+  const store::DurableSweepResult second = lap2.run(inputs);
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  ASSERT_TRUE(second.complete);
+
+  core::AnalysisPipeline cold(*pop.chain, &pop.sources, config);
+  const auto cold_stats = cold.summarize(cold.run(inputs));
+  expect_same_verdicts(second.stats, cold_stats);
 }
 
 TEST(DurableSweep, IncrementalAfterUpgradeWaveReanalyzesOnlyChanges) {

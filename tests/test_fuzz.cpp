@@ -4,7 +4,9 @@
 // verdicts must stay deterministic.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
+#include <vector>
 
 #include "core/proxy_detector.h"
 #include "core/selector_extractor.h"
@@ -13,6 +15,7 @@
 #include "evm/disassembler.h"
 #include "evm/host.h"
 #include "evm/interpreter.h"
+#include "static/layout.h"
 
 namespace {
 
@@ -166,6 +169,137 @@ TEST_P(FuzzTest, RandomCalldataAgainstRealProxyStaysConsistent) {
                 r.halt == HaltReason::kRevert ||
                 r.halt == HaltReason::kStop)
         << to_string(r.halt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential layout fuzzer (storage-layout inference soundness): random
+// datagen contracts are executed with every dispatched selector, and every
+// storage slot emulation actually touches must be admitted by the inferred
+// StorageLayout — either as a static member or through a keccak family whose
+// derivation the observer reconstructed — unless the layout itself declined
+// to make claims (!reliable()). An inadmissible access under a reliable
+// layout is a soundness bug: the layout would contradict real behavior.
+
+struct LayoutFuzzObserver final : public TraceObserver {
+  struct Family {
+    U256 base;
+    std::uint8_t depth = 1;
+    std::uint8_t path = 0;
+  };
+  std::vector<U256> slots;               // depth-0 SLOAD/SSTORE slots
+  std::map<U256, Family> keccak_images;  // hash -> reconstructed derivation
+
+  void on_keccak(int /*depth*/, BytesView input, const U256& hash) override {
+    Family fam;
+    if (input.size() == 64) {
+      fam.base = U256::from_be_slice(input.subspan(32));
+      fam.path = 1;
+    } else if (input.size() == 32) {
+      fam.base = U256::from_be_slice(input);
+    } else {
+      return;
+    }
+    if (const auto it = keccak_images.find(fam.base);
+        it != keccak_images.end() && it->second.depth < 8) {
+      fam.base = it->second.base;
+      fam.depth = static_cast<std::uint8_t>(it->second.depth + 1);
+      fam.path = static_cast<std::uint8_t>(
+          it->second.path | (fam.path != 0 ? 1u << it->second.depth : 0u));
+    }
+    keccak_images.emplace(hash, fam);
+  }
+  void on_sload(int depth, const Address&, const U256& slot,
+                const U256&) override {
+    if (depth == 0) slots.push_back(slot);
+  }
+  void on_sstore(int depth, const Address&, const U256& slot,
+                 const U256&) override {
+    if (depth == 0) slots.push_back(slot);
+  }
+
+  bool admitted(const static_analysis::StorageLayout& layout,
+                const U256& slot) const {
+    if (layout.admits_slot(slot)) return true;
+    for (const auto& [hash, fam] : keccak_images) {
+      if (slot < hash) continue;
+      const U256 diff = slot - hash;
+      if (!diff.fits_u64() || diff.low64() > 4096) continue;
+      if (layout.family(fam.base, fam.depth, fam.path) != nullptr) return true;
+    }
+    return false;
+  }
+};
+
+TEST_P(FuzzTest, InferredLayoutAdmitsEveryEmulatedAccess) {
+  std::mt19937_64 rng(GetParam());
+  static constexpr datagen::BodyKind kBodies[] = {
+      datagen::BodyKind::kReturnStorageWord,
+      datagen::BodyKind::kReturnStorageAddress,
+      datagen::BodyKind::kReturnStorageBool,
+      datagen::BodyKind::kReturnStorageBoolAtOffset,
+      datagen::BodyKind::kStoreBoolPackedAt,
+      datagen::BodyKind::kStoreArgWord,
+      datagen::BodyKind::kStoreArgAddress,
+      datagen::BodyKind::kStoreCaller,
+      datagen::BodyKind::kGuardedStoreArgAddress,
+      datagen::BodyKind::kMapReadArg,
+      datagen::BodyKind::kMapWriteArg,
+      datagen::BodyKind::kMapWriteCallerKey,
+      datagen::BodyKind::kArrayReadArg,
+  };
+  for (int i = 0; i < 60; ++i) {
+    std::vector<datagen::FunctionSpec> funcs;
+    const int n = 1 + static_cast<int>(rng() % 5);
+    for (int f = 0; f < n; ++f) {
+      datagen::FunctionSpec spec;
+      spec.prototype = "f" + std::to_string(f) + "_" + std::to_string(i) +
+                       "(uint256,uint256)";
+      spec.body = kBodies[rng() % std::size(kBodies)];
+      spec.slot = U256{rng() % 6};
+      spec.aux = U256{rng() % 28};  // packing offset / owner slot
+      funcs.push_back(std::move(spec));
+    }
+    const Bytes code = ContractFactory::plain_contract(funcs);
+    const auto layout = static_analysis::infer_layout(Disassembly(code));
+
+    MemoryHost host;
+    const Address a = Address::from_label("layoutfuzz." + std::to_string(i));
+    host.set_code(a, code);
+    LayoutFuzzObserver observer;
+    for (const auto& func : funcs) {
+      Bytes calldata(4 + 64);
+      const std::uint32_t sel = func.selector();
+      calldata[0] = static_cast<std::uint8_t>(sel >> 24);
+      calldata[1] = static_cast<std::uint8_t>(sel >> 16);
+      calldata[2] = static_cast<std::uint8_t>(sel >> 8);
+      calldata[3] = static_cast<std::uint8_t>(sel);
+      // Random argument *words* but small magnitudes: only the low byte of
+      // each 32-byte word varies. Array indices are attacker-chosen, so an
+      // unbounded random index would land arbitrarily far from the keccak
+      // image and defeat the observer's family-distance reconstruction —
+      // the admission contract itself is magnitude-independent.
+      calldata[4 + 31] = static_cast<std::uint8_t>(rng());
+      calldata[4 + 63] = static_cast<std::uint8_t>(rng());
+      InterpreterConfig config;
+      config.step_limit = 20'000;
+      Interpreter interp(host, config);
+      interp.set_observer(&observer);
+      CallParams params;
+      params.code_address = a;
+      params.storage_address = a;
+      params.caller = Address::from_label("fuzz.caller");
+      params.calldata = std::move(calldata);
+      params.gas = 1'000'000;
+      (void)interp.execute(params);
+    }
+
+    if (!layout.reliable()) continue;  // no claim made, nothing to check
+    for (const U256& slot : observer.slots) {
+      EXPECT_TRUE(observer.admitted(layout, slot))
+          << "contract " << i << " slot not admitted\n"
+          << layout.to_string();
+    }
   }
 }
 

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/pipeline.h"
+#include "datagen/population.h"
 #include "obs/eventlog.h"
 #include "obs/export.h"
 #include "obs/http.h"
@@ -592,6 +594,36 @@ TEST(HttpServerTest, StartFailsOnPortAlreadyInUse) {
 
 // ---------------------------------------------------------------------------
 // Scrape-during-record concurrency (TSan target).
+
+TEST(ExporterTest, ServedSweepExposesLayoutCounters) {
+  // Satellite of the layout-inference PR: a served sweep's /metrics body
+  // must carry the layout counters (global registry: per-inference bumps)
+  // and the sweep.layout.* gauges (pipeline registry: last-run snapshot).
+  proxion::datagen::PopulationSpec spec;
+  spec.total_contracts = 150;
+  proxion::datagen::Population pop =
+      proxion::datagen::PopulationGenerator().generate(spec);
+
+  proxion::core::PipelineConfig config;
+  config.telemetry.enabled = true;
+  proxion::core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+  (void)pipeline.run(pop.sweep_inputs());
+
+  ExporterConfig econfig;
+  econfig.interval_ms = 0;
+  Exporter exporter({&pipeline.registry(), &Registry::global()}, econfig);
+  exporter.tick();
+  const std::string body = exporter.render_prometheus();
+  EXPECT_NE(body.find("proxion_layout_inferred_total"), std::string::npos);
+  EXPECT_NE(body.find("proxion_sweep_layout_inferred"), std::string::npos);
+  EXPECT_NE(body.find("proxion_sweep_layout_reliable"), std::string::npos);
+  EXPECT_NE(body.find("proxion_sweep_layout_source_free_pairs"),
+            std::string::npos);
+
+  const auto series = exporter.series();
+  ASSERT_FALSE(series.empty());
+  EXPECT_GT(series.back().merged.counters.at("layout.inferred"), 0u);
+}
 
 TEST(ExporterConcurrencyTest, ScrapesWhileRecordingAreRaceFree) {
   Registry reg;

@@ -251,8 +251,9 @@ TEST(Journal, DecodeRejectsTrailingBytes) {
 
 TEST(Journal, DecodeRejectsOutOfRangeEnum) {
   std::vector<std::uint8_t> payload = encode_contract_record(full_record());
-  // Byte 25 is the verdict (20 address + 4 year + 1 flags).
-  payload[25] = 0x77;
+  // Byte 34 is the verdict (20 address + 4 year + 1 flags + 1 flags2 +
+  // 4 pairs-family-checked + 4 pairs-source-free).
+  payload[34] = 0x77;
   EXPECT_FALSE(decode_contract_record(payload).has_value());
 }
 

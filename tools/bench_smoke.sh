@@ -49,6 +49,30 @@ print(f"  storage reduction {storage_x:.2f}x (>=3), "
       f"keccak reduction {keccak_x:.2f}x (>=2), sweeps identical")
 EOF
 
+echo "== bench_layout_inference (smoke: PROXION_BENCH_SCALE=${SCALE}) =="
+PROXION_BENCH_SCALE="${SCALE}" \
+  "${BUILD_DIR}/bench/bench_layout_inference"
+
+echo "== layout-inference acceptance (source-free coverage + drift) =="
+# The source-free collision mode must family-check >= 90% of the pairs the
+# source-attached mode checks on the synthetic population, and every pair
+# family-checked in both modes must reach the same family-collision verdict
+# (declared and inferred layouts share the (base, depth, path) identity).
+python3 - <<'EOF'
+import json
+
+with open("BENCH_results.json") as f:
+    results = json.load(f)["bench_layout_inference"]
+
+coverage = results["source_free_coverage_ratio"]
+diffs = results["family_verdict_diffs"]
+
+assert coverage >= 0.90, f"source-free coverage {coverage:.3f} < 0.90"
+assert diffs == 0.0, f"{diffs:.0f} family-verdict diffs between modes"
+print(f"  source-free coverage {coverage:.3f} (>=0.90), "
+      f"verdict diffs {diffs:.0f} (==0)")
+EOF
+
 echo "== bench_telemetry_overhead (smoke: PROXION_BENCH_SCALE=${SCALE}) =="
 PROXION_BENCH_SCALE="${SCALE}" \
   "${BUILD_DIR}/bench/bench_telemetry_overhead" --benchmark_min_time=0.01s

@@ -8,7 +8,7 @@
 #   test-regex defaults to the fault-injection + concurrency suites.
 set -eu
 
-TESTS="${1:-test_resilience|test_archive_batch|test_thread_pool|test_pipeline|test_analysis_cache|test_obs_metrics|test_obs_trace|test_obs_export|test_static_analysis|test_static_tier|test_store_journal|test_durable_sweep|test_vfs_fault|test_journal_fuzz}"
+TESTS="${1:-test_resilience|test_archive_batch|test_thread_pool|test_pipeline|test_analysis_cache|test_obs_metrics|test_obs_trace|test_obs_export|test_static_analysis|test_static_tier|test_layout|test_fuzz|test_store_journal|test_durable_sweep|test_vfs_fault|test_journal_fuzz}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 # CI runs one flavor per job; default is both.
 FLAVORS="${PROXION_SANITIZE_FLAVORS:-address thread}"
@@ -21,8 +21,8 @@ for flavor in ${FLAVORS}; do
   cmake --build "${dir}" -j "${JOBS}" --target \
     test_resilience test_archive_batch test_thread_pool test_pipeline \
     test_analysis_cache test_obs_metrics test_obs_trace test_obs_export \
-    test_static_analysis test_static_tier test_store_journal \
-    test_durable_sweep test_vfs_fault test_journal_fuzz
+    test_static_analysis test_static_tier test_layout test_fuzz \
+    test_store_journal test_durable_sweep test_vfs_fault test_journal_fuzz
 
   echo "== ctest under ${flavor} sanitizer =="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
