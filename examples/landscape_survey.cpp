@@ -20,17 +20,33 @@
 //   --sweeps <n>          sweeps to run in --serve mode (0 = until killed)
 //   --population <n>      synthetic population size (default 4000)
 //   --events <path>       append structured NDJSON events to this file
+//
+// Always-on service (see docs/OPERATIONS.md):
+//   --follow              run the chain follower + query plane: one initial
+//                         full sweep, then a deterministic mixed workload
+//                         (deploys, upgrades, empty blocks) drives
+//                         incremental laps; combine with --serve to expose
+//                         /v1/contract, /v1/codehash, /v1/vulns, /v1/status
+//   --blocks <n>          blocks of workload to mine in --follow mode
+//                         (0 = until killed; default 12)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/pipeline.h"
+#include "datagen/contract_factory.h"
 #include "datagen/population.h"
 #include "obs/eventlog.h"
 #include "obs/export.h"
 #include "obs/http.h"
+#include "serve/follower.h"
+#include "serve/query_service.h"
 #include "store/durable_sweep.h"
 
 using namespace proxion;
@@ -47,6 +63,8 @@ struct Options {
   std::size_t sweeps = 0;    // serve mode: sweeps to run; 0 = until killed
   std::uint32_t population = 4'000;
   std::string events_path;   // NDJSON event-log sink; empty = in-memory only
+  bool follow = false;       // always-on mode: follower + query plane
+  std::uint64_t blocks = 12; // follow mode: workload blocks; 0 = until killed
 };
 
 bool parse_options(int argc, char** argv, Options& opt) {
@@ -92,11 +110,18 @@ bool parse_options(int argc, char** argv, Options& opt) {
       const char* v = value("--events");
       if (v == nullptr) return false;
       opt.events_path = v;
+    } else if (arg == "--follow") {
+      opt.follow = true;
+    } else if (arg == "--blocks") {
+      const char* v = value("--blocks");
+      if (v == nullptr) return false;
+      opt.blocks = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: landscape_survey [--checkpoint <journal> "
                    "[--shard-size N] [--max-shards N] [--resume | "
                    "--incremental]] [--serve PORT [--sweeps N]] "
+                   "[--follow [--blocks N]] "
                    "[--population N] [--events <path>]\n");
       return false;
     }
@@ -290,6 +315,195 @@ int serve_loop(const Options& opt, datagen::Population& pop) {
   return 0;
 }
 
+// --follow mode: the always-on service. One synchronous catch-up sweep seeds
+// the query snapshot, then the follower tracks the head in the background
+// while a deterministic mixed workload (deploy / upgrade / empty block /
+// deploy+same-block-upgrade) mines new blocks. With --serve the query plane
+// answers /v1/* next to /metrics and /healthz. serve_smoke.sh parses the
+// "follow:" lines; keep their format.
+int follow_loop(const Options& opt, datagen::Population& pop) {
+  obs::EventLogConfig log_config;
+  log_config.path = opt.events_path;
+  obs::EventLog event_log(log_config);
+  obs::SweepStatus status;
+
+  core::PipelineConfig config;
+  config.telemetry.live_spans = true;
+  config.telemetry.coarse_clock = true;
+  config.telemetry.event_log = &event_log;
+  config.telemetry.status = &status;
+  core::AnalysisPipeline pipeline(*pop.chain, &pop.sources, config);
+
+  store::DurableSweepConfig sweep_config;
+  sweep_config.journal_path =
+      opt.checkpoint.empty() ? "landscape_follow.journal" : opt.checkpoint;
+  sweep_config.shard_size = opt.shard_size;
+  sweep_config.event_log = &event_log;
+  sweep_config.status = &status;
+
+  serve::QueryService query;
+  serve::ChainFollowerConfig follower_config;
+  follower_config.year_of_block = [](std::uint64_t block) {
+    const std::uint64_t year =
+        datagen::PopulationGenerator::kFirstYear +
+        block / datagen::PopulationGenerator::kBlocksPerYear;
+    return static_cast<int>(std::min<std::uint64_t>(
+        year, datagen::PopulationGenerator::kLastYear));
+  };
+  follower_config.event_log = &event_log;
+  follower_config.status = &status;
+  serve::ChainFollower follower(pipeline, *pop.chain, &pop.sources,
+                                sweep_config, query, pop.sweep_inputs(),
+                                follower_config);
+
+  obs::ExporterConfig exp_config;
+  exp_config.interval_ms = 250;
+  obs::Exporter exporter({&obs::Registry::global(), &pipeline.registry()},
+                         exp_config);
+  obs::HttpServer server;
+  const bool serving = opt.serve_port >= 0;
+  if (serving) {
+    exporter.start();
+    server.handle("/metrics", [&exporter](const std::string&) {
+      obs::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = exporter.render_prometheus();
+      return r;
+    });
+    server.handle("/healthz", [&exporter, &status](const std::string&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = exporter.render_healthz(&status);
+      return r;
+    });
+    server.handle("/spans", [&pipeline](const std::string&) {
+      obs::HttpResponse r;
+      r.content_type = "application/x-ndjson";
+      const obs::Tracer* tracer = pipeline.tracer();
+      r.body = tracer != nullptr ? tracer->ndjson_recent(4096) : std::string();
+      return r;
+    });
+    query.register_endpoints(server);
+    follower.register_status_endpoint(server);
+    if (!server.start(static_cast<std::uint16_t>(opt.serve_port))) {
+      std::fprintf(stderr, "failed to bind 127.0.0.1:%d\n", opt.serve_port);
+      return 1;
+    }
+    // obs_smoke.sh/serve_smoke.sh parse this line; keep the format.
+    std::printf("serving introspection on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout);
+  }
+
+  // Synchronous catch-up: the initial full sweep of the generated population.
+  follower.poll();
+  follower.start();
+  // start() schedules one catch-up poll; fence it before the workload loop
+  // mutates the chain (the single-writer contract from serve/follower.h).
+  if (!follower.wait_synced(pop.chain->height())) {
+    std::fprintf(stderr, "follower failed to sync after start\n");
+    follower.stop();
+    return 1;
+  }
+  std::printf("follow: synced head=%llu entries=%llu\n",
+              static_cast<unsigned long long>(
+                  follower.stats().snapshot_head.load()),
+              static_cast<unsigned long long>(
+                  follower.stats().snapshot_entries.load()));
+  std::fflush(stdout);
+
+  // Upgrade material: the population's EIP-1967 proxies repoint at tokens.
+  std::vector<evm::Address> proxies;
+  std::vector<evm::Address> logic_pool;
+  for (const auto& c : pop.contracts) {
+    if (c.archetype == datagen::Archetype::kEip1967Proxy) {
+      proxies.push_back(c.address);
+    } else if (c.archetype == datagen::Archetype::kToken) {
+      logic_pool.push_back(c.address);
+    }
+  }
+  if (proxies.empty() || logic_pool.empty()) {
+    std::fprintf(stderr, "population too small for the follow workload\n");
+    return 1;
+  }
+
+  const evm::Address deployer = evm::Address::from_label("follow-deployer");
+  const evm::U256 impl_slot = datagen::ContractFactory::eip1967_slot();
+  std::size_t next_proxy = 0;
+  std::size_t next_logic = 0;
+  std::uint64_t salt = 0x10000;
+  for (std::uint64_t i = 0; opt.blocks == 0 || i < opt.blocks; ++i) {
+    const std::uint64_t block = pop.chain->height();
+    switch (i % 4) {
+      case 0: {  // plain deployment: triggers a discovery lap
+        const evm::Address addr = pop.chain->deploy_runtime(
+            deployer, datagen::ContractFactory::token_contract(salt++));
+        std::printf("follow: block=%llu deploy addr=%s\n",
+                    static_cast<unsigned long long>(block),
+                    addr.to_hex().c_str());
+        break;
+      }
+      case 1: {  // upgrade: impl-slot write on a known proxy
+        const evm::Address proxy = proxies[next_proxy++ % proxies.size()];
+        const evm::Address impl = logic_pool[next_logic++ % logic_pool.size()];
+        pop.chain->set_storage(proxy, impl_slot, impl.to_word());
+        std::printf("follow: block=%llu upgrade addr=%s impl=%s\n",
+                    static_cast<unsigned long long>(block),
+                    proxy.to_hex().c_str(), impl.to_hex().c_str());
+        break;
+      }
+      case 2: {  // empty block: must fast-forward, not lap
+        std::printf("follow: block=%llu empty\n",
+                    static_cast<unsigned long long>(block));
+        break;
+      }
+      default: {  // deployment + same-block upgrade of the new proxy
+        const evm::Address addr = pop.chain->deploy_runtime(
+            deployer, datagen::ContractFactory::eip1967_proxy());
+        const evm::Address impl = logic_pool[next_logic++ % logic_pool.size()];
+        pop.chain->set_storage(addr, impl_slot, impl.to_word());
+        std::printf("follow: block=%llu deploy-upgrade addr=%s impl=%s\n",
+                    static_cast<unsigned long long>(block),
+                    addr.to_hex().c_str(), impl.to_hex().c_str());
+        break;
+      }
+    }
+    std::fflush(stdout);
+    pop.chain->mine_block();
+    // Until-killed runs pace themselves like a (fast) chain so the serving
+    // thread is mostly idle between laps; bounded runs mine flat out.
+    if (opt.blocks == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    // The chain is single-writer: fence the next mutation on the follower
+    // having fully absorbed this block (see serve/follower.h).
+    if (!follower.wait_synced(pop.chain->height())) {
+      std::fprintf(stderr, "follower failed to sync: %s\n",
+                   follower.last_error().c_str());
+      follower.stop();
+      return 1;
+    }
+  }
+
+  const serve::FollowerStats& st = follower.stats();
+  std::printf("follow: done head=%llu laps=%llu fast_forwards=%llu "
+              "entries=%llu discovered=%llu\n",
+              static_cast<unsigned long long>(st.snapshot_head.load()),
+              static_cast<unsigned long long>(st.laps.load()),
+              static_cast<unsigned long long>(st.fast_forwards.load()),
+              static_cast<unsigned long long>(st.snapshot_entries.load()),
+              static_cast<unsigned long long>(st.contracts_discovered.load()));
+  std::fflush(stdout);
+  if (serving) {
+    server.stop();
+    exporter.stop();
+    std::printf("served %llu scrape(s); %llu event(s) logged\n",
+                static_cast<unsigned long long>(server.requests_served()),
+                static_cast<unsigned long long>(event_log.emitted()));
+  }
+  follower.stop();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_options(argc, argv, opt)) return 2;
@@ -304,6 +518,7 @@ int main(int argc, char** argv) {
               pop.contracts.size(),
               static_cast<unsigned long long>(pop.chain->height()));
 
+  if (opt.follow) return follow_loop(opt, pop);
   if (opt.serve_port >= 0) return serve_loop(opt, pop);
 
   std::optional<obs::EventLog> event_log;

@@ -51,6 +51,7 @@ void Blockchain::mine_block() {
   ++height_;
   block_ctx_.number = U256{height_};
   block_ctx_.timestamp += U256{12};  // post-merge slot time
+  notify_head();
 }
 
 void Blockchain::mine_until(std::uint64_t target) {
@@ -58,6 +59,32 @@ void Blockchain::mine_until(std::uint64_t target) {
   height_ = target;
   block_ctx_.number = U256{height_};
   block_ctx_.timestamp = U256{1'438'269'973 + 12 * height_};
+  notify_head();
+}
+
+std::uint64_t Blockchain::subscribe_head(HeadCallback cb) {
+  const std::uint64_t token = next_head_token_++;
+  head_subs_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void Blockchain::unsubscribe_head(std::uint64_t token) {
+  std::erase_if(head_subs_,
+                [token](const auto& sub) { return sub.first == token; });
+}
+
+void Blockchain::notify_head() {
+  for (const auto& [token, cb] : head_subs_) cb(height_);
+}
+
+std::vector<Address> Blockchain::deployments_in(std::uint64_t block) const {
+  const auto it = deploys_by_block_.find(block);
+  return it == deploys_by_block_.end() ? std::vector<Address>{} : it->second;
+}
+
+std::vector<Address> Blockchain::storage_writers_in(std::uint64_t block) const {
+  const auto it = writers_by_block_.find(block);
+  return it == writers_by_block_.end() ? std::vector<Address>{} : it->second;
 }
 
 std::optional<Address> Blockchain::deploy(const Address& from,
@@ -157,11 +184,21 @@ void Blockchain::journal_write(const Address& a, const U256& slot,
   } else {
     history.emplace_back(height_, value);
   }
+  const auto it = last_write_recorded_.find(a);
+  if (it == last_write_recorded_.end() || it->second != height_) {
+    writers_by_block_[height_].push_back(a);
+    last_write_recorded_[a] = height_;
+  }
 }
 
 void Blockchain::note_contract(const Address& a) {
   ContractMeta& meta = contract_meta_[a];
   meta.deploy_block = height_;
+  const auto it = last_deploy_recorded_.find(a);
+  if (it == last_deploy_recorded_.end() || it->second != height_) {
+    deploys_by_block_[height_].push_back(a);
+    last_deploy_recorded_[a] = height_;
+  }
 }
 
 Bytes Blockchain::get_code(const Address& a) {

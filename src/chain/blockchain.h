@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,29 @@ class Blockchain final : public evm::Host {
   /// Mines until the chain reaches `target` height.
   void mine_until(std::uint64_t target);
   std::uint64_t height() const noexcept { return height_; }
+
+  // ---- head subscription / per-block change feeds -------------------------
+  /// Invoked synchronously on the mining thread after every height advance
+  /// (mine_until fires once, at the final height). The chain follower's
+  /// wake-up seam — an eth_subscribe("newHeads") stand-in.
+  using HeadCallback = std::function<void(std::uint64_t new_height)>;
+
+  /// Registers `cb`; returns a token for unsubscribe_head(). Subscription
+  /// changes must not race block production — the chain is single-writer,
+  /// and callbacks run inline on that writer.
+  std::uint64_t subscribe_head(HeadCallback cb);
+  void unsubscribe_head(std::uint64_t token);
+
+  /// Addresses that received code in `block` (deploy / deploy_runtime /
+  /// set_code), first-occurrence order. What an indexer derives from
+  /// per-block CREATE traces; the follower's new-contract feed.
+  std::vector<Address> deployments_in(std::uint64_t block) const;
+
+  /// Accounts whose storage was written in `block` (deduplicated,
+  /// first-occurrence order). Implementation-slot and beacon writes are
+  /// storage writes, so this feed is what makes an incremental lap
+  /// worthwhile after an upgrade lands.
+  std::vector<Address> storage_writers_in(std::uint64_t block) const;
 
   // ---- transactions -------------------------------------------------------
   /// Deploys via init code (CREATE semantics from an externally owned
@@ -135,6 +159,7 @@ class Blockchain final : public evm::Host {
 
   void journal_write(const Address& a, const U256& slot, const U256& value);
   void note_contract(const Address& a);
+  void notify_head();
 
   std::unordered_map<Address, Account, evm::AddressHasher> accounts_;
   std::uint64_t height_ = 0;
@@ -151,6 +176,19 @@ class Blockchain final : public evm::Host {
   std::unordered_map<Address, std::vector<std::uint32_t>, evm::AddressHasher>
       external_selectors_;
   std::unordered_map<Address, ContractMeta, evm::AddressHasher> contract_meta_;
+
+  // ---- head subscription + change feeds ----------------------------------
+  std::vector<std::pair<std::uint64_t, HeadCallback>> head_subs_;
+  std::uint64_t next_head_token_ = 1;
+  /// Per-block change feeds, appended as writes/deploys happen. Dedup is
+  /// O(1) via the last-block-recorded maps: an account is listed once per
+  /// block however many slots it wrote.
+  std::unordered_map<std::uint64_t, std::vector<Address>> deploys_by_block_;
+  std::unordered_map<std::uint64_t, std::vector<Address>> writers_by_block_;
+  std::unordered_map<Address, std::uint64_t, evm::AddressHasher>
+      last_write_recorded_;
+  std::unordered_map<Address, std::uint64_t, evm::AddressHasher>
+      last_deploy_recorded_;
 };
 
 }  // namespace proxion::chain

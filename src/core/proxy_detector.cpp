@@ -17,6 +17,16 @@ std::string_view to_string(ProxyVerdict v) noexcept {
   return "?";
 }
 
+std::string_view to_string(LogicSource s) noexcept {
+  switch (s) {
+    case LogicSource::kNone: return "none";
+    case LogicSource::kHardcoded: return "hardcoded";
+    case LogicSource::kStorageSlot: return "storage-slot";
+    case LogicSource::kComputed: return "computed";
+  }
+  return "?";
+}
+
 std::string_view to_string(ProxyStandard s) noexcept {
   switch (s) {
     case ProxyStandard::kNotProxy: return "not-proxy";

@@ -64,6 +64,7 @@ enum class StaticTriage : std::uint8_t {
 };
 
 std::string_view to_string(ProxyVerdict v) noexcept;
+std::string_view to_string(LogicSource s) noexcept;
 std::string_view to_string(ProxyStandard s) noexcept;
 std::string_view to_string(StaticTriage t) noexcept;
 

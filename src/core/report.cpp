@@ -37,6 +37,31 @@ void latency_line(std::ostringstream& out, const char* label,
 
 }  // namespace
 
+VerdictRow extract_verdict(const ContractAnalysis& a,
+                           const crypto::Hash256& code_hash) {
+  VerdictRow row;
+  row.address = a.address;
+  row.code_hash = code_hash;
+  row.year = a.year;
+  row.verdict = a.proxy.verdict;
+  row.standard = a.proxy.standard;
+  row.logic_source = a.proxy.logic_source;
+  row.logic_address = a.proxy.logic_address;
+  row.logic_slot = a.proxy.logic_slot;
+  row.upgrade_events = a.logic_history.upgrade_events;
+  row.has_source = a.has_source;
+  row.has_tx = a.has_tx;
+  row.hidden = a.proxy.is_proxy() && !a.has_source && !a.has_tx;
+  row.deduplicated = a.deduplicated;
+  row.function_collision = a.function_collision;
+  row.storage_collision = a.storage_collision;
+  row.storage_collision_exploitable = a.storage_collision_exploitable;
+  row.family_collision = a.family_collision;
+  row.quarantined = a.error.has_value();
+  if (a.error) row.error_kind = a.error->kind;
+  return row;
+}
+
 void LandscapeAccumulator::add(const ContractAnalysis& a) {
   LandscapeStats& stats = stats_;
   ++stats.total_contracts;

@@ -9,6 +9,42 @@
 
 namespace proxion::core {
 
+/// Compact serving-plane projection of one ContractAnalysis: everything the
+/// /v1 query endpoints answer with, flattened to fixed-size fields so a
+/// Snapshot holding millions of rows stays cache-friendly. Extraction is a
+/// pure function — two analyses that compare equal yield equal rows, which
+/// is what makes the followed query plane's answers bit-comparable to a
+/// cold batch sweep's.
+struct VerdictRow {
+  Address address;
+  crypto::Hash256 code_hash{};
+  std::int32_t year = 0;
+  ProxyVerdict verdict = ProxyVerdict::kNotProxy;
+  ProxyStandard standard = ProxyStandard::kNotProxy;
+  LogicSource logic_source = LogicSource::kNone;
+  Address logic_address;
+  U256 logic_slot;
+  std::uint64_t upgrade_events = 0;
+  bool has_source = false;
+  bool has_tx = false;
+  /// Proxy with neither source nor transactions — §7's hidden set.
+  bool hidden = false;
+  bool deduplicated = false;
+  bool function_collision = false;
+  bool storage_collision = false;
+  bool storage_collision_exploitable = false;
+  bool family_collision = false;
+  bool quarantined = false;
+  ErrorKind error_kind = ErrorKind::kInternal;  // meaningful iff quarantined
+
+  friend bool operator==(const VerdictRow&, const VerdictRow&) = default;
+};
+
+/// Flattens one report plus its journal fingerprint hash into the row the
+/// query plane serves.
+VerdictRow extract_verdict(const ContractAnalysis& analysis,
+                           const crypto::Hash256& code_hash);
+
 /// Streaming aggregation of `ContractAnalysis` reports into `LandscapeStats`.
 /// One `add()` per report, in any order, from one thread; `take()` finalizes
 /// the derived fields. `AnalysisPipeline::summarize()` is exactly

@@ -35,6 +35,7 @@ std::string_view to_string(SweepPhase phase) noexcept {
     case SweepPhase::kProxy: return "proxy";
     case SweepPhase::kPairs: return "pairs";
     case SweepPhase::kDone: return "done";
+    case SweepPhase::kFollowing: return "following";
   }
   return "unknown";
 }

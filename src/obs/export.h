@@ -40,6 +40,7 @@ enum class SweepPhase : std::uint8_t {
   kProxy,    // phase B: logic-contract search
   kPairs,    // phase C: collision checking
   kDone,     // last sweep completed
+  kFollowing,  // chain follower live, waiting for blocks between laps
 };
 
 std::string_view to_string(SweepPhase phase) noexcept;

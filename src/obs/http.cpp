@@ -64,6 +64,11 @@ void HttpServer::handle(const std::string& path, HttpHandler handler) {
   handlers_[path] = std::move(handler);
 }
 
+void HttpServer::handle_prefix(const std::string& prefix,
+                               HttpPrefixHandler handler) {
+  prefix_handlers_[prefix] = std::move(handler);
+}
+
 bool HttpServer::start(std::uint16_t port) {
   if (running_.load(std::memory_order_relaxed)) return true;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -151,11 +156,25 @@ void HttpServer::serve_one(int client_fd) {
       target.resize(q);
     }
     const auto it = handlers_.find(target);
-    if (it == handlers_.end()) {
-      resp.status = 404;
-      resp.body = "no such endpoint; try /metrics /healthz /spans\n";
-    } else {
+    if (it != handlers_.end()) {
       resp = it->second(query);
+    } else {
+      // Longest matching registered prefix wins; the map is sorted
+      // ascending, so the last match seen is the longest.
+      const HttpPrefixHandler* best = nullptr;
+      std::size_t best_len = 0;
+      for (const auto& [prefix, handler] : prefix_handlers_) {
+        if (target.starts_with(prefix) && prefix.size() >= best_len) {
+          best = &handler;
+          best_len = prefix.size();
+        }
+      }
+      if (best != nullptr) {
+        resp = (*best)(target.substr(best_len), query);
+      } else {
+        resp.status = 404;
+        resp.body = "no such endpoint; try /metrics /healthz /spans /v1/status\n";
+      }
     }
   }
   send_all(client_fd, render_response(resp));

@@ -30,6 +30,13 @@ struct HttpResponse {
 /// parsing — current endpoints take no parameters).
 using HttpHandler = std::function<HttpResponse(const std::string& query)>;
 
+/// Handler for a registered path prefix (the /v1/contract/<addr> family):
+/// receives the target's remainder after the prefix plus the raw query
+/// string. The handler owns all validation of `rest`.
+using HttpPrefixHandler =
+    std::function<HttpResponse(const std::string& rest,
+                               const std::string& query)>;
+
 class HttpServer {
  public:
   HttpServer();
@@ -40,6 +47,11 @@ class HttpServer {
 
   /// Register before start(); exact path match (no prefixes).
   void handle(const std::string& path, HttpHandler handler);
+
+  /// Register before start(); matches any target starting with `prefix`
+  /// (longest registered prefix wins). Exact-path registrations take
+  /// priority over prefix matches.
+  void handle_prefix(const std::string& prefix, HttpPrefixHandler handler);
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and launch the accept thread.
   /// Returns false (with no thread started) when the bind/listen fails.
@@ -60,6 +72,7 @@ class HttpServer {
   void serve_one(int client_fd);
 
   std::map<std::string, HttpHandler> handlers_;
+  std::map<std::string, HttpPrefixHandler> prefix_handlers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -1,0 +1,372 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+#include "crypto/keccak.h"
+
+namespace proxion::serve {
+
+namespace {
+
+constexpr std::string_view kJsonContentType = "application/json";
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+std::string_view strip_0x(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return s.substr(2);
+  }
+  return s;
+}
+
+/// Strict: optional 0x, then exactly 40 hex digits.
+std::optional<evm::Address> parse_address(std::string_view text) {
+  const std::string_view hex = strip_0x(text);
+  if (hex.size() != 40) return std::nullopt;
+  for (const char c : hex) {
+    if (!is_hex_digit(c)) return std::nullopt;
+  }
+  return evm::Address::from_hex(hex);
+}
+
+/// Strict: optional 0x, then exactly 64 hex digits.
+std::optional<crypto::Hash256> parse_hash(std::string_view text) {
+  const std::string_view hex = strip_0x(text);
+  if (hex.size() != 64) return std::nullopt;
+  for (const char c : hex) {
+    if (!is_hex_digit(c)) return std::nullopt;
+  }
+  const std::vector<std::uint8_t> bytes = crypto::from_hex(hex);
+  crypto::Hash256 out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+std::string hash_hex(const crypto::Hash256& h) {
+  return "0x" + crypto::to_hex(h);
+}
+
+void append_str(std::string& out, std::string_view value) {
+  out += '"';
+  out += value;  // hex strings and enum names only — nothing needs escaping
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+obs::HttpResponse json_response(int status, std::string body) {
+  obs::HttpResponse resp;
+  resp.status = status;
+  resp.content_type = std::string(kJsonContentType);
+  resp.body = std::move(body);
+  return resp;
+}
+
+/// The uniform error shape: {"error": <code>, "detail": <human text>}.
+obs::HttpResponse error_response(int status, std::string_view code,
+                                 std::string_view detail) {
+  std::string out = "{";
+  append_key(out, "error");
+  append_str(out, code);
+  out += ',';
+  append_key(out, "detail");
+  append_str(out, detail);
+  out += "}\n";
+  return json_response(status, std::move(out));
+}
+
+/// Every OK response leads with the staleness stamp: the head the rows are
+/// complete through plus the snapshot version that answered.
+void append_stamp(std::string& out, const Snapshot& snap) {
+  append_key(out, "head_block");
+  append_u64(out, snap.head_block);
+  out += ',';
+  append_key(out, "snapshot_version");
+  append_u64(out, snap.version);
+}
+
+void append_address_list(std::string& out, const Snapshot& snap,
+                         const std::vector<std::uint32_t>& indexes,
+                         std::size_t max_results) {
+  const std::size_t listed = std::min(indexes.size(), max_results);
+  append_key(out, "count");
+  append_u64(out, indexes.size());
+  out += ',';
+  append_key(out, "truncated");
+  append_bool(out, listed < indexes.size());
+  out += ',';
+  append_key(out, "addresses");
+  out += '[';
+  for (std::size_t i = 0; i < listed; ++i) {
+    if (i > 0) out += ',';
+    append_str(out, snap.rows[indexes[i]].address.to_hex());
+  }
+  out += ']';
+}
+
+bool row_has_vuln(const core::VerdictRow& row, VulnClass c) {
+  switch (c) {
+    case VulnClass::kFunctionCollision: return row.function_collision;
+    case VulnClass::kStorageCollision: return row.storage_collision;
+    case VulnClass::kStorageCollisionExploitable:
+      return row.storage_collision_exploitable;
+    case VulnClass::kFamilyCollision: return row.family_collision;
+  }
+  return false;
+}
+
+}  // namespace
+
+void append_key(std::string& out, std::string_view key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+std::string_view to_string(VulnClass c) noexcept {
+  switch (c) {
+    case VulnClass::kFunctionCollision: return "function_collision";
+    case VulnClass::kStorageCollision: return "storage_collision";
+    case VulnClass::kStorageCollisionExploitable:
+      return "storage_collision_exploitable";
+    case VulnClass::kFamilyCollision: return "family_collision";
+  }
+  return "?";
+}
+
+std::optional<VulnClass> vuln_class_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kVulnClassCount; ++i) {
+    const auto c = static_cast<VulnClass>(i);
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+QueryService::QueryService(QueryServiceConfig config)
+    : config_(config) {
+  // Readers must never observe a null snapshot — an empty version-0 one
+  // answers "nothing known yet" until the first publish.
+  published_.store(std::make_shared<const Snapshot>(),
+                   std::memory_order_release);
+}
+
+void QueryService::apply_records(
+    std::span<const store::ContractRecord> records) {
+  for (const store::ContractRecord& rec : records) {
+    core::VerdictRow row = core::extract_verdict(rec.analysis, rec.code_hash);
+    const auto [it, inserted] = live_.try_emplace(row.address, row);
+    if (inserted) {
+      order_.push_back(row.address);
+    } else {
+      it->second = row;
+    }
+  }
+}
+
+std::shared_ptr<const Snapshot> QueryService::publish(
+    std::uint64_t head_block) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->head_block = head_block;
+  snap->version = ++versions_published_;
+  snap->rows.reserve(order_.size());
+  snap->by_address.reserve(order_.size());
+  for (const evm::Address& addr : order_) {
+    const core::VerdictRow& row = live_.at(addr);
+    const auto index = static_cast<std::uint32_t>(snap->rows.size());
+    snap->by_address.emplace(addr, index);
+    snap->by_code_hash[row.code_hash].push_back(index);
+    for (std::size_t c = 0; c < kVulnClassCount; ++c) {
+      if (row_has_vuln(row, static_cast<VulnClass>(c))) {
+        snap->by_vuln[c].push_back(index);
+      }
+    }
+    if (row.verdict == core::ProxyVerdict::kProxy) ++snap->proxies;
+    if (row.quarantined) ++snap->quarantined;
+    snap->rows.push_back(row);
+  }
+  std::shared_ptr<const Snapshot> frozen = std::move(snap);
+  published_.store(frozen, std::memory_order_release);
+  return frozen;
+}
+
+obs::HttpResponse QueryService::contract_endpoint(
+    const std::string& rest) const {
+  const std::optional<evm::Address> addr = parse_address(rest);
+  if (!addr) {
+    return error_response(400, "bad_address",
+                          "expected /v1/contract/0x + 40 hex digits");
+  }
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const auto it = snap->by_address.find(*addr);
+  if (it == snap->by_address.end()) {
+    return error_response(404, "not_found",
+                          "address not in the current snapshot");
+  }
+  const core::VerdictRow& row = snap->rows[it->second];
+  std::string out = "{";
+  append_stamp(out, *snap);
+  out += ',';
+  append_key(out, "address");
+  append_str(out, row.address.to_hex());
+  out += ',';
+  append_key(out, "code_hash");
+  append_str(out, hash_hex(row.code_hash));
+  out += ',';
+  append_key(out, "year");
+  append_u64(out, static_cast<std::uint64_t>(row.year));
+  out += ',';
+  append_key(out, "verdict");
+  append_str(out, core::to_string(row.verdict));
+  out += ',';
+  append_key(out, "standard");
+  append_str(out, core::to_string(row.standard));
+  out += ',';
+  append_key(out, "hidden");
+  append_bool(out, row.hidden);
+  out += ',';
+  append_key(out, "has_source");
+  append_bool(out, row.has_source);
+  out += ',';
+  append_key(out, "has_tx");
+  append_bool(out, row.has_tx);
+  out += ',';
+  append_key(out, "deduplicated");
+  append_bool(out, row.deduplicated);
+  out += ',';
+  append_key(out, "quarantined");
+  append_bool(out, row.quarantined);
+  out += ',';
+  append_key(out, "error_kind");
+  if (row.quarantined) {
+    append_str(out, core::to_string(row.error_kind));
+  } else {
+    out += "null";
+  }
+  out += ',';
+  append_key(out, "logic");
+  out += '{';
+  append_key(out, "source");
+  append_str(out, core::to_string(row.logic_source));
+  out += ',';
+  append_key(out, "logic_address");
+  if (row.logic_source == core::LogicSource::kNone) {
+    out += "null";
+  } else {
+    append_str(out, row.logic_address.to_hex());
+  }
+  out += ',';
+  append_key(out, "slot");
+  if (row.logic_source == core::LogicSource::kStorageSlot) {
+    append_str(out, row.logic_slot.to_hex());
+  } else {
+    out += "null";
+  }
+  out += ',';
+  append_key(out, "upgrade_events");
+  append_u64(out, row.upgrade_events);
+  out += "},";
+  append_key(out, "vulns");
+  out += '{';
+  append_key(out, "function_collision");
+  append_bool(out, row.function_collision);
+  out += ',';
+  append_key(out, "storage_collision");
+  append_bool(out, row.storage_collision);
+  out += ',';
+  append_key(out, "storage_collision_exploitable");
+  append_bool(out, row.storage_collision_exploitable);
+  out += ',';
+  append_key(out, "family_collision");
+  append_bool(out, row.family_collision);
+  out += "}}\n";
+  return json_response(200, std::move(out));
+}
+
+obs::HttpResponse QueryService::codehash_endpoint(
+    const std::string& rest) const {
+  const std::optional<crypto::Hash256> hash = parse_hash(rest);
+  if (!hash) {
+    return error_response(400, "bad_hash",
+                          "expected /v1/codehash/0x + 64 hex digits");
+  }
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const auto it = snap->by_code_hash.find(*hash);
+  if (it == snap->by_code_hash.end()) {
+    return error_response(404, "not_found",
+                          "code hash not in the current snapshot");
+  }
+  std::string out = "{";
+  append_stamp(out, *snap);
+  out += ',';
+  append_key(out, "code_hash");
+  append_str(out, hash_hex(*hash));
+  out += ',';
+  append_address_list(out, *snap, it->second, config_.max_results);
+  out += "}\n";
+  return json_response(200, std::move(out));
+}
+
+obs::HttpResponse QueryService::vulns_endpoint(const std::string& query) const {
+  // The only recognized parameter is class=<name>; a raw scan suffices.
+  std::string_view value;
+  std::string_view q = query;
+  while (!q.empty()) {
+    const std::size_t amp = q.find('&');
+    const std::string_view pair = q.substr(0, amp);
+    q = amp == std::string_view::npos ? std::string_view{} : q.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == "class") {
+      value = pair.substr(eq + 1);
+    }
+  }
+  if (value.empty()) {
+    return error_response(400, "missing_class",
+                          "expected /v1/vulns?class=<vulnerability class>");
+  }
+  const std::optional<VulnClass> vuln = vuln_class_from_name(value);
+  if (!vuln) {
+    std::string detail = "unknown class; one of:";
+    for (std::size_t i = 0; i < kVulnClassCount; ++i) {
+      detail += ' ';
+      detail += to_string(static_cast<VulnClass>(i));
+    }
+    return error_response(400, "unknown_class", detail);
+  }
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const std::vector<std::uint32_t>& indexes =
+      snap->by_vuln[static_cast<std::size_t>(*vuln)];
+  std::string out = "{";
+  append_stamp(out, *snap);
+  out += ',';
+  append_key(out, "class");
+  append_str(out, to_string(*vuln));
+  out += ',';
+  append_address_list(out, *snap, indexes, config_.max_results);
+  out += "}\n";
+  return json_response(200, std::move(out));
+}
+
+void QueryService::register_endpoints(obs::HttpServer& server) {
+  server.handle_prefix(
+      "/v1/contract/",
+      [this](const std::string& rest, const std::string&) {
+        return contract_endpoint(rest);
+      });
+  server.handle_prefix(
+      "/v1/codehash/",
+      [this](const std::string& rest, const std::string&) {
+        return codehash_endpoint(rest);
+      });
+  server.handle("/v1/vulns", [this](const std::string& query) {
+    return vulns_endpoint(query);
+  });
+}
+
+}  // namespace proxion::serve

@@ -1,0 +1,121 @@
+// The lock-free query plane over sweep verdicts: an immutable Snapshot of
+// VerdictRows (with address, code-hash, and vulnerability-class indexes)
+// published through std::atomic<std::shared_ptr<const Snapshot>>. Exactly
+// one writer — the chain follower's record sink, or a batch sweep feeding
+// apply_records() by hand — builds the next snapshot privately and swaps
+// the pointer; readers load it wait-free and keep their shared_ptr alive
+// for as long as they render, so a publish never invalidates an in-flight
+// read and a read never blocks a publish.
+//
+// Wired onto obs::HttpServer as the /v1/* JSON endpoints. The normative
+// response schemas (field types, error shapes, staleness semantics) live in
+// docs/QUERY_API.md; every response field name flows through append_key()
+// so tools/docs_check.sh can diff the implemented set against that spec.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/http.h"
+#include "store/records.h"
+
+namespace proxion::serve {
+
+struct CodeHashHasher {
+  std::size_t operator()(const crypto::Hash256& h) const noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(out); ++i) out = (out << 8) | h[i];
+    return out;
+  }
+};
+
+/// The vulnerability classes /v1/vulns?class=... accepts, by their
+/// canonical names (the same flags VerdictRow carries).
+enum class VulnClass : std::uint8_t {
+  kFunctionCollision,
+  kStorageCollision,
+  kStorageCollisionExploitable,
+  kFamilyCollision,
+};
+inline constexpr std::size_t kVulnClassCount = 4;
+
+std::string_view to_string(VulnClass c) noexcept;
+std::optional<VulnClass> vuln_class_from_name(std::string_view name) noexcept;
+
+/// One immutable published verdict set. `head_block` is the chain height
+/// the rows are complete through — mid-lap publishes carry the previous
+/// complete head (rows ahead of it are bonus freshness, never staleness
+/// hidden as completeness). `version` bumps on every publish.
+struct Snapshot {
+  std::uint64_t head_block = 0;
+  std::uint64_t version = 0;
+  std::vector<core::VerdictRow> rows;  // first-seen address order
+  std::unordered_map<evm::Address, std::uint32_t, evm::AddressHasher>
+      by_address;
+  std::unordered_map<crypto::Hash256, std::vector<std::uint32_t>,
+                     CodeHashHasher>
+      by_code_hash;
+  std::array<std::vector<std::uint32_t>, kVulnClassCount> by_vuln;
+  std::uint64_t proxies = 0;
+  std::uint64_t quarantined = 0;
+};
+
+struct QueryServiceConfig {
+  /// Addresses listed per /v1/codehash and /v1/vulns response; beyond it
+  /// the list truncates and the response says so (`truncated`: true, the
+  /// full `count` still reported).
+  std::size_t max_results = 512;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(QueryServiceConfig config = {});
+
+  // ---- writer side (single-threaded by contract) --------------------------
+  /// Upserts rows extracted from `records` into the private live set.
+  /// Not visible to readers until publish().
+  void apply_records(std::span<const store::ContractRecord> records);
+  /// Builds an immutable snapshot of the live set, stamps it with
+  /// `head_block` and the next version, swaps it in, and returns it.
+  std::shared_ptr<const Snapshot> publish(std::uint64_t head_block);
+
+  // ---- reader side (any thread, wait-free) --------------------------------
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  // ---- /v1 endpoint renderers (reader side) -------------------------------
+  obs::HttpResponse contract_endpoint(const std::string& rest) const;
+  obs::HttpResponse codehash_endpoint(const std::string& rest) const;
+  obs::HttpResponse vulns_endpoint(const std::string& query) const;
+
+  /// Registers /v1/contract/<addr>, /v1/codehash/<hash>, and /v1/vulns on
+  /// `server` (the follower registers /v1/status itself). Call before
+  /// server.start().
+  void register_endpoints(obs::HttpServer& server);
+
+ private:
+  QueryServiceConfig config_;
+  /// Writer-owned live rows + first-seen order (the snapshot's row order,
+  /// deterministic across republishes).
+  std::unordered_map<evm::Address, core::VerdictRow, evm::AddressHasher> live_;
+  std::vector<evm::Address> order_;
+  std::uint64_t versions_published_ = 0;
+  std::atomic<std::shared_ptr<const Snapshot>> published_;
+};
+
+/// Appends `"key":` to a JSON document under construction. Every /v1
+/// response field name flows through this helper — tools/docs_check.sh
+/// greps the call sites and diffs them against docs/QUERY_API.md.
+void append_key(std::string& out, std::string_view key);
+
+}  // namespace proxion::serve

@@ -343,6 +343,9 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
   for (const ContractRecord& rec : plan.replayed) acc.add(rec.analysis);
   result.replayed = plan.replayed.size();
   metrics_.counter("store.sweep.contracts_replayed").add(result.replayed);
+  if (config_.record_sink && !plan.replayed.empty()) {
+    config_.record_sink(plan.replayed);
+  }
 
   // ---- per-shard streaming loop -----------------------------------------
   obs::HistogramSnapshot sum_contract_ns, sum_rpc_ns, sum_steps;
@@ -407,6 +410,8 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
     // implies its records'.
     const std::uint64_t bytes_before = writer ? writer->size_bytes() : 0;
     IoResult io;
+    std::vector<ContractRecord> shard_records;
+    if (config_.record_sink) shard_records.reserve(reports.size());
     for (std::size_t j = 0; j < reports.size(); ++j) {
       ContractAnalysis& report = reports[j];
       const std::size_t gi = shard_globals[j];
@@ -415,6 +420,9 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
       if (writer && io.ok) {
         io = writer->append(RecordType::kContract, encode_contract_record(
                                 {report, hashes[gi]}));
+      }
+      if (config_.record_sink) {
+        shard_records.push_back(ContractRecord{report, hashes[gi]});
       }
     }
     if (writer && io.ok) {
@@ -469,6 +477,11 @@ DurableSweepResult DurableSweep::sweep(const std::vector<SweepInput>& inputs,
         return result;
       }
       writer.reset();
+    }
+    // Publish after the commit attempt: the shard's verdicts are final
+    // either way (degraded mode only loses durability, never answers).
+    if (config_.record_sink && !shard_records.empty()) {
+      config_.record_sink(shard_records);
     }
     metrics_.counter("store.sweep.contracts_recomputed").add(reports.size());
     result.recomputed += reports.size();

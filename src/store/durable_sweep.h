@@ -27,6 +27,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,14 @@ struct DurableSweepConfig {
   /// Live progress block for /healthz (borrowed): shards committed vs
   /// total, journal bytes, degraded flag. Null = no publishing.
   obs::SweepStatus* status = nullptr;
+  /// Commit→publish hook for the serving plane: invoked on the sweeping
+  /// thread with each batch of final records — once with the journal-
+  /// replayed set before any shard runs, then once per shard as it commits
+  /// (in degraded mode, as it completes in memory; verdicts stay valid when
+  /// the disk does not). The span is borrowed for the duration of the call.
+  /// Null = no publishing. The query plane's QueryService::apply_records is
+  /// the intended consumer.
+  std::function<void(std::span<const ContractRecord>)> record_sink;
 };
 
 struct DurableSweepResult {

@@ -97,4 +97,31 @@ print(f"  coarse-clock tracing {coarse:.1f}% (<=15), "
       f"introspection plane {plane:.1f}% (<=2)")
 EOF
 
+echo "== bench_query_service (smoke: PROXION_BENCH_SCALE=${SCALE}) =="
+PROXION_BENCH_SCALE="${SCALE}" \
+  "${BUILD_DIR}/bench/bench_query_service"
+
+echo "== query-plane acceptance (reader scaling + staleness ceiling) =="
+# The lock-free snapshot must let readers scale near-linearly (>= 0.7x of
+# linear at the max thread count tried — trivially satisfied on 1 core) and
+# the follower's fence must leave the snapshot at most 1 block behind the
+# chain after every absorbed block.
+python3 - <<'EOF'
+import json
+
+with open("BENCH_results.json") as f:
+    results = json.load(f)["bench_query_service"]
+
+efficiency = results["read_scaling_efficiency"]
+staleness = results["staleness_blocks_max"]
+laps = results["follower_laps"]
+
+assert efficiency >= 0.7, f"reader scaling {efficiency:.2f}x of linear < 0.7"
+assert staleness <= 1.0, f"staleness after fence {staleness:.0f} blocks > 1"
+assert laps >= 1.0, "the upgrade workload never triggered an incremental lap"
+print(f"  reader scaling {efficiency:.2f}x of linear (>=0.7) at "
+      f"{results['read_threads_max']:.0f} thread(s), "
+      f"staleness max {staleness:.0f} (<=1), {laps:.0f} laps")
+EOF
+
 echo "bench_smoke: OK"

@@ -11,7 +11,16 @@
 #      of `struct TelemetryConfig` in src/core/pipeline.h has a
 #      `telemetry.<field>` row, and every `telemetry.*` row names a real
 #      field (catches docs rotting in either direction as the live
-#      introspection plane grows).
+#      introspection plane grows);
+#   5. docs/OPERATIONS.md stays wired to reality: every endpoint path in
+#      its endpoint table appears as a string literal in the serving code,
+#      and every row of its tuning table names a config field that exists
+#      in the header the row points at;
+#   6. docs/QUERY_API.md and the /v1 renderers agree exactly: every field
+#      name in the spec's `| Field | Type | Meaning |` tables is an
+#      append_key() call site in src/serve/*.cpp and vice versa (the spec
+#      is normative — an undocumented field is as much a failure as a
+#      documented-but-gone one).
 # Pure POSIX sh + grep/sed/awk; no network, no build required.
 set -eu
 cd "$(dirname "$0")/.."
@@ -99,11 +108,85 @@ for knob in $knobs; do
   fi
 done
 
+# ---- 5. OPERATIONS.md endpoint + tuning tables vs source ----------------
+endpoints=$(awk '/^\| Endpoint \| Content type \| Meaning \|/ { in_table = 1; next }
+                 in_table && !/^\|/ { in_table = 0 }
+                 in_table' docs/OPERATIONS.md |
+  sed -n 's/^| `\([^`]*\)`.*/\1/p')
+if [ -z "$endpoints" ]; then
+  echo "docs_check: could not find the endpoint table in docs/OPERATIONS.md" >&2
+  fail=1
+fi
+for endpoint in $endpoints; do
+  # Placeholder suffixes (<addr>, <hash>) are not part of the registered
+  # path; the literal before them is.
+  path=${endpoint%%<*}
+  if ! grep -qF "\"$path\"" src/serve/*.cpp src/obs/*.cpp \
+    examples/landscape_survey.cpp; then
+    echo "docs_check: OPERATIONS.md documents endpoint '$endpoint' but" \
+      "\"$path\" is not registered anywhere in the serving code" >&2
+    fail=1
+  fi
+done
+
+service_knobs=$(awk '/^\| Service knob \| Where \| Meaning \|/ { in_table = 1; next }
+                     in_table && !/^\|/ { in_table = 0 }
+                     in_table' docs/OPERATIONS.md |
+  sed -n 's/^| `\([^`]*\)` | `\([^`]*\)`.*/\1 \2/p')
+if [ -z "$service_knobs" ]; then
+  echo "docs_check: could not find the tuning table in docs/OPERATIONS.md" >&2
+  fail=1
+fi
+printf '%s\n' "$service_knobs" | while read -r knob where; do
+  [ -n "$knob" ] || continue
+  leaf=${knob##*.}
+  if [ ! -f "$where" ]; then
+    echo "docs_check: OPERATIONS.md tuning row '$knob' points at" \
+      "missing file '$where'" >&2
+    exit 1
+  fi
+  if ! grep -q -w "$leaf" "$where"; then
+    echo "docs_check: OPERATIONS.md documents tuning knob '$knob' but" \
+      "'$leaf' does not appear in $where" >&2
+    exit 1
+  fi
+done || fail=1
+
+# ---- 6. QUERY_API.md field tables vs append_key call sites (both ways) ---
+api_fields=$(awk '/^\| Field \| Type \| Meaning \|/ { in_table = 1; next }
+                  in_table && !/^\|/ { in_table = 0 }
+                  in_table' docs/QUERY_API.md |
+  sed -n 's/^| `\([^`]*\)`.*/\1/p' | sort -u)
+impl_fields=$(sed -n 's/.*append_key([A-Za-z_][A-Za-z_0-9]*, "\([^"]*\)").*/\1/p' \
+  src/serve/*.cpp | sort -u)
+if [ -z "$api_fields" ] || [ -z "$impl_fields" ]; then
+  echo "docs_check: could not extract /v1 field names (QUERY_API.md tables" \
+    "or append_key call sites came up empty)" >&2
+  fail=1
+fi
+for field in $impl_fields; do
+  if ! printf '%s\n' "$api_fields" | grep -q "^$field\$"; then
+    echo "docs_check: /v1 responses render field '$field' (append_key in" \
+      "src/serve) but docs/QUERY_API.md does not document it" >&2
+    fail=1
+  fi
+done
+for field in $api_fields; do
+  if ! printf '%s\n' "$impl_fields" | grep -q "^$field\$"; then
+    echo "docs_check: docs/QUERY_API.md documents field '$field' but no" \
+      "append_key call site in src/serve renders it" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs_check: all markdown links resolve;" \
     "all $(echo "$knobs" | wc -l | tr -d ' ') documented pipeline knobs and" \
     "$(echo "$sweep_knobs" | wc -l | tr -d ' ') sweep knobs exist;" \
     "all $(echo "$telemetry_fields" | wc -l | tr -d ' ') TelemetryConfig" \
-    "fields documented"
+    "fields documented;" \
+    "$(echo "$endpoints" | wc -l | tr -d ' ') endpoints and" \
+    "$(echo "$service_knobs" | wc -l | tr -d ' ') service knobs wired;" \
+    "$(echo "$api_fields" | wc -l | tr -d ' ') /v1 fields in sync"
 fi
 exit "$fail"

@@ -8,7 +8,7 @@
 #   test-regex defaults to the fault-injection + concurrency suites.
 set -eu
 
-TESTS="${1:-test_resilience|test_archive_batch|test_thread_pool|test_pipeline|test_analysis_cache|test_obs_metrics|test_obs_trace|test_obs_export|test_static_analysis|test_static_tier|test_layout|test_fuzz|test_store_journal|test_durable_sweep|test_vfs_fault|test_journal_fuzz}"
+TESTS="${1:-test_resilience|test_archive_batch|test_thread_pool|test_pipeline|test_analysis_cache|test_obs_metrics|test_obs_trace|test_obs_export|test_static_analysis|test_static_tier|test_layout|test_fuzz|test_store_journal|test_durable_sweep|test_vfs_fault|test_journal_fuzz|test_query_service}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 # CI runs one flavor per job; default is both.
 FLAVORS="${PROXION_SANITIZE_FLAVORS:-address thread}"
@@ -22,10 +22,18 @@ for flavor in ${FLAVORS}; do
     test_resilience test_archive_batch test_thread_pool test_pipeline \
     test_analysis_cache test_obs_metrics test_obs_trace test_obs_export \
     test_static_analysis test_static_tier test_layout test_fuzz \
-    test_store_journal test_durable_sweep test_vfs_fault test_journal_fuzz
+    test_store_journal test_durable_sweep test_vfs_fault test_journal_fuzz \
+    test_query_service
 
   echo "== ctest under ${flavor} sanitizer =="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
+  if [ "${flavor}" = "thread" ]; then
+    # Suppress the libstdc++ <12.3 atomic<shared_ptr> false positive (see
+    # the suppressions file); harmless on toolchains with _GLIBCXX_TSAN.
+    TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan_suppressions.txt ${TSAN_OPTIONS:-}" \
+      ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${TESTS}"
+  fi
 done
 
 echo "sanitize_smoke: OK (${FLAVORS})"
